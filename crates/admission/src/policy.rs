@@ -1,0 +1,185 @@
+//! Assignment and migration policy knobs.
+
+use serde::{Deserialize, Serialize};
+
+/// How the controller chooses among eligible replica holders.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AssignmentPolicy {
+    /// The paper's rule: "the server … has the fewest current requests"
+    /// (§3.2). Ties break toward the lowest server id.
+    LeastLoaded,
+    /// A uniformly random eligible holder (ablation).
+    Random,
+    /// The lowest-id eligible holder (ablation).
+    FirstFit,
+    /// The *most* loaded eligible holder — adversarial ablation that packs
+    /// servers and starves the placement of slack.
+    MostLoaded,
+}
+
+impl AssignmentPolicy {
+    /// Short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AssignmentPolicy::LeastLoaded => "least-loaded",
+            AssignmentPolicy::Random => "random",
+            AssignmentPolicy::FirstFit => "first-fit",
+            AssignmentPolicy::MostLoaded => "most-loaded",
+        }
+    }
+}
+
+/// Which feasible victim a migration prefers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VictimSelection {
+    /// The stream with the most staged client data — the safest hand-off
+    /// (default; the paper does not specify a rule).
+    MostStaged,
+    /// The first feasible stream in server-internal order.
+    FirstFeasible,
+    /// The stream with the earliest projected finish (it will release its
+    /// slot soonest anyway; moving it frees the least future capacity).
+    EarliestFinish,
+    /// A uniformly random feasible stream.
+    Random,
+}
+
+impl VictimSelection {
+    /// Short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            VictimSelection::MostStaged => "most-staged",
+            VictimSelection::FirstFeasible => "first-feasible",
+            VictimSelection::EarliestFinish => "earliest-finish",
+            VictimSelection::Random => "random",
+        }
+    }
+}
+
+/// Dynamic-request-migration configuration (§3.1, §4.2).
+///
+/// ```
+/// use sct_admission::MigrationPolicy;
+/// let p = MigrationPolicy::single_hop();
+/// assert!(p.allows_another_hop(0));
+/// assert!(!p.allows_another_hop(1));    // one hop per request, as in §4.2
+/// assert_eq!(p.required_staging_mb(3.0), 3.0); // 1 s hand-off at b_view
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MigrationPolicy {
+    /// Master switch. When off, a request with no free holder is rejected.
+    pub enabled: bool,
+    /// Maximum migrations performed to admit ONE arrival ("migration
+    /// chain length"). The paper fixes this at 1; 2 enables two-step
+    /// chains (move B to make room for A, move A to make room for the
+    /// arrival) as an extension/ablation.
+    pub max_chain_length: u32,
+    /// Maximum times any single stream may be migrated over its lifetime
+    /// ("hops per request"). `None` = unlimited.
+    pub max_hops_per_request: Option<u32>,
+    /// Seconds of stream hand-off the client must be able to mask from its
+    /// staging buffer: a victim is feasible only if
+    /// `staged ≥ handoff_latency × b_view`.
+    pub handoff_latency_secs: f64,
+    /// Victim preference among feasible candidates.
+    pub victim_selection: VictimSelection,
+}
+
+impl MigrationPolicy {
+    /// Migration disabled (the paper's "No migration" curves).
+    pub fn disabled() -> Self {
+        MigrationPolicy {
+            enabled: false,
+            max_chain_length: 0,
+            max_hops_per_request: Some(0),
+            handoff_latency_secs: 1.0,
+            victim_selection: VictimSelection::MostStaged,
+        }
+    }
+
+    /// The paper's main configuration: chain length 1 (inherent to the
+    /// algorithm) and at most one hop per request over its lifetime.
+    pub fn single_hop() -> Self {
+        MigrationPolicy {
+            enabled: true,
+            max_chain_length: 1,
+            max_hops_per_request: Some(1),
+            handoff_latency_secs: 1.0,
+            victim_selection: VictimSelection::MostStaged,
+        }
+    }
+
+    /// Unlimited hops per request (the paper's comparison curve in Fig. 4).
+    pub fn unlimited_hops() -> Self {
+        MigrationPolicy {
+            enabled: true,
+            max_chain_length: 1,
+            max_hops_per_request: None,
+            handoff_latency_secs: 1.0,
+            victim_selection: VictimSelection::MostStaged,
+        }
+    }
+
+    /// Two-step chains, one hop per request (extension/ablation).
+    pub fn chain2() -> Self {
+        MigrationPolicy {
+            max_chain_length: 2,
+            ..Self::single_hop()
+        }
+    }
+
+    /// `true` if a stream with `hops` prior migrations may move again.
+    pub fn allows_another_hop(&self, hops: u32) -> bool {
+        self.enabled
+            && match self.max_hops_per_request {
+                Some(max) => hops < max,
+                None => true,
+            }
+    }
+
+    /// The staged megabits a victim needs for a feasible hand-off.
+    pub fn required_staging_mb(&self, view_rate: f64) -> f64 {
+        self.handoff_latency_secs * view_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_allows_nothing() {
+        let p = MigrationPolicy::disabled();
+        assert!(!p.allows_another_hop(0));
+    }
+
+    #[test]
+    fn single_hop_budget() {
+        let p = MigrationPolicy::single_hop();
+        assert!(p.allows_another_hop(0));
+        assert!(!p.allows_another_hop(1));
+        assert!(!p.allows_another_hop(5));
+    }
+
+    #[test]
+    fn unlimited_hops_always_allow() {
+        let p = MigrationPolicy::unlimited_hops();
+        assert!(p.allows_another_hop(0));
+        assert!(p.allows_another_hop(1_000_000));
+    }
+
+    #[test]
+    fn staging_requirement_scales_with_view_rate() {
+        let p = MigrationPolicy::single_hop();
+        assert_eq!(p.required_staging_mb(3.0), 3.0);
+        let mut p2 = p;
+        p2.handoff_latency_secs = 2.5;
+        assert_eq!(p2.required_staging_mb(3.0), 7.5);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(AssignmentPolicy::LeastLoaded.name(), "least-loaded");
+        assert_eq!(VictimSelection::MostStaged.name(), "most-staged");
+    }
+}

@@ -1,0 +1,90 @@
+//! Fairness metrics for per-server load distributions.
+
+/// Jain's fairness index: `(Σx)² / (n · Σx²)`.
+///
+/// 1.0 means perfectly even values; `1/n` means one server carries
+/// everything. Used to quantify how evenly the cluster's servers are
+/// utilized, e.g. under heterogeneity or skewed placements.
+///
+/// ```
+/// use sct_analysis::fairness::jain_index;
+/// assert_eq!(jain_index(&[1.0, 1.0, 1.0, 1.0]), 1.0);
+/// assert_eq!(jain_index(&[1.0, 0.0, 0.0, 0.0]), 0.25);
+/// ```
+pub fn jain_index(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "fairness of nothing is undefined");
+    assert!(
+        values.iter().all(|&v| v >= 0.0),
+        "fairness is defined for non-negative loads"
+    );
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|&v| v * v).sum();
+    if sum_sq == 0.0 {
+        // All zeros: every server is equally (un)used.
+        return 1.0;
+    }
+    sum * sum / (values.len() as f64 * sum_sq)
+}
+
+/// Max/min ratio of a load vector (∞ if some value is zero but not all).
+pub fn max_min_ratio(values: &[f64]) -> f64 {
+    assert!(!values.is_empty());
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    if min == 0.0 {
+        if max == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        max / min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_bounds() {
+        // Always within [1/n, 1].
+        let cases: [&[f64]; 4] = [
+            &[5.0, 5.0, 5.0],
+            &[1.0, 2.0, 3.0],
+            &[10.0, 0.1, 0.1],
+            &[0.9, 0.91, 0.89, 0.95],
+        ];
+        for v in cases {
+            let j = jain_index(v);
+            assert!(j <= 1.0 + 1e-12);
+            assert!(j >= 1.0 / v.len() as f64 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn jain_detects_imbalance_ordering() {
+        let even = jain_index(&[0.9, 0.9, 0.9]);
+        let mild = jain_index(&[0.8, 0.9, 1.0]);
+        let harsh = jain_index(&[0.1, 0.9, 1.0]);
+        assert!(even > mild && mild > harsh);
+    }
+
+    #[test]
+    fn jain_all_zero_is_fair() {
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn max_min_ratios() {
+        assert_eq!(max_min_ratio(&[2.0, 4.0]), 2.0);
+        assert_eq!(max_min_ratio(&[0.0, 0.0]), 1.0);
+        assert!(max_min_ratio(&[0.0, 1.0]).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn jain_rejects_negative() {
+        jain_index(&[-1.0, 1.0]);
+    }
+}

@@ -1,0 +1,30 @@
+//! Analytical models and result reporting.
+//!
+//! * [`erlang`] — the Erlang-B loss formula and the paper's analytical
+//!   single-server utilization-vs-SVBR expression (§3.2 references an
+//!   analytic curve in the tech report; for a single server with no
+//!   staging and no migration the system is an M/G/k/k loss queue, whose
+//!   blocking probability depends on the service distribution only through
+//!   its mean — so Erlang-B applies exactly).
+//! * [`fairness`] — Jain's index and load-spread metrics for per-server
+//!   utilization vectors.
+//! * [`series`] — experiment output as (x, curves) series of trial
+//!   summaries, serialisable and alignable with the paper's figures.
+//! * [`report`] — plain-text/markdown table rendering for the harness.
+//! * [`svg`] — dependency-free SVG line charts of any [`Series`], so the
+//!   harness emits viewable figures, not just tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod erlang;
+pub mod fairness;
+pub mod report;
+pub mod series;
+pub mod svg;
+
+pub use erlang::{erlang_b, expected_utilization_vs_svbr};
+pub use fairness::jain_index;
+pub use report::Table;
+pub use series::{Curve, Series};
+pub use svg::{render_series, SvgOptions};

@@ -1,0 +1,136 @@
+//! Plain table rendering for harness output.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple string table with a header row, rendered as markdown or
+/// aligned plain text.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each must match the header width.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (width-checked).
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as a markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push('|');
+        for h in &self.headers {
+            out.push_str(&format!(" {h} |"));
+        }
+        out.push('\n');
+        out.push('|');
+        for _ in &self.headers {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push('|');
+            for cell in row {
+                out.push_str(&format!(" {cell} |"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as aligned plain text (for terminals).
+    pub fn to_text(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                line.push_str(&format!("{:width$}  ", cells[i], width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["policy", "theta", "utilization"]);
+        t.push_row(vec!["P1", "0.0", "0.812"]);
+        t.push_row(vec!["P4", "0.0", "0.973"]);
+        t
+    }
+
+    #[test]
+    fn markdown_layout() {
+        let md = sample().to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "| policy | theta | utilization |");
+        assert_eq!(lines[1], "|---|---|---|");
+        assert!(lines[3].contains("0.973"));
+    }
+
+    #[test]
+    fn text_alignment() {
+        let txt = sample().to_text();
+        let lines: Vec<&str> = txt.lines().collect();
+        assert!(lines[0].starts_with("policy"));
+        // Columns align: "utilization" header starts at same offset in all rows.
+        let off = lines[0].find("utilization").unwrap();
+        assert_eq!(&lines[2][off..off + 5], "0.812");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = sample();
+        t.push_row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert!(Table::new(vec!["a"]).is_empty());
+        assert_eq!(sample().len(), 2);
+    }
+}

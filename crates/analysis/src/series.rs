@@ -1,0 +1,171 @@
+//! Experiment results as plottable series.
+//!
+//! Every figure in the paper is a family of curves over a common x axis
+//! (usually Zipf θ). A [`Series`] captures exactly that: the x values plus
+//! named [`Curve`]s of per-point trial [`Summary`]s. The figure harness
+//! serialises these to JSON and renders them as markdown via
+//! [`crate::report`].
+
+use sct_simcore::Summary;
+use serde::{Deserialize, Serialize};
+
+/// One named curve: a y-summary per x position.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Curve {
+    /// Legend label ("no migration", "20% buffer", "P4", …).
+    pub label: String,
+    /// One summary per x value, same length as the series' `x`.
+    pub points: Vec<Summary>,
+}
+
+impl Curve {
+    /// Mean values of all points.
+    pub fn means(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.mean).collect()
+    }
+}
+
+/// A family of curves over a shared x axis.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// What the series shows (figure id, metric, system).
+    pub title: String,
+    /// Name of the x axis ("zipf theta", "staging fraction", "SVBR", …).
+    pub x_label: String,
+    /// Name of the y axis (usually "utilization").
+    pub y_label: String,
+    /// The x positions.
+    pub x: Vec<f64>,
+    /// The curves.
+    pub curves: Vec<Curve>,
+}
+
+impl Series {
+    /// Creates an empty series over the given axis.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+        x: Vec<f64>,
+    ) -> Self {
+        Series {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            x,
+            curves: Vec::new(),
+        }
+    }
+
+    /// Adds a curve; its length must match the x axis.
+    pub fn push_curve(&mut self, label: impl Into<String>, points: Vec<Summary>) {
+        assert_eq!(
+            points.len(),
+            self.x.len(),
+            "curve length must match x axis"
+        );
+        self.curves.push(Curve {
+            label: label.into(),
+            points,
+        });
+    }
+
+    /// Finds a curve by label.
+    pub fn curve(&self, label: &str) -> Option<&Curve> {
+        self.curves.iter().find(|c| c.label == label)
+    }
+
+    /// Serialises to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("series serialisation cannot fail")
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(s: &str) -> Result<Series, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+
+    /// Renders a markdown table: one row per x, one column per curve
+    /// (mean ± 95 % CI when more than one trial).
+    pub fn to_markdown(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let mut header = format!("| {} |", self.x_label);
+        let mut rule = String::from("|---|");
+        for c in &self.curves {
+            header.push_str(&format!(" {} |", c.label));
+            rule.push_str("---|");
+        }
+        let _ = writeln!(out, "{header}");
+        let _ = writeln!(out, "{rule}");
+        for (i, &x) in self.x.iter().enumerate() {
+            let mut row = format!("| {x:.3} |");
+            for c in &self.curves {
+                let p = &c.points[i];
+                if p.n > 1 {
+                    row.push_str(&format!(" {:.4} ± {:.4} |", p.mean, p.ci95));
+                } else {
+                    row.push_str(&format!(" {:.4} |", p.mean));
+                }
+            }
+            let _ = writeln!(out, "{row}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(mean: f64) -> Summary {
+        Summary {
+            n: 3,
+            mean,
+            std_dev: 0.01,
+            ci95: 0.011,
+            min: mean - 0.01,
+            max: mean + 0.01,
+        }
+    }
+
+    fn sample() -> Series {
+        let mut s = Series::new("fig4 small", "zipf theta", "utilization", vec![0.0, 0.5, 1.0]);
+        s.push_curve("no migration", vec![summary(0.8), summary(0.85), summary(0.9)]);
+        s.push_curve("hops=1", vec![summary(0.9), summary(0.95), summary(0.97)]);
+        s
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = sample();
+        let back = Series::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn curve_lookup_and_means() {
+        let s = sample();
+        let c = s.curve("hops=1").unwrap();
+        assert_eq!(c.means(), vec![0.9, 0.95, 0.97]);
+        assert!(s.curve("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "curve length must match")]
+    fn mismatched_curve_rejected() {
+        let mut s = sample();
+        s.push_curve("bad", vec![summary(1.0)]);
+    }
+
+    #[test]
+    fn markdown_contains_all_cells() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### fig4 small"));
+        assert!(md.contains("| zipf theta | no migration | hops=1 |"));
+        assert!(md.contains("0.9500"));
+        assert!(md.contains("±"));
+        assert_eq!(md.lines().filter(|l| l.starts_with('|')).count(), 5);
+    }
+}

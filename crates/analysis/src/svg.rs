@@ -1,0 +1,366 @@
+//! Dependency-free SVG rendering of experiment series.
+//!
+//! Each [`Series`] becomes a line chart comparable to the paper's figures:
+//! x/y axes with tick labels, one polyline per curve with point markers
+//! and optional 95 %-CI whiskers, and a legend. The output is plain SVG
+//! 1.1 viewable in any browser; the `figures` harness writes one next to
+//! every markdown table.
+
+use crate::series::Series;
+use std::fmt::Write as _;
+
+/// Rendering options.
+#[derive(Clone, Debug)]
+pub struct SvgOptions {
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+    /// Fixed y range; `None` = auto-fit with 5 % padding.
+    pub y_range: Option<(f64, f64)>,
+    /// Draw 95 %-CI whiskers when a point has more than one trial.
+    pub show_ci: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width: 720,
+            height: 440,
+            y_range: None,
+            show_ci: true,
+        }
+    }
+}
+
+/// A colour-blind-friendly qualitative palette (Okabe–Ito), cycled.
+const PALETTE: [&str; 8] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#F0E442", "#000000",
+];
+
+const MARGIN_LEFT: f64 = 64.0;
+const MARGIN_RIGHT: f64 = 180.0; // legend gutter
+const MARGIN_TOP: f64 = 42.0;
+const MARGIN_BOTTOM: f64 = 52.0;
+
+/// "Nice" tick step: 1/2/5 × 10^k covering roughly `span / target` per
+/// step.
+fn nice_step(span: f64, target: usize) -> f64 {
+    debug_assert!(span > 0.0);
+    let raw = span / target.max(1) as f64;
+    let mag = 10f64.powf(raw.log10().floor());
+    let norm = raw / mag;
+    let factor = if norm <= 1.0 {
+        1.0
+    } else if norm <= 2.0 {
+        2.0
+    } else if norm <= 5.0 {
+        5.0
+    } else {
+        10.0
+    };
+    factor * mag
+}
+
+fn ticks(lo: f64, hi: f64, target: usize) -> Vec<f64> {
+    let step = nice_step(hi - lo, target);
+    let first = (lo / step).ceil() * step;
+    let mut out = Vec::new();
+    let mut t = first;
+    while t <= hi + step * 1e-9 {
+        // Snap tiny float residue (e.g. -0.7500000000000001) to the grid.
+        out.push((t / step).round() * step);
+        t += step;
+    }
+    out
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Renders `series` as an SVG document.
+pub fn render_series(series: &Series, opts: &SvgOptions) -> String {
+    assert!(!series.x.is_empty(), "cannot plot an empty series");
+    let w = opts.width as f64;
+    let h = opts.height as f64;
+    let plot_w = (w - MARGIN_LEFT - MARGIN_RIGHT).max(50.0);
+    let plot_h = (h - MARGIN_TOP - MARGIN_BOTTOM).max(50.0);
+
+    let x_lo = series.x.iter().cloned().fold(f64::INFINITY, f64::min);
+    let x_hi = series.x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let x_span = if x_hi > x_lo { x_hi - x_lo } else { 1.0 };
+
+    let (y_lo, y_hi) = match opts.y_range {
+        Some(r) => r,
+        None => {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for c in &series.curves {
+                for p in &c.points {
+                    lo = lo.min(p.mean - if opts.show_ci { p.ci95 } else { 0.0 });
+                    hi = hi.max(p.mean + if opts.show_ci { p.ci95 } else { 0.0 });
+                }
+            }
+            if !lo.is_finite() || !hi.is_finite() {
+                (0.0, 1.0)
+            } else if hi > lo {
+                let pad = (hi - lo) * 0.05;
+                (lo - pad, hi + pad)
+            } else {
+                (lo - 0.5, hi + 0.5)
+            }
+        }
+    };
+    let y_span = (y_hi - y_lo).max(1e-12);
+
+    let sx = |x: f64| MARGIN_LEFT + (x - x_lo) / x_span * plot_w;
+    let sy = |y: f64| MARGIN_TOP + (1.0 - (y - y_lo) / y_span) * plot_h;
+
+    let mut svg = String::with_capacity(16 * 1024);
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif">"#
+    );
+    let _ = writeln!(svg, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+    // Title.
+    let _ = writeln!(
+        svg,
+        r#"<text x="{}" y="24" font-size="15" font-weight="bold">{}</text>"#,
+        MARGIN_LEFT,
+        xml_escape(&series.title)
+    );
+
+    // Gridlines + ticks.
+    for ty in ticks(y_lo, y_hi, 6) {
+        let y = sy(ty);
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{:.1}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
+            MARGIN_LEFT,
+            MARGIN_LEFT + plot_w
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="end">{}</text>"#,
+            MARGIN_LEFT - 6.0,
+            y + 4.0,
+            fmt_tick(ty)
+        );
+    }
+    for tx in ticks(x_lo, x_hi, 8) {
+        let x = sx(tx);
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{x:.1}" y1="{:.1}" x2="{x:.1}" y2="{:.1}" stroke="#eee"/>"##,
+            MARGIN_TOP,
+            MARGIN_TOP + plot_h
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{x:.1}" y="{:.1}" font-size="11" text-anchor="middle">{}</text>"#,
+            MARGIN_TOP + plot_h + 16.0,
+            fmt_tick(tx)
+        );
+    }
+    // Axes frame.
+    let _ = writeln!(
+        svg,
+        r##"<rect x="{:.1}" y="{:.1}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#444"/>"##,
+        MARGIN_LEFT, MARGIN_TOP
+    );
+    // Axis labels.
+    let _ = writeln!(
+        svg,
+        r#"<text x="{:.1}" y="{:.1}" font-size="12" text-anchor="middle">{}</text>"#,
+        MARGIN_LEFT + plot_w / 2.0,
+        h - 14.0,
+        xml_escape(&series.x_label)
+    );
+    let _ = writeln!(
+        svg,
+        r#"<text x="16" y="{:.1}" font-size="12" text-anchor="middle" transform="rotate(-90 16 {:.1})">{}</text>"#,
+        MARGIN_TOP + plot_h / 2.0,
+        MARGIN_TOP + plot_h / 2.0,
+        xml_escape(&series.y_label)
+    );
+
+    // Curves.
+    for (ci, curve) in series.curves.iter().enumerate() {
+        let color = PALETTE[ci % PALETTE.len()];
+        // CI whiskers first (under the line).
+        if opts.show_ci {
+            for (&x, p) in series.x.iter().zip(&curve.points) {
+                if p.n > 1 && p.ci95 > 0.0 {
+                    let cx = sx(x);
+                    let y1 = sy((p.mean - p.ci95).clamp(y_lo, y_hi));
+                    let y2 = sy((p.mean + p.ci95).clamp(y_lo, y_hi));
+                    let _ = writeln!(
+                        svg,
+                        r#"<line x1="{cx:.1}" y1="{y1:.1}" x2="{cx:.1}" y2="{y2:.1}" stroke="{color}" stroke-opacity="0.45"/>"#
+                    );
+                }
+            }
+        }
+        let pts: Vec<String> = series
+            .x
+            .iter()
+            .zip(&curve.points)
+            .map(|(&x, p)| format!("{:.1},{:.1}", sx(x), sy(p.mean.clamp(y_lo, y_hi))))
+            .collect();
+        let _ = writeln!(
+            svg,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+            pts.join(" ")
+        );
+        for (&x, p) in series.x.iter().zip(&curve.points) {
+            let _ = writeln!(
+                svg,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="2.6" fill="{color}"/>"#,
+                sx(x),
+                sy(p.mean.clamp(y_lo, y_hi))
+            );
+        }
+        // Legend entry.
+        let ly = MARGIN_TOP + 8.0 + ci as f64 * 18.0;
+        let lx = MARGIN_LEFT + plot_w + 12.0;
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{lx:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/>"#,
+            lx + 18.0
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" font-size="11">{}</text>"#,
+            lx + 24.0,
+            ly + 4.0,
+            xml_escape(&curve.label)
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_simcore::Summary;
+
+    fn sample() -> Series {
+        let mut s = Series::new(
+            "Fig. X <test> & demo",
+            "zipf theta",
+            "utilization",
+            vec![-1.0, 0.0, 1.0],
+        );
+        s.push_curve(
+            "no migration",
+            vec![Summary::of(&[0.5, 0.6]), Summary::of(&[0.8, 0.82]), Summary::of(&[0.9, 0.92])],
+        );
+        s.push_curve(
+            "hops=1",
+            vec![Summary::of(&[0.55]), Summary::of(&[0.85]), Summary::of(&[0.95])],
+        );
+        s
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = render_series(&sample(), &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // Every opened polyline/circle/line/text/rect is self-closed; the
+        // only paired tags are svg and text.
+        assert_eq!(svg.matches("<svg").count(), 1);
+        assert_eq!(svg.matches("</svg>").count(), 1);
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    }
+
+    #[test]
+    fn one_polyline_and_legend_entry_per_curve() {
+        let svg = render_series(&sample(), &SvgOptions::default());
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("no migration"));
+        assert!(svg.contains("hops=1"));
+        // 3 markers per curve.
+        assert_eq!(svg.matches("<circle").count(), 6);
+    }
+
+    #[test]
+    fn ci_whiskers_only_for_multi_trial_points() {
+        let svg = render_series(&sample(), &SvgOptions::default());
+        // Curve 1 has 3 multi-trial points with nonzero CI; curve 2 has
+        // single-trial points (no whiskers). Whisker lines carry opacity.
+        assert_eq!(svg.matches("stroke-opacity=\"0.45\"").count(), 3);
+        let no_ci = render_series(
+            &sample(),
+            &SvgOptions {
+                show_ci: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(no_ci.matches("stroke-opacity=\"0.45\"").count(), 0);
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let svg = render_series(&sample(), &SvgOptions::default());
+        assert!(svg.contains("Fig. X &lt;test&gt; &amp; demo"));
+        assert!(!svg.contains("<test>"));
+    }
+
+    #[test]
+    fn fixed_y_range_is_respected() {
+        let svg = render_series(
+            &sample(),
+            &SvgOptions {
+                y_range: Some((0.0, 1.0)),
+                ..Default::default()
+            },
+        );
+        assert!(svg.contains(">0<") || svg.contains(">0.00<") || svg.contains(">0</text>"));
+        assert!(svg.contains("1.0"));
+    }
+
+    #[test]
+    fn nice_ticks_cover_the_range() {
+        let t = ticks(-1.5, 1.0, 8);
+        assert!(t.first().unwrap() >= &-1.5);
+        assert!(t.last().unwrap() <= &(1.0 + 1e-9));
+        assert!(t.len() >= 4, "{t:?}");
+        // Steps are uniform.
+        let step = t[1] - t[0];
+        for w in t.windows(2) {
+            assert!((w[1] - w[0] - step).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn nice_step_values() {
+        assert_eq!(nice_step(1.0, 5), 0.2);
+        assert_eq!(nice_step(10.0, 5), 2.0);
+        assert_eq!(nice_step(2.5, 5), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty series")]
+    fn empty_series_rejected() {
+        let s = Series::new("t", "x", "y", Vec::new());
+        render_series(&s, &SvgOptions::default());
+    }
+}

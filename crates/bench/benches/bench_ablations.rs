@@ -1,0 +1,113 @@
+//! Ablation benches for the design choices DESIGN.md calls out: the DRM
+//! victim-selection rule, the assignment policy, the hand-off latency
+//! model, and the spare-bandwidth scheduler. Criterion reports the *time*
+//! cost; each bench also asserts once that the variant is functional
+//! (produces a sane utilization) so a silently broken variant cannot
+//! "win" by doing nothing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sct_admission::{AssignmentPolicy, MigrationPolicy, VictimSelection};
+use sct_core::config::SimConfig;
+use sct_core::simulation::Simulation;
+use sct_transmission::SchedulerKind;
+use sct_workload::SystemSpec;
+use std::hint::black_box;
+
+fn base() -> sct_core::config::SimConfigBuilder {
+    SimConfig::builder(SystemSpec::small_paper())
+        .duration_hours(1.0)
+        .warmup_hours(0.0)
+        .theta(0.271)
+        .staging_fraction(0.2)
+        .seed(11)
+}
+
+fn ablation_victim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_victim");
+    group.sample_size(10);
+    for victim in [
+        VictimSelection::MostStaged,
+        VictimSelection::FirstFeasible,
+        VictimSelection::EarliestFinish,
+        VictimSelection::Random,
+    ] {
+        let cfg = base()
+            .migration(MigrationPolicy {
+                handoff_latency_secs: 0.0,
+                victim_selection: victim,
+                ..MigrationPolicy::single_hop()
+            })
+            .build();
+        let probe = Simulation::run(&cfg);
+        assert!(probe.utilization > 0.5, "{victim:?} is broken");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(victim.name()),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(Simulation::run(cfg))),
+        );
+    }
+    group.finish();
+}
+
+fn ablation_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_assignment");
+    group.sample_size(10);
+    for assignment in [
+        AssignmentPolicy::LeastLoaded,
+        AssignmentPolicy::Random,
+        AssignmentPolicy::FirstFit,
+        AssignmentPolicy::MostLoaded,
+    ] {
+        let cfg = base().assignment(assignment).build();
+        let probe = Simulation::run(&cfg);
+        assert!(probe.utilization > 0.4, "{assignment:?} is broken");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(assignment.name()),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(Simulation::run(cfg))),
+        );
+    }
+    group.finish();
+}
+
+fn ablation_handoff(c: &mut Criterion) {
+    // Our realistic extension: non-zero hand-off latency gates migration
+    // on staged data. Latency 0 is the paper's idealisation.
+    let mut group = c.benchmark_group("ablation_handoff");
+    group.sample_size(10);
+    for latency in [0.0f64, 1.0, 5.0, 30.0] {
+        let cfg = base()
+            .migration(MigrationPolicy {
+                handoff_latency_secs: latency,
+                ..MigrationPolicy::single_hop()
+            })
+            .build();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{latency}s")),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(Simulation::run(cfg))),
+        );
+    }
+    group.finish();
+}
+
+fn ablation_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_scheduler");
+    group.sample_size(10);
+    for kind in SchedulerKind::ALL {
+        let cfg = base().scheduler(kind).build();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &cfg, |b, cfg| {
+            b.iter(|| black_box(Simulation::run(cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_victim,
+    ablation_assignment,
+    ablation_handoff,
+    ablation_scheduler
+);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Microbenchmarks of the hot path: EFTF allocation and the per-server
+//! engine event cycle. These bound the simulator's events/second and, by
+//! extension, how cheaply the paper's 5 × 1000 h protocol reruns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sct_cluster::ServerId;
+use sct_media::{ClientProfile, VideoId};
+use sct_simcore::{Rng, SimTime};
+use sct_transmission::{allocate, SchedulerKind, ServerEngine, Stream, StreamId};
+use std::hint::black_box;
+
+fn mk_streams(n: usize, rng: &mut Rng) -> Vec<Stream> {
+    let mut streams: Vec<Stream> = (0..n)
+        .map(|i| {
+            let size = rng.range_f64(600.0, 5400.0);
+            Stream::new(
+                StreamId(i as u64),
+                VideoId(i as u32),
+                size,
+                3.0,
+                ClientProfile::new(720.0, 30.0),
+                SimTime::ZERO,
+            )
+        })
+        .collect();
+    // Grant the base rate, then advance each stream a random amount so
+    // projected finishes differ (as they would mid-simulation).
+    allocate(
+        SchedulerKind::NoWorkahead,
+        n as f64 * 3.0,
+        SimTime::ZERO,
+        &mut streams,
+    );
+    for s in &mut streams {
+        s.advance_to(SimTime::from_secs(rng.range_f64(0.0, 100.0)));
+    }
+    streams
+}
+
+fn bench_allocate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocate");
+    for &n in &[10usize, 33, 100, 330] {
+        let mut rng = Rng::new(n as u64);
+        let streams = mk_streams(n, &mut rng);
+        let capacity = n as f64 * 3.0 + 60.0; // some spare to distribute
+        for kind in [SchedulerKind::Eftf, SchedulerKind::ProportionalShare] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), n),
+                &streams,
+                |b, streams| {
+                    b.iter_batched(
+                        || streams.clone(),
+                        |mut s| {
+                            allocate(kind, capacity, SimTime::from_secs(100.0), black_box(&mut s))
+                        },
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_engine_cycle(c: &mut Criterion) {
+    // Admit a full server's worth of streams and run the engine to empty —
+    // the complete per-stream lifecycle (admit, buffer-full, completion).
+    let mut group = c.benchmark_group("engine_drain");
+    for &slots in &[33usize, 100] {
+        group.bench_with_input(BenchmarkId::new("slots", slots), &slots, |b, &slots| {
+            b.iter(|| {
+                let mut engine =
+                    ServerEngine::new(ServerId(0), slots as f64 * 3.0, SchedulerKind::Eftf);
+                let mut rng = Rng::new(7);
+                let t0 = SimTime::ZERO;
+                for i in 0..slots {
+                    let size = rng.range_f64(600.0, 5400.0);
+                    engine.admit(
+                        Stream::new(
+                            StreamId(i as u64),
+                            VideoId(i as u32),
+                            size,
+                            3.0,
+                            ClientProfile::new(720.0, 30.0),
+                            t0,
+                        ),
+                        t0,
+                    );
+                }
+                let mut clock = t0;
+                while let Some((when, _)) = engine.next_event_after(clock) {
+                    engine.advance_to(when);
+                    engine.reap_finished(when);
+                    engine.reschedule(when);
+                    clock = when;
+                }
+                black_box(engine.transmitted_mb())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocate, bench_engine_cycle);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! One benchmark per paper figure: each measures the cost of a single
+//! scaled-down data point of that figure's sweep, so `cargo bench`
+//! exercises exactly the code paths the figure-regeneration harness uses.
+//! (The figures themselves are produced by the `figures` binary; see
+//! EXPERIMENTS.md.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sct_admission::MigrationPolicy;
+use sct_core::config::{SimConfig, StagingSpec};
+use sct_core::policies::Policy;
+use sct_core::simulation::Simulation;
+use sct_workload::{HeterogeneityKind, SystemSpec};
+use std::hint::black_box;
+
+const HOURS: f64 = 1.0;
+
+fn base(system: SystemSpec) -> sct_core::config::SimConfigBuilder {
+    SimConfig::builder(system)
+        .duration_hours(HOURS)
+        .warmup_hours(0.0)
+        .theta(0.271)
+        .seed(3)
+}
+
+/// Fig. 4 — a no-migration point vs a single-hop-DRM point.
+fn fig4_drm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_drm_point");
+    group.sample_size(10);
+    let variants = [
+        ("no_migration", MigrationPolicy::disabled()),
+        (
+            "hops_1",
+            MigrationPolicy {
+                handoff_latency_secs: 0.0,
+                ..MigrationPolicy::single_hop()
+            },
+        ),
+    ];
+    for (name, migration) in variants {
+        let cfg = base(SystemSpec::small_paper())
+            .staging(StagingSpec::AbsoluteMb(0.0))
+            .migration(migration)
+            .build();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(Simulation::run(cfg)))
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 5 — a data point per staging level.
+fn fig5_staging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_staging_point");
+    group.sample_size(10);
+    for fraction in [0.0, 0.2, 1.0] {
+        let cfg = base(SystemSpec::small_paper())
+            .staging_fraction(fraction)
+            .build();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}pct", (fraction * 100.0) as u32)),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(Simulation::run(cfg))),
+        );
+    }
+    group.finish();
+}
+
+/// Fig. 7 — a data point per policy-table row.
+fn fig7_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_policy_point");
+    group.sample_size(10);
+    for policy in Policy::ALL {
+        let cfg = base(SystemSpec::small_paper()).policy(policy).build();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(Simulation::run(cfg))),
+        );
+    }
+    group.finish();
+}
+
+/// SVBR (E5) — single-server points at two sizes.
+fn svbr_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svbr_point");
+    group.sample_size(10);
+    for k in [10usize, 100] {
+        let system = SystemSpec {
+            name: format!("svbr-{k}"),
+            n_servers: 1,
+            server_bandwidth_mbps: k as f64 * 3.0,
+            server_disk_gb: 10_000.0,
+            n_videos: 50,
+            video_length_secs: (600.0, 1800.0),
+            view_rate_mbps: 3.0,
+            client_receive_cap_mbps: 30.0,
+            avg_copies: 1.0,
+        };
+        let cfg = base(system)
+            .staging(StagingSpec::AbsoluteMb(0.0))
+            .build();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &cfg, |b, cfg| {
+            b.iter(|| black_box(Simulation::run(cfg)))
+        });
+    }
+    group.finish();
+}
+
+/// Heterogeneity (E6) — a bandwidth-spread point.
+fn heterogeneity_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("het_point");
+    group.sample_size(10);
+    for spread in [0.0, 0.6] {
+        let mut b = base(SystemSpec::large_paper().with_servers(10))
+            .policy(Policy::P4);
+        if spread > 0.0 {
+            b = b.heterogeneity(HeterogeneityKind::Bandwidth, spread);
+        }
+        let cfg = b.build();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("spread_{}", (spread * 100.0) as u32)),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(Simulation::run(cfg))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fig4_drm,
+    fig5_staging,
+    fig7_policies,
+    svbr_point,
+    heterogeneity_point
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Whole-trial throughput: how fast one simulated hour runs on each paper
+//! system. This is the number that decides whether the `--paper` protocol
+//! (5 × 1000 h per data point) is an overnight job or a coffee break.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sct_core::config::SimConfig;
+use sct_core::policies::Policy;
+use sct_core::simulation::Simulation;
+use sct_workload::SystemSpec;
+use std::hint::black_box;
+
+fn bench_trials(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_2h");
+    group.sample_size(10);
+    let systems = [
+        ("tiny", SystemSpec::tiny_test()),
+        ("small", SystemSpec::small_paper()),
+        ("large", SystemSpec::large_paper()),
+    ];
+    for (name, spec) in systems {
+        let cfg = SimConfig::builder(spec)
+            .policy(Policy::P4)
+            .theta(0.271)
+            .duration_hours(2.0)
+            .warmup_hours(0.0)
+            .seed(1)
+            .build();
+        group.bench_with_input(BenchmarkId::new("P4", name), &cfg, |b, cfg| {
+            b.iter(|| black_box(Simulation::run(cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_policy_cost(c: &mut Criterion) {
+    // P1 (no staging, no migration) versus P8 (everything on): how much
+    // simulation time the mechanisms themselves cost.
+    let mut group = c.benchmark_group("policy_overhead_small_2h");
+    group.sample_size(10);
+    for policy in [Policy::P1, Policy::P4, Policy::P8] {
+        let cfg = SimConfig::builder(SystemSpec::small_paper())
+            .policy(policy)
+            .duration_hours(2.0)
+            .warmup_hours(0.0)
+            .seed(2)
+            .build();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(Simulation::run(cfg))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trials, bench_policy_cost);
+criterion_main!(benches);

@@ -1,0 +1,248 @@
+//! Regenerates every table and figure of the paper (plus the tech-report
+//! extensions) and writes markdown + JSON into `results/`.
+//!
+//! ```text
+//! cargo run --release -p sct-bench --bin figures -- all --standard
+//! cargo run --release -p sct-bench --bin figures -- fig4 fig5 --quick
+//! cargo run --release -p sct-bench --bin figures -- fig7 --paper   # 5 × 1000 h
+//! ```
+//!
+//! Experiments: fig3 fig4 fig5 fig6 fig7 svbr het partial sweep ablation
+//! faults pauses.
+
+use sct_bench::{save_series, sparkline};
+use sct_core::experiments::{self, ExpOptions};
+use sct_workload::{HeterogeneityKind, SystemSpec};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = ExpOptions::standard();
+    let mut fidelity = "standard";
+    let mut wanted: Vec<String> = Vec::new();
+    let mut out_dir = PathBuf::from("results");
+    let mut iter = args.iter().peekable();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--quick" => {
+                opts = ExpOptions::quick();
+                fidelity = "quick";
+            }
+            "--standard" => {
+                opts = ExpOptions::standard();
+                fidelity = "standard";
+            }
+            "--paper" => {
+                opts = ExpOptions::paper();
+                fidelity = "paper";
+            }
+            "--out" => {
+                out_dir = PathBuf::from(iter.next().expect("--out needs a path"));
+            }
+            "--trials" => {
+                opts.trials = iter
+                    .next()
+                    .expect("--trials needs a count")
+                    .parse()
+                    .expect("--trials must be an integer");
+            }
+            "--hours" => {
+                opts.duration_hours = iter
+                    .next()
+                    .expect("--hours needs a number")
+                    .parse()
+                    .expect("--hours must be a number");
+            }
+            "all" => wanted.extend(
+                ["fig3", "fig4", "fig5", "fig6", "fig7", "svbr", "het", "partial", "sweep", "ablation", "faults", "pauses", "repl", "smoothing", "rejections", "waitlist", "chains", "diurnal"]
+                    .iter()
+                    .map(|s| s.to_string()),
+            ),
+            other if other.starts_with('-') => panic!("unknown flag {other}"),
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        eprintln!(
+            "usage: figures [all|fig3|fig4|fig5|fig6|fig7|svbr|het|partial|sweep|ablation]... \
+             [--quick|--standard|--paper] [--trials N] [--hours H] [--out DIR]\n\
+             (also: faults pauses repl smoothing rejections waitlist chains diurnal)"
+        );
+        std::process::exit(2);
+    }
+    wanted.dedup();
+
+    println!(
+        "# Semi-continuous transmission — figure regeneration ({fidelity}: {} trials × {} h)\n",
+        opts.trials, opts.duration_hours
+    );
+    let small = SystemSpec::small_paper();
+    let large = SystemSpec::large_paper();
+
+    for exp in &wanted {
+        let t0 = Instant::now();
+        match exp.as_str() {
+            "fig3" => {
+                let t = experiments::fig3_table();
+                std::fs::create_dir_all(&out_dir).unwrap();
+                std::fs::write(out_dir.join("fig3.md"), t.to_markdown()).unwrap();
+                println!("## Fig. 3 — system parameters\n\n{}", t.to_text());
+            }
+            "fig6" => {
+                let t = experiments::fig6_table();
+                std::fs::create_dir_all(&out_dir).unwrap();
+                std::fs::write(out_dir.join("fig6.md"), t.to_markdown()).unwrap();
+                println!("## Fig. 6 — policies evaluated\n\n{}", t.to_text());
+            }
+            "fig4" => {
+                for (sys, tag) in [(&large, "large"), (&small, "small")] {
+                    let s = experiments::fig4(sys, &opts);
+                    let md = save_series(&out_dir, &format!("fig4_{tag}"), &s).unwrap();
+                    println!("{md}");
+                    println!("{}", sparkline(&s, 0.5, 1.0));
+                }
+            }
+            "fig5" => {
+                for (sys, tag) in [(&large, "large"), (&small, "small")] {
+                    let s = experiments::fig5(sys, &opts);
+                    let md = save_series(&out_dir, &format!("fig5_{tag}"), &s).unwrap();
+                    println!("{md}");
+                    println!("{}", sparkline(&s, 0.5, 1.0));
+                }
+            }
+            "fig7" => {
+                for (sys, tag) in [(&large, "large"), (&small, "small")] {
+                    let s = experiments::fig7(sys, &opts);
+                    let md = save_series(&out_dir, &format!("fig7_{tag}"), &s).unwrap();
+                    println!("{md}");
+                    println!("{}", sparkline(&s, 0.5, 1.0));
+                }
+            }
+            "svbr" => {
+                let s = experiments::svbr(&opts);
+                let md = save_series(&out_dir, "svbr", &s).unwrap();
+                println!("{md}");
+                println!("{}", sparkline(&s, 0.5, 1.0));
+            }
+            "het" => {
+                for kind in [HeterogeneityKind::Bandwidth, HeterogeneityKind::Storage] {
+                    let s = experiments::heterogeneity(kind, &opts);
+                    let tag = format!("het_{kind:?}").to_lowercase();
+                    let md = save_series(&out_dir, &tag, &s).unwrap();
+                    println!("{md}");
+                    println!("{}", sparkline(&s, 0.5, 1.0));
+                }
+            }
+            "partial" => {
+                for (sys, tag) in [(&large, "large"), (&small, "small")] {
+                    let s = experiments::partial_predictive(sys, &opts);
+                    let md = save_series(&out_dir, &format!("partial_{tag}"), &s).unwrap();
+                    println!("{md}");
+                    println!("{}", sparkline(&s, 0.5, 1.0));
+                }
+            }
+            "sweep" => {
+                for (sys, tag) in [(&large, "large"), (&small, "small")] {
+                    let s = experiments::staging_sweep(sys, &opts);
+                    let md = save_series(&out_dir, &format!("sweep_{tag}"), &s).unwrap();
+                    println!("{md}");
+                    println!("{}", sparkline(&s, 0.5, 1.0));
+                }
+            }
+            "faults" => {
+                for (sys, tag) in [(&small, "small"), (&large, "large")] {
+                    let s = experiments::fault_tolerance(sys, &opts);
+                    let md = save_series(&out_dir, &format!("faults_{tag}"), &s).unwrap();
+                    println!("{md}");
+                    println!("{}", sparkline(&s, 0.0, 1.0));
+                }
+            }
+            "pauses" => {
+                for (sys, tag) in [(&small, "small"), (&large, "large")] {
+                    let s = experiments::interactivity(sys, &opts);
+                    let md = save_series(&out_dir, &format!("pauses_{tag}"), &s).unwrap();
+                    println!("{md}");
+                    println!("{}", sparkline(&s, 0.5, 1.0));
+                }
+            }
+            "repl" => {
+                for (sys, tag) in [(&small, "small"), (&large, "large")] {
+                    let s = experiments::replication_vs_drm(sys, &opts);
+                    let md = save_series(&out_dir, &format!("repl_{tag}"), &s).unwrap();
+                    println!("{md}");
+                    println!("{}", sparkline(&s, 0.3, 1.0));
+                }
+            }
+            "smoothing" => {
+                let s = experiments::smoothing(&small, &opts);
+                let md = save_series(&out_dir, "smoothing_small", &s).unwrap();
+                println!("{md}");
+                println!("{}", sparkline(&s, 0.5, 1.0));
+            }
+            "rejections" => {
+                for (sys, tag) in [(&small, "small"), (&large, "large")] {
+                    let t = experiments::rejection_profile(sys, &opts);
+                    std::fs::create_dir_all(&out_dir).unwrap();
+                    std::fs::write(out_dir.join(format!("rejections_{tag}.md")), t.to_markdown())
+                        .unwrap();
+                    println!("## Rejection profile ({tag})\n\n{}", t.to_text());
+                }
+            }
+            "waitlist" => {
+                for (sys, tag) in [(&small, "small"), (&large, "large")] {
+                    let s = experiments::waitlist(sys, &opts);
+                    let md = save_series(&out_dir, &format!("waitlist_{tag}"), &s).unwrap();
+                    println!("{md}");
+                    println!("{}", sparkline(&s, 0.0, 1.0));
+                }
+            }
+            "chains" => {
+                for (sys, tag) in [(&small, "small"), (&large, "large")] {
+                    let s = experiments::migration_depth(sys, &opts);
+                    let md = save_series(&out_dir, &format!("chains_{tag}"), &s).unwrap();
+                    println!("{md}");
+                    println!("{}", sparkline(&s, 0.5, 1.0));
+                }
+            }
+            "diurnal" => {
+                for (sys, tag) in [(&small, "small"), (&large, "large")] {
+                    let s = experiments::diurnal(sys, &opts);
+                    let md = save_series(&out_dir, &format!("diurnal_{tag}"), &s).unwrap();
+                    println!("{md}");
+                    println!("{}", sparkline(&s, 0.5, 1.0));
+                }
+            }
+            "render" => {
+                // Re-render SVGs from every saved series JSON in --out,
+                // without re-running any simulation.
+                let mut n = 0;
+                for entry in std::fs::read_dir(&out_dir).expect("results dir") {
+                    let path = entry.expect("dir entry").path();
+                    if path.extension().and_then(|e| e.to_str()) == Some("json") {
+                        let text = std::fs::read_to_string(&path).unwrap();
+                        if let Ok(series) = sct_analysis::Series::from_json(&text) {
+                            let svg = sct_analysis::svg::render_series(
+                                &series,
+                                &sct_analysis::svg::SvgOptions::default(),
+                            );
+                            std::fs::write(path.with_extension("svg"), svg).unwrap();
+                            n += 1;
+                        }
+                    }
+                }
+                println!("rendered {n} SVGs in {}", out_dir.display());
+            }
+            "ablation" => {
+                for (sys, tag) in [(&small, "small"), (&large, "large")] {
+                    let s = experiments::scheduler_ablation(sys, &opts);
+                    let md = save_series(&out_dir, &format!("ablation_{tag}"), &s).unwrap();
+                    println!("{md}");
+                    println!("{}", sparkline(&s, 0.5, 1.0));
+                }
+            }
+            other => eprintln!("skipping unknown experiment: {other}"),
+        }
+        eprintln!("[{exp} done in {:.1?}]", t0.elapsed());
+    }
+}

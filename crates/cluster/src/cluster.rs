@@ -1,0 +1,184 @@
+//! Cluster specifications: homogeneous and heterogeneous builders.
+//!
+//! The heterogeneity study (§4.6) compares clusters that differ in how a
+//! fixed *total* of bandwidth (or storage) is spread across servers: a
+//! homogeneous split versus increasingly uneven splits. Keeping the totals
+//! fixed isolates the effect of imbalance from the effect of capacity.
+
+use crate::server::{ServerId, ServerSpec};
+use sct_simcore::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The static description of a server cluster.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    servers: Vec<ServerSpec>,
+}
+
+impl ClusterSpec {
+    /// Builds a cluster from explicit per-server specs.
+    pub fn from_servers(servers: Vec<ServerSpec>) -> Self {
+        assert!(!servers.is_empty(), "cluster must have at least one server");
+        assert!(
+            servers.len() <= u16::MAX as usize,
+            "too many servers for ServerId"
+        );
+        ClusterSpec { servers }
+    }
+
+    /// A homogeneous cluster of `n` identical servers.
+    pub fn homogeneous(n: usize, bandwidth_mbps: f64, disk_gb: f64) -> Self {
+        assert!(n > 0, "cluster must have at least one server");
+        Self::from_servers(vec![ServerSpec::new(bandwidth_mbps, disk_gb); n])
+    }
+
+    /// A cluster with **bandwidth heterogeneity**: per-server bandwidths
+    /// drawn uniformly from `mean × [1-spread, 1+spread]`, then rescaled so
+    /// the total equals `n × mean` exactly. Disk is homogeneous.
+    ///
+    /// `spread = 0` reduces to [`ClusterSpec::homogeneous`]; `spread` must
+    /// be in `[0, 1)` so every server keeps positive bandwidth.
+    pub fn bandwidth_heterogeneous(
+        n: usize,
+        mean_bandwidth_mbps: f64,
+        disk_gb: f64,
+        spread: f64,
+        rng: &mut Rng,
+    ) -> Self {
+        assert!((0.0..1.0).contains(&spread), "spread must be in [0, 1)");
+        let raw: Vec<f64> = (0..n)
+            .map(|_| mean_bandwidth_mbps * rng.range_f64(1.0 - spread, 1.0 + spread))
+            .collect();
+        let scale = mean_bandwidth_mbps * n as f64 / raw.iter().sum::<f64>();
+        Self::from_servers(
+            raw.into_iter()
+                .map(|b| ServerSpec::new(b * scale, disk_gb))
+                .collect(),
+        )
+    }
+
+    /// A cluster with **storage heterogeneity**: per-server disk drawn
+    /// uniformly from `mean × [1-spread, 1+spread]`, rescaled to a fixed
+    /// total. Bandwidth is homogeneous.
+    pub fn storage_heterogeneous(
+        n: usize,
+        bandwidth_mbps: f64,
+        mean_disk_gb: f64,
+        spread: f64,
+        rng: &mut Rng,
+    ) -> Self {
+        assert!((0.0..1.0).contains(&spread), "spread must be in [0, 1)");
+        let raw: Vec<f64> = (0..n)
+            .map(|_| mean_disk_gb * rng.range_f64(1.0 - spread, 1.0 + spread))
+            .collect();
+        let scale = mean_disk_gb * n as f64 / raw.iter().sum::<f64>();
+        Self::from_servers(
+            raw.into_iter()
+                .map(|d| ServerSpec::new(bandwidth_mbps, d * scale))
+                .collect(),
+        )
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// `true` if the cluster has no servers (cannot happen via constructors).
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// The spec of one server.
+    #[inline]
+    pub fn server(&self, id: ServerId) -> &ServerSpec {
+        &self.servers[id.index()]
+    }
+
+    /// All server specs in id order.
+    pub fn servers(&self) -> &[ServerSpec] {
+        &self.servers
+    }
+
+    /// Iterator over server ids.
+    pub fn ids(&self) -> impl Iterator<Item = ServerId> + '_ {
+        (0..self.servers.len() as u16).map(ServerId)
+    }
+
+    /// Aggregate outbound bandwidth in Mb/s — the denominator of the
+    /// paper's utilization metric and of the 100 %-load calibration.
+    pub fn total_bandwidth_mbps(&self) -> f64 {
+        self.servers.iter().map(|s| s.bandwidth_mbps).sum()
+    }
+
+    /// Aggregate disk capacity in megabits.
+    pub fn total_disk_mb(&self) -> f64 {
+        self.servers.iter().map(|s| s.disk_capacity_mb).sum()
+    }
+
+    /// Total stream slots at a given view rate (Σ per-server SVBR).
+    pub fn total_slots(&self, view_rate_mbps: f64) -> usize {
+        self.servers.iter().map(|s| s.svbr(view_rate_mbps)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_basics() {
+        let c = ClusterSpec::homogeneous(5, 100.0, 100.0);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.total_bandwidth_mbps(), 500.0);
+        assert_eq!(c.total_slots(3.0), 5 * 33);
+        assert_eq!(c.server(ServerId(4)).bandwidth_mbps, 100.0);
+        assert_eq!(c.ids().count(), 5);
+    }
+
+    #[test]
+    fn bandwidth_heterogeneous_preserves_total() {
+        let mut rng = Rng::new(5);
+        let c = ClusterSpec::bandwidth_heterogeneous(10, 300.0, 50.0, 0.5, &mut rng);
+        assert!((c.total_bandwidth_mbps() - 3000.0).abs() < 1e-6);
+        // All servers positive and actually spread out.
+        let min = c
+            .servers()
+            .iter()
+            .map(|s| s.bandwidth_mbps)
+            .fold(f64::INFINITY, f64::min);
+        let max = c
+            .servers()
+            .iter()
+            .map(|s| s.bandwidth_mbps)
+            .fold(0.0, f64::max);
+        assert!(min > 0.0);
+        assert!(max - min > 30.0, "spread should produce real variation");
+        // Disk untouched.
+        assert!(c.servers().iter().all(|s| s.disk_capacity_mb == 400_000.0));
+    }
+
+    #[test]
+    fn storage_heterogeneous_preserves_total() {
+        let mut rng = Rng::new(6);
+        let c = ClusterSpec::storage_heterogeneous(8, 100.0, 100.0, 0.4, &mut rng);
+        assert!((c.total_disk_mb() - 8.0 * 800_000.0).abs() < 1e-3);
+        assert!(c.servers().iter().all(|s| s.bandwidth_mbps == 100.0));
+    }
+
+    #[test]
+    fn zero_spread_equals_homogeneous() {
+        let mut rng = Rng::new(7);
+        let het = ClusterSpec::bandwidth_heterogeneous(4, 100.0, 10.0, 0.0, &mut rng);
+        let hom = ClusterSpec::homogeneous(4, 100.0, 10.0);
+        for (a, b) in het.servers().iter().zip(hom.servers()) {
+            assert!((a.bandwidth_mbps - b.bandwidth_mbps).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn rejects_empty_cluster() {
+        ClusterSpec::from_servers(Vec::new());
+    }
+}

@@ -1,0 +1,646 @@
+//! Video placement strategies and the replica map.
+//!
+//! "A video placement strategy must be devised. The placement strategy
+//! decides when, where and how many replicas of a video object will need to
+//! be created" (§2). This reproduction, like the paper, performs **static**
+//! placement before any request arrives (§4.1):
+//!
+//! 1. decide how many copies each video gets ([`PlacementStrategy`]),
+//! 2. place each video's copies on a random subset of servers, subject to
+//!    disk capacity and one-copy-per-server.
+//!
+//! The three strategies (§3.2, §4.4):
+//!
+//! * [`PlacementStrategy::Even`] — every video gets the same number of
+//!   copies (rounding distributed at random). Completely oblivious to
+//!   popularity.
+//! * [`PlacementStrategy::Predictive`] — copies proportional to (perfectly
+//!   predicted) popularity, at least one copy each.
+//! * [`PlacementStrategy::PartialPredictive`] — even allocation plus a few
+//!   extra copies of the most popular videos; models *partial* knowledge
+//!   ("it is only necessary to identify the ones that are likely to be more
+//!   popular", §4.4).
+
+use crate::cluster::ClusterSpec;
+use crate::server::ServerId;
+use sct_media::{Catalog, VideoId};
+use sct_simcore::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How many replicas each video receives.
+///
+/// ```
+/// use sct_cluster::{ClusterSpec, PlacementStrategy};
+/// use sct_media::Catalog;
+/// use sct_simcore::Rng;
+/// let mut rng = Rng::new(7);
+/// let catalog = Catalog::uniform_lengths(10, 600.0, 1800.0, 3.0, &mut rng);
+/// let cluster = ClusterSpec::homogeneous(4, 100.0, 100.0);
+/// let map = PlacementStrategy::even_paper()
+///     .place(&catalog, &cluster, &[0.1; 10], &mut rng);
+/// assert_eq!(map.total_copies(), 22);       // 2.2 copies × 10 videos
+/// map.validate(&catalog, &cluster);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PlacementStrategy {
+    /// The same number of copies for every video; rounding of
+    /// `avg_copies × n_videos` is assigned to random videos.
+    Even {
+        /// Average copies per video (the paper uses ≈ 2.2).
+        avg_copies: f64,
+    },
+    /// Copies proportional to predicted popularity (the workload's true
+    /// Zipf probabilities — the paper assumes *perfect* prediction), with
+    /// at least one copy per video.
+    Predictive {
+        /// Average copies per video; the copy budget is
+        /// `round(avg_copies × n_videos)`, apportioned by popularity.
+        avg_copies: f64,
+    },
+    /// Even allocation plus `extra_per_top` additional copies for the most
+    /// popular `top_fraction` of videos.
+    PartialPredictive {
+        /// Average copies per video for the even base.
+        avg_copies: f64,
+        /// Fraction of the catalog (by popularity rank) that gets extras.
+        top_fraction: f64,
+        /// Extra copies per boosted video.
+        extra_per_top: u32,
+    },
+}
+
+impl PlacementStrategy {
+    /// The paper's default even allocation (≈ 2.2 copies per video).
+    pub fn even_paper() -> Self {
+        PlacementStrategy::Even { avg_copies: 2.2 }
+    }
+
+    /// The paper's default predictive allocation with the same copy budget
+    /// as [`PlacementStrategy::even_paper`].
+    pub fn predictive_paper() -> Self {
+        PlacementStrategy::Predictive { avg_copies: 2.2 }
+    }
+
+    /// The paper's "mildly skewed" partial predictive scheme: even base
+    /// plus 2 extra copies for the top 10 % of videos.
+    pub fn partial_predictive_paper() -> Self {
+        PlacementStrategy::PartialPredictive {
+            avg_copies: 2.2,
+            top_fraction: 0.1,
+            extra_per_top: 2,
+        }
+    }
+
+    /// Computes the target number of copies per video (before disk
+    /// feasibility). `popularity[i]` is the request probability of video
+    /// `i`; only the predictive variants read it.
+    ///
+    /// Every video gets at least one copy and at most `n_servers` copies.
+    pub fn copy_targets(
+        &self,
+        n_videos: usize,
+        n_servers: usize,
+        popularity: &[f64],
+        rng: &mut Rng,
+    ) -> Vec<u32> {
+        assert!(n_videos > 0 && n_servers > 0);
+        assert_eq!(
+            popularity.len(),
+            n_videos,
+            "popularity vector must cover the catalog"
+        );
+        let cap = n_servers as u32;
+        match *self {
+            PlacementStrategy::Even { avg_copies } => {
+                even_targets(n_videos, avg_copies, cap, rng)
+            }
+            PlacementStrategy::Predictive { avg_copies } => {
+                let budget = (avg_copies * n_videos as f64).round() as u64;
+                proportional_targets(popularity, budget, cap)
+            }
+            PlacementStrategy::PartialPredictive {
+                avg_copies,
+                top_fraction,
+                extra_per_top,
+            } => {
+                let mut targets = even_targets(n_videos, avg_copies, cap, rng);
+                let top_k = ((top_fraction * n_videos as f64).ceil() as usize).min(n_videos);
+                // Video ids double as popularity ranks, so "the most
+                // popular videos" are simply ids 0..top_k.
+                for t in targets.iter_mut().take(top_k) {
+                    *t = (*t + extra_per_top).min(cap);
+                }
+                targets
+            }
+        }
+    }
+
+    /// Runs the full placement: copy targets, then random server selection
+    /// under disk constraints.
+    pub fn place(
+        &self,
+        catalog: &Catalog,
+        cluster: &ClusterSpec,
+        popularity: &[f64],
+        rng: &mut Rng,
+    ) -> ReplicaMap {
+        let targets = self.copy_targets(catalog.len(), cluster.len(), popularity, rng);
+        ReplicaMap::place_randomly(catalog, cluster, &targets, rng)
+    }
+}
+
+/// Even allocation targets: `round(avg × n)` copies total, spread as evenly
+/// as possible, the remainder going to a random subset of videos
+/// ("with rounding done at random", §3.2).
+fn even_targets(n_videos: usize, avg_copies: f64, cap: u32, rng: &mut Rng) -> Vec<u32> {
+    assert!(avg_copies > 0.0, "avg_copies must be positive");
+    let total = (avg_copies * n_videos as f64).round() as u64;
+    let total = total.max(n_videos as u64); // at least one each
+    let base = (total / n_videos as u64) as u32;
+    let remainder = (total % n_videos as u64) as usize;
+    let mut targets = vec![base.clamp(1, cap); n_videos];
+    for idx in rng.sample_indices(n_videos, remainder) {
+        targets[idx] = (targets[idx] + 1).min(cap);
+    }
+    targets
+}
+
+/// Largest-remainder apportionment of `budget` copies by popularity, with a
+/// floor of one copy and a ceiling of `cap` copies per video.
+fn proportional_targets(popularity: &[f64], budget: u64, cap: u32) -> Vec<u32> {
+    let n = popularity.len();
+    let budget = budget.max(n as u64);
+    let total_p: f64 = popularity.iter().sum();
+    assert!(total_p > 0.0, "popularity must have positive mass");
+
+    // Ideal (real-valued) shares.
+    let ideal: Vec<f64> = popularity
+        .iter()
+        .map(|p| p / total_p * budget as f64)
+        .collect();
+    let mut targets: Vec<u32> = ideal
+        .iter()
+        .map(|&x| (x.floor() as u32).clamp(1, cap))
+        .collect();
+
+    // Distribute what's left of the budget by largest fractional part,
+    // skipping videos already at the ceiling.
+    let assigned: u64 = targets.iter().map(|&t| t as u64).sum();
+    if assigned < budget {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let fa = ideal[a] - ideal[a].floor();
+            let fb = ideal[b] - ideal[b].floor();
+            fb.partial_cmp(&fa)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut left = budget - assigned;
+        // Repeatedly sweep the preference order until the budget is gone
+        // or every video is at the ceiling.
+        while left > 0 {
+            let mut progressed = false;
+            for &i in &order {
+                if left == 0 {
+                    break;
+                }
+                if targets[i] < cap {
+                    targets[i] += 1;
+                    left -= 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break; // every video at ceiling; surplus budget is unusable
+            }
+        }
+    }
+    targets
+}
+
+/// The static assignment of video replicas to servers.
+///
+/// Both directions are materialised: `holders(video)` drives admission
+/// (which servers can serve a request) and `videos_on(server)` drives
+/// migration search.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReplicaMap {
+    holders: Vec<Vec<ServerId>>,
+    videos_on: Vec<Vec<VideoId>>,
+    /// Disk megabits consumed on each server by the placement.
+    disk_used_mb: Vec<f64>,
+    /// Copies requested by the strategy that could not be placed for lack
+    /// of disk (0 under all paper configurations).
+    shortfall: u64,
+}
+
+impl ReplicaMap {
+    /// Builds a replica map from explicit holder lists (`holders[i]` = the
+    /// servers storing video `i`). Intended for tests and hand-crafted
+    /// scenarios; disk accounting is skipped (reported as zero).
+    pub fn from_holders(n_servers: usize, holders: Vec<Vec<ServerId>>) -> ReplicaMap {
+        let mut videos_on: Vec<Vec<VideoId>> = vec![Vec::new(); n_servers];
+        let mut holders = holders;
+        for (i, hs) in holders.iter_mut().enumerate() {
+            hs.sort_unstable();
+            for &s in hs.iter() {
+                assert!(s.index() < n_servers, "holder {s} out of range");
+                videos_on[s.index()].push(VideoId(i as u32));
+            }
+            let mut dedup = hs.clone();
+            dedup.dedup();
+            assert_eq!(dedup.len(), hs.len(), "duplicate holder for video {i}");
+        }
+        for list in &mut videos_on {
+            list.sort_unstable();
+        }
+        ReplicaMap {
+            holders,
+            videos_on,
+            disk_used_mb: vec![0.0; n_servers],
+            shortfall: 0,
+        }
+    }
+
+    /// Places `targets[i]` copies of video `i` on distinct random servers,
+    /// respecting disk capacity. Videos are processed in a random order so
+    /// that, under disk pressure, no rank is systematically favoured.
+    pub fn place_randomly(
+        catalog: &Catalog,
+        cluster: &ClusterSpec,
+        targets: &[u32],
+        rng: &mut Rng,
+    ) -> ReplicaMap {
+        assert_eq!(targets.len(), catalog.len());
+        let n_servers = cluster.len();
+        let mut holders: Vec<Vec<ServerId>> = vec![Vec::new(); catalog.len()];
+        let mut videos_on: Vec<Vec<VideoId>> = vec![Vec::new(); n_servers];
+        let mut free_mb: Vec<f64> = cluster
+            .servers()
+            .iter()
+            .map(|s| s.disk_capacity_mb)
+            .collect();
+        let mut shortfall = 0u64;
+
+        let mut order: Vec<usize> = (0..catalog.len()).collect();
+        rng.shuffle(&mut order);
+
+        for vid_idx in order {
+            let video = VideoId(vid_idx as u32);
+            let size = catalog.video(video).size_mb();
+            let want = targets[vid_idx].min(n_servers as u32);
+            // Feasible servers: enough free disk for one copy.
+            let mut feasible: Vec<u16> = (0..n_servers as u16)
+                .filter(|&s| free_mb[s as usize] >= size)
+                .collect();
+            rng.shuffle(&mut feasible);
+            let got = feasible.len().min(want as usize);
+            shortfall += (want as usize - got) as u64;
+            for &s in &feasible[..got] {
+                free_mb[s as usize] -= size;
+                holders[vid_idx].push(ServerId(s));
+                videos_on[s as usize].push(video);
+            }
+            holders[vid_idx].sort_unstable();
+        }
+        for list in &mut videos_on {
+            list.sort_unstable();
+        }
+        let disk_used_mb = cluster
+            .servers()
+            .iter()
+            .zip(&free_mb)
+            .map(|(s, &f)| s.disk_capacity_mb - f)
+            .collect();
+        ReplicaMap {
+            holders,
+            videos_on,
+            disk_used_mb,
+            shortfall,
+        }
+    }
+
+    /// The servers holding a replica of `video` (sorted by id).
+    #[inline]
+    pub fn holders(&self, video: VideoId) -> &[ServerId] {
+        &self.holders[video.index()]
+    }
+
+    /// Registers a new replica of `video` on `server` (dynamic replication
+    /// extension). `size_mb` is charged against the server's disk
+    /// bookkeeping. Panics if the server already holds the video.
+    pub fn add_replica(&mut self, video: VideoId, server: ServerId, size_mb: f64) {
+        let hs = &mut self.holders[video.index()];
+        match hs.binary_search(&server) {
+            Ok(_) => panic!("{server} already holds {video}"),
+            Err(pos) => hs.insert(pos, server),
+        }
+        let vs = &mut self.videos_on[server.index()];
+        match vs.binary_search(&video) {
+            Ok(_) => unreachable!("holder/videos_on out of sync"),
+            Err(pos) => vs.insert(pos, video),
+        }
+        self.disk_used_mb[server.index()] += size_mb;
+    }
+
+    /// Free disk on `server` given its capacity, per this map's
+    /// bookkeeping.
+    pub fn free_disk_mb(&self, server: ServerId, capacity_mb: f64) -> f64 {
+        (capacity_mb - self.disk_used_mb[server.index()]).max(0.0)
+    }
+
+    /// The videos stored on `server` (sorted by id).
+    #[inline]
+    pub fn videos_on(&self, server: ServerId) -> &[VideoId] {
+        &self.videos_on[server.index()]
+    }
+
+    /// `true` if `server` holds a replica of `video`.
+    pub fn holds(&self, server: ServerId, video: VideoId) -> bool {
+        self.holders(video).binary_search(&server).is_ok()
+    }
+
+    /// Number of videos tracked.
+    pub fn num_videos(&self) -> usize {
+        self.holders.len()
+    }
+
+    /// Number of servers tracked.
+    pub fn num_servers(&self) -> usize {
+        self.videos_on.len()
+    }
+
+    /// Total replicas placed.
+    pub fn total_copies(&self) -> u64 {
+        self.holders.iter().map(|h| h.len() as u64).sum()
+    }
+
+    /// Copy count of one video.
+    pub fn copies_of(&self, video: VideoId) -> usize {
+        self.holders(video).len()
+    }
+
+    /// Copies the strategy wanted but disk could not hold.
+    pub fn shortfall(&self) -> u64 {
+        self.shortfall
+    }
+
+    /// Disk used on each server, in megabits.
+    pub fn disk_used_mb(&self) -> &[f64] {
+        &self.disk_used_mb
+    }
+
+    /// Checks structural invariants against the catalog and cluster;
+    /// panics with a description on violation. Used by tests and debug
+    /// builds of the simulation.
+    pub fn validate(&self, catalog: &Catalog, cluster: &ClusterSpec) {
+        assert_eq!(self.num_videos(), catalog.len());
+        assert_eq!(self.num_servers(), cluster.len());
+        for (i, hs) in self.holders.iter().enumerate() {
+            let mut sorted = hs.clone();
+            sorted.dedup();
+            assert_eq!(sorted.len(), hs.len(), "video {i} has duplicate holders");
+            for &s in hs {
+                assert!(
+                    self.videos_on(s).binary_search(&VideoId(i as u32)).is_ok(),
+                    "holder lists inconsistent for video {i} / {s}"
+                );
+            }
+        }
+        for (s, used) in self.disk_used_mb.iter().enumerate() {
+            let cap = cluster.server(ServerId(s as u16)).disk_capacity_mb;
+            assert!(
+                *used <= cap + 1e-6,
+                "server {s} disk overcommitted: {used} > {cap}"
+            );
+            let recomputed: f64 = self.videos_on[s]
+                .iter()
+                .map(|&v| catalog.video(v).size_mb())
+                .sum();
+            assert!(
+                (recomputed - used).abs() < 1e-6,
+                "server {s} disk bookkeeping drifted"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_simcore::ZipfLike;
+
+    fn setup(n_videos: usize, n_servers: usize) -> (Catalog, ClusterSpec, Rng) {
+        let mut rng = Rng::new(42);
+        let catalog = Catalog::uniform_lengths(n_videos, 600.0, 1800.0, 3.0, &mut rng);
+        let cluster = ClusterSpec::homogeneous(n_servers, 100.0, 100.0);
+        (catalog, cluster, rng)
+    }
+
+    #[test]
+    fn even_targets_hit_budget_and_spread() {
+        let mut rng = Rng::new(1);
+        let t = even_targets(100, 2.2, 5, &mut rng);
+        let total: u64 = t.iter().map(|&x| x as u64).sum();
+        assert_eq!(total, 220);
+        assert!(t.iter().all(|&x| x == 2 || x == 3));
+        assert_eq!(t.iter().filter(|&&x| x == 3).count(), 20);
+    }
+
+    #[test]
+    fn even_targets_at_least_one_each() {
+        let mut rng = Rng::new(2);
+        let t = even_targets(10, 0.3, 5, &mut rng);
+        assert!(t.iter().all(|&x| x >= 1));
+    }
+
+    #[test]
+    fn proportional_targets_follow_popularity() {
+        let pops = ZipfLike::new(100, 0.0);
+        let t = proportional_targets(pops.probs(), 220, 20);
+        let total: u64 = t.iter().map(|&x| x as u64).sum();
+        assert_eq!(total, 220);
+        assert!(t[0] > t[50], "popular videos must get more copies");
+        assert!(t.iter().all(|&x| x >= 1), "every video gets one copy");
+        // Largest-remainder rounding may locally invert by one copy, but
+        // never more.
+        for w in t.windows(2) {
+            assert!(w[1] <= w[0] + 1);
+        }
+    }
+
+    #[test]
+    fn proportional_targets_respect_ceiling() {
+        let pops = ZipfLike::new(10, -1.5); // extremely skewed
+        let t = proportional_targets(pops.probs(), 22, 5);
+        assert!(t.iter().all(|&x| x <= 5));
+        assert!(t.iter().all(|&x| x >= 1));
+    }
+
+    #[test]
+    fn partial_predictive_boosts_head_only() {
+        let (catalog, cluster, mut rng) = setup(100, 20);
+        let pops = ZipfLike::new(100, 0.0);
+        let strat = PlacementStrategy::partial_predictive_paper();
+        let even = PlacementStrategy::even_paper();
+        let t_partial = strat.copy_targets(100, 20, pops.probs(), &mut rng);
+        let t_even = even.copy_targets(100, 20, pops.probs(), &mut rng);
+        // Head boosted by exactly 2 relative to an even run (same base
+        // modulo random rounding): check mean over head vs tail.
+        let head_mean: f64 = t_partial[..10].iter().map(|&x| x as f64).sum::<f64>() / 10.0;
+        let tail_mean: f64 =
+            t_partial[10..].iter().map(|&x| x as f64).sum::<f64>() / 90.0;
+        assert!(head_mean > tail_mean + 1.5);
+        let _ = (catalog, cluster, t_even);
+    }
+
+    #[test]
+    fn placement_respects_disk_and_distinct_servers() {
+        let (catalog, cluster, mut rng) = setup(100, 5);
+        let map = PlacementStrategy::even_paper().place(
+            &catalog,
+            &cluster,
+            &[0.01; 100],
+            &mut rng,
+        );
+        map.validate(&catalog, &cluster);
+        assert_eq!(map.shortfall(), 0, "paper-scale disks fit everything");
+        assert_eq!(map.total_copies(), 220);
+        for v in catalog.ids() {
+            assert!(map.copies_of(v) >= 2);
+        }
+    }
+
+    #[test]
+    fn placement_under_disk_pressure_reports_shortfall() {
+        let mut rng = Rng::new(3);
+        let catalog = Catalog::uniform_lengths(50, 3600.0, 7200.0, 3.0, &mut rng);
+        // Tiny disks: ~2 GB each holds at most 1 long video (avg 2 GB).
+        let cluster = ClusterSpec::homogeneous(4, 100.0, 2.5);
+        let map = PlacementStrategy::even_paper().place(
+            &catalog,
+            &cluster,
+            &[0.02; 50],
+            &mut rng,
+        );
+        map.validate(&catalog, &cluster);
+        assert!(map.shortfall() > 0, "disk pressure must be detected");
+        assert!(map.total_copies() < 110);
+    }
+
+    #[test]
+    fn holders_and_videos_on_are_mutually_consistent() {
+        let (catalog, cluster, mut rng) = setup(30, 6);
+        let pops = ZipfLike::new(30, 0.5);
+        let map = PlacementStrategy::predictive_paper().place(
+            &catalog,
+            &cluster,
+            pops.probs(),
+            &mut rng,
+        );
+        map.validate(&catalog, &cluster);
+        for v in catalog.ids() {
+            for &s in map.holders(v) {
+                assert!(map.holds(s, v));
+            }
+        }
+        let from_holders: u64 = catalog.ids().map(|v| map.copies_of(v) as u64).sum();
+        let from_servers: u64 = cluster.ids().map(|s| map.videos_on(s).len() as u64).sum();
+        assert_eq!(from_holders, from_servers);
+    }
+
+    #[test]
+    fn placement_is_deterministic_per_seed() {
+        let (catalog, cluster, _) = setup(40, 8);
+        let pops = vec![1.0 / 40.0; 40];
+        let m1 = PlacementStrategy::even_paper().place(
+            &catalog,
+            &cluster,
+            &pops,
+            &mut Rng::new(77),
+        );
+        let m2 = PlacementStrategy::even_paper().place(
+            &catalog,
+            &cluster,
+            &pops,
+            &mut Rng::new(77),
+        );
+        for v in catalog.ids() {
+            assert_eq!(m1.holders(v), m2.holders(v));
+        }
+    }
+
+    #[test]
+    fn add_replica_keeps_map_consistent() {
+        let (catalog, cluster, mut rng) = setup(10, 4);
+        let mut map = PlacementStrategy::Even { avg_copies: 1.0 }.place(
+            &catalog,
+            &cluster,
+            &[0.1; 10],
+            &mut rng,
+        );
+        let v = VideoId(3);
+        let existing = map.holders(v).to_vec();
+        let newcomer = cluster
+            .ids()
+            .find(|s| !existing.contains(s))
+            .expect("some server lacks the video");
+        let size = catalog.video(v).size_mb();
+        let used_before = map.disk_used_mb()[newcomer.index()];
+        map.add_replica(v, newcomer, size);
+        assert!(map.holds(newcomer, v));
+        assert_eq!(map.copies_of(v), existing.len() + 1);
+        assert_eq!(map.disk_used_mb()[newcomer.index()], used_before + size);
+        map.validate(&catalog, &cluster);
+    }
+
+    #[test]
+    #[should_panic(expected = "already holds")]
+    fn add_replica_rejects_duplicates() {
+        let (catalog, cluster, mut rng) = setup(10, 4);
+        let mut map = PlacementStrategy::even_paper().place(
+            &catalog,
+            &cluster,
+            &[0.1; 10],
+            &mut rng,
+        );
+        let v = VideoId(0);
+        let holder = map.holders(v)[0];
+        map.add_replica(v, holder, 1.0);
+    }
+
+    #[test]
+    fn free_disk_accounts_for_placement() {
+        let (catalog, cluster, mut rng) = setup(10, 4);
+        let map = PlacementStrategy::even_paper().place(
+            &catalog,
+            &cluster,
+            &[0.1; 10],
+            &mut rng,
+        );
+        for s in cluster.ids() {
+            let cap = cluster.server(s).disk_capacity_mb;
+            let free = map.free_disk_mb(s, cap);
+            assert!((free - (cap - map.disk_used_mb()[s.index()])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn predictive_gives_head_more_replicas_than_even() {
+        let (catalog, cluster, mut rng) = setup(100, 20);
+        let pops = ZipfLike::new(100, -1.0); // strongly skewed
+        let even = PlacementStrategy::even_paper().place(
+            &catalog,
+            &cluster,
+            pops.probs(),
+            &mut rng,
+        );
+        let pred = PlacementStrategy::predictive_paper().place(
+            &catalog,
+            &cluster,
+            pops.probs(),
+            &mut rng,
+        );
+        assert!(pred.copies_of(VideoId(0)) > even.copies_of(VideoId(0)));
+    }
+}

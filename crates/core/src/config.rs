@@ -1,0 +1,440 @@
+//! Simulation configuration.
+//!
+//! A [`SimConfig`] pins down *everything* a trial depends on; two runs with
+//! equal configs (including the seed) produce bit-identical outcomes. The
+//! builder starts from the paper's defaults and lets experiments override
+//! the axis they sweep.
+
+use sct_admission::{AssignmentPolicy, MigrationPolicy, ReplicationSpec, WaitlistSpec};
+use sct_media::ClientProfile;
+use sct_cluster::PlacementStrategy;
+use sct_simcore::SimTime;
+use sct_transmission::SchedulerKind;
+use sct_workload::{HeterogeneityKind, SystemSpec};
+use serde::{Deserialize, Serialize};
+
+/// How much client staging buffer each request gets.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum StagingSpec {
+    /// A fraction of the catalog's average video size (the paper's §4.3
+    /// parameterisation; 0.0 disables staging entirely).
+    FractionOfAvgVideo(f64),
+    /// An absolute buffer in megabits.
+    AbsoluteMb(f64),
+    /// Unlimited client storage (Theorem 1 regime).
+    Unbounded,
+}
+
+impl StagingSpec {
+    /// Resolves to a concrete buffer size given the catalog's average
+    /// video size.
+    pub fn capacity_mb(&self, avg_video_size_mb: f64) -> f64 {
+        match *self {
+            StagingSpec::FractionOfAvgVideo(f) => f * avg_video_size_mb,
+            StagingSpec::AbsoluteMb(mb) => mb,
+            StagingSpec::Unbounded => f64::INFINITY,
+        }
+    }
+}
+
+/// Server failure model (fault-tolerance extension): every server
+/// independently alternates exponential up-times (mean `mtbf_hours`) and
+/// exponential down-times (mean `repair_hours`). On failure its active
+/// streams are emergency-evacuated via DRM (or dropped).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FailureSpec {
+    /// Mean time between failures per server, hours.
+    pub mtbf_hours: f64,
+    /// Mean repair time per server, hours.
+    pub repair_hours: f64,
+}
+
+impl FailureSpec {
+    /// Creates a failure model; both means must be positive.
+    pub fn new(mtbf_hours: f64, repair_hours: f64) -> Self {
+        assert!(mtbf_hours > 0.0 && repair_hours > 0.0);
+        FailureSpec {
+            mtbf_hours,
+            repair_hours,
+        }
+    }
+
+    /// Steady-state fraction of time a server is up.
+    pub fn availability(&self) -> f64 {
+        self.mtbf_hours / (self.mtbf_hours + self.repair_hours)
+    }
+}
+
+/// Client interactivity model (extension; §6 lists "interactivity in
+/// semi-continuous transmission" as future work): each accepted request
+/// independently pauses playback at most once, at a uniformly random point
+/// of its video, for a uniformly random duration.
+///
+/// Paused streams keep their server slot but stop consuming; with staging,
+/// transmission keeps filling the client buffer and can even complete
+/// during the pause, releasing the slot early — the semi-continuous
+/// answer to VCR functions.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PauseSpec {
+    /// Probability that a request pauses once during playback.
+    pub probability: f64,
+    /// Minimum pause duration, seconds.
+    pub min_pause_secs: f64,
+    /// Maximum pause duration, seconds.
+    pub max_pause_secs: f64,
+}
+
+impl PauseSpec {
+    /// Creates a pause model; requires `0 ≤ probability ≤ 1` and a valid
+    /// positive duration range.
+    pub fn new(probability: f64, min_pause_secs: f64, max_pause_secs: f64) -> Self {
+        assert!((0.0..=1.0).contains(&probability));
+        assert!(0.0 < min_pause_secs && min_pause_secs <= max_pause_secs);
+        PauseSpec {
+            probability,
+            min_pause_secs,
+            max_pause_secs,
+        }
+    }
+}
+
+/// Diurnal load model (extension): the Poisson arrival rate swings
+/// sinusoidally around its calibrated mean —
+/// `λ(t) = λ̄ (1 + amplitude · sin(2π t / period))` — a stylised day/night
+/// demand cycle. The mean offered load stays at 100 %.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalSpec {
+    /// Swing amplitude in [0, 1] (1 ⇒ load varies 0–200 % of mean).
+    pub amplitude: f64,
+    /// Cycle length in hours (24 for a literal day).
+    pub period_hours: f64,
+}
+
+impl DiurnalSpec {
+    /// Creates the model; `amplitude ∈ [0, 1]`, positive period.
+    pub fn new(amplitude: f64, period_hours: f64) -> Self {
+        assert!((0.0..=1.0).contains(&amplitude));
+        assert!(period_hours > 0.0);
+        DiurnalSpec {
+            amplitude,
+            period_hours,
+        }
+    }
+}
+
+/// One complete experimental setup.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// System parameters (servers, catalog shape, rates).
+    pub system: SystemSpec,
+    /// Zipf demand-uniformity parameter θ (1 = uniform, negative = very
+    /// skewed).
+    pub theta: f64,
+    /// Replica placement strategy.
+    pub placement: PlacementStrategy,
+    /// Assignment rule among eligible holders.
+    pub assignment: AssignmentPolicy,
+    /// Dynamic-request-migration policy.
+    pub migration: MigrationPolicy,
+    /// Spare-bandwidth scheduler on every server.
+    pub scheduler: SchedulerKind,
+    /// Client staging buffer size.
+    pub staging: StagingSpec,
+    /// Client receive cap in Mb/s (`f64::INFINITY` to lift it).
+    pub receive_cap_mbps: f64,
+    /// Simulated duration.
+    pub duration: SimTime,
+    /// Initial warm-up excluded from the utilization metric.
+    pub warmup: SimTime,
+    /// Optional cluster heterogeneity (kind, spread ∈ [0, 1)).
+    pub heterogeneity: Option<(HeterogeneityKind, f64)>,
+    /// Optional server failure/repair process.
+    pub failures: Option<FailureSpec>,
+    /// Optional client pause/resume behaviour.
+    pub interactivity: Option<PauseSpec>,
+    /// Optional diurnal (sinusoidal) arrival-rate modulation.
+    pub diurnal: Option<DiurnalSpec>,
+    /// Optional dynamic replication on rejection.
+    pub replication: Option<ReplicationSpec>,
+    /// Optional admission wait queue (viewers tolerate a short delay).
+    pub waitlist: Option<WaitlistSpec>,
+    /// Sampling interval (seconds) for the windowed-utilization time
+    /// series; `None` disables sampling.
+    pub sample_interval_secs: Option<f64>,
+    /// Track per-video arrival/rejection counts (small extra memory).
+    pub track_per_video: bool,
+    /// Root seed for all randomness in the trial.
+    pub seed: u64,
+    /// Run (expensive) invariant checks while simulating.
+    pub check_invariants: bool,
+}
+
+impl SimConfig {
+    /// Starts a builder from paper defaults for `system`.
+    pub fn builder(system: SystemSpec) -> SimConfigBuilder {
+        SimConfigBuilder::new(system)
+    }
+
+    /// The client profile this config gives every request, resolved
+    /// against the catalog's average video size.
+    pub fn client_profile(&self, avg_video_size_mb: f64) -> ClientProfile {
+        ClientProfile::new(
+            self.staging.capacity_mb(avg_video_size_mb),
+            self.receive_cap_mbps,
+        )
+    }
+}
+
+/// Builder for [`SimConfig`]. Defaults: θ = 0.271 (the literature's usual
+/// skew), even placement (2.2 copies), least-loaded assignment, no
+/// migration, EFTF, 20 % staging, the system's receive cap, 50 simulated
+/// hours, 1 hour warm-up, homogeneous cluster, seed 0, no invariant
+/// checks.
+#[derive(Clone, Debug)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Creates the builder with paper defaults.
+    pub fn new(system: SystemSpec) -> Self {
+        let receive_cap = system.client_receive_cap_mbps;
+        SimConfigBuilder {
+            cfg: SimConfig {
+                system,
+                theta: 0.271,
+                placement: PlacementStrategy::even_paper(),
+                assignment: AssignmentPolicy::LeastLoaded,
+                migration: MigrationPolicy::disabled(),
+                scheduler: SchedulerKind::Eftf,
+                staging: StagingSpec::FractionOfAvgVideo(0.2),
+                receive_cap_mbps: receive_cap,
+                duration: SimTime::from_hours(50.0),
+                warmup: SimTime::from_hours(1.0),
+                heterogeneity: None,
+                failures: None,
+                interactivity: None,
+                diurnal: None,
+                replication: None,
+                waitlist: None,
+                sample_interval_secs: None,
+                track_per_video: false,
+                seed: 0,
+                check_invariants: false,
+            },
+        }
+    }
+
+    /// Sets the Zipf θ.
+    pub fn theta(mut self, theta: f64) -> Self {
+        self.cfg.theta = theta;
+        self
+    }
+
+    /// Sets the placement strategy.
+    pub fn placement(mut self, p: PlacementStrategy) -> Self {
+        self.cfg.placement = p;
+        self
+    }
+
+    /// Sets the assignment policy.
+    pub fn assignment(mut self, a: AssignmentPolicy) -> Self {
+        self.cfg.assignment = a;
+        self
+    }
+
+    /// Sets the migration policy.
+    pub fn migration(mut self, m: MigrationPolicy) -> Self {
+        self.cfg.migration = m;
+        self
+    }
+
+    /// Sets the spare-bandwidth scheduler.
+    pub fn scheduler(mut self, s: SchedulerKind) -> Self {
+        self.cfg.scheduler = s;
+        self
+    }
+
+    /// Sets the staging buffer as a fraction of the average video size.
+    pub fn staging_fraction(mut self, f: f64) -> Self {
+        self.cfg.staging = StagingSpec::FractionOfAvgVideo(f);
+        self
+    }
+
+    /// Sets the staging spec directly.
+    pub fn staging(mut self, s: StagingSpec) -> Self {
+        self.cfg.staging = s;
+        self
+    }
+
+    /// Sets the client receive cap (Mb/s).
+    pub fn receive_cap(mut self, mbps: f64) -> Self {
+        self.cfg.receive_cap_mbps = mbps;
+        self
+    }
+
+    /// Sets the simulated duration in hours.
+    pub fn duration_hours(mut self, h: f64) -> Self {
+        self.cfg.duration = SimTime::from_hours(h);
+        self
+    }
+
+    /// Sets the warm-up (excluded from metrics) in hours.
+    pub fn warmup_hours(mut self, h: f64) -> Self {
+        self.cfg.warmup = SimTime::from_hours(h);
+        self
+    }
+
+    /// Makes the cluster heterogeneous.
+    pub fn heterogeneity(mut self, kind: HeterogeneityKind, spread: f64) -> Self {
+        self.cfg.heterogeneity = Some((kind, spread));
+        self
+    }
+
+    /// Enables the server failure/repair process.
+    pub fn failures(mut self, mtbf_hours: f64, repair_hours: f64) -> Self {
+        self.cfg.failures = Some(FailureSpec::new(mtbf_hours, repair_hours));
+        self
+    }
+
+    /// Enables client pause/resume behaviour.
+    pub fn interactivity(mut self, probability: f64, min_pause_secs: f64, max_pause_secs: f64) -> Self {
+        self.cfg.interactivity = Some(PauseSpec::new(probability, min_pause_secs, max_pause_secs));
+        self
+    }
+
+    /// Enables diurnal arrival-rate modulation.
+    pub fn diurnal(mut self, amplitude: f64, period_hours: f64) -> Self {
+        self.cfg.diurnal = Some(DiurnalSpec::new(amplitude, period_hours));
+        self
+    }
+
+    /// Enables dynamic replication on rejection.
+    pub fn replication(mut self, spec: ReplicationSpec) -> Self {
+        self.cfg.replication = Some(spec);
+        self
+    }
+
+    /// Queues rejected requests for up to `max_wait_secs` (capacity
+    /// `max_length`) instead of dropping them.
+    pub fn waitlist(mut self, max_wait_secs: f64, max_length: usize) -> Self {
+        self.cfg.waitlist = Some(WaitlistSpec::new(max_wait_secs, max_length));
+        self
+    }
+
+    /// Sets a fully custom waitlist spec (e.g. with multicast batching).
+    pub fn waitlist_spec(mut self, spec: WaitlistSpec) -> Self {
+        self.cfg.waitlist = Some(spec);
+        self
+    }
+
+    /// Samples cluster utilization every `secs` seconds into the outcome's
+    /// time series (used by the smoothing analysis).
+    pub fn sample_interval_secs(mut self, secs: f64) -> Self {
+        assert!(secs > 0.0);
+        self.cfg.sample_interval_secs = Some(secs);
+        self
+    }
+
+    /// Records per-video arrival/rejection counts.
+    pub fn track_per_video(mut self, on: bool) -> Self {
+        self.cfg.track_per_video = on;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Applies a Fig. 6 policy (placement + migration + staging).
+    pub fn policy(mut self, p: crate::policies::Policy) -> Self {
+        self.cfg.placement = p.placement();
+        self.cfg.migration = p.migration();
+        self.cfg.staging = StagingSpec::FractionOfAvgVideo(p.staging_fraction());
+        self
+    }
+
+    /// Enables expensive invariant checking (tests).
+    pub fn check_invariants(mut self, on: bool) -> Self {
+        self.cfg.check_invariants = on;
+        self
+    }
+
+    /// Finalises the config (validates the knobs).
+    pub fn build(self) -> SimConfig {
+        let c = &self.cfg;
+        assert!(c.theta.is_finite(), "theta must be finite");
+        assert!(c.duration > SimTime::ZERO, "duration must be positive");
+        assert!(c.warmup < c.duration, "warm-up must end before the run does");
+        assert!(
+            c.receive_cap_mbps >= c.system.view_rate_mbps,
+            "clients must receive at least the view rate"
+        );
+        if let Some((_, spread)) = c.heterogeneity {
+            assert!((0.0..1.0).contains(&spread), "spread must be in [0,1)");
+        }
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_paper_like() {
+        let c = SimConfig::builder(SystemSpec::small_paper()).build();
+        assert_eq!(c.theta, 0.271);
+        assert_eq!(c.scheduler, SchedulerKind::Eftf);
+        assert!(!c.migration.enabled);
+        assert_eq!(c.receive_cap_mbps, 30.0);
+        assert_eq!(c.staging, StagingSpec::FractionOfAvgVideo(0.2));
+    }
+
+    #[test]
+    fn staging_resolution() {
+        assert_eq!(
+            StagingSpec::FractionOfAvgVideo(0.2).capacity_mb(5400.0),
+            1080.0
+        );
+        assert_eq!(StagingSpec::AbsoluteMb(99.0).capacity_mb(5400.0), 99.0);
+        assert!(StagingSpec::Unbounded.capacity_mb(1.0).is_infinite());
+    }
+
+    #[test]
+    fn client_profile_combines_staging_and_cap() {
+        let c = SimConfig::builder(SystemSpec::small_paper())
+            .staging_fraction(0.5)
+            .receive_cap(12.0)
+            .build();
+        let p = c.client_profile(1000.0);
+        assert_eq!(p.staging_capacity_mb, 500.0);
+        assert_eq!(p.receive_cap_mbps, 12.0);
+    }
+
+    #[test]
+    fn equal_configs_compare_equal() {
+        let a = SimConfig::builder(SystemSpec::small_paper()).seed(7).build();
+        let b = SimConfig::builder(SystemSpec::small_paper()).seed(7).build();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "warm-up must end before")]
+    fn warmup_longer_than_run_rejected() {
+        SimConfig::builder(SystemSpec::tiny_test())
+            .duration_hours(1.0)
+            .warmup_hours(2.0)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the view rate")]
+    fn receive_cap_below_view_rate_rejected() {
+        SimConfig::builder(SystemSpec::tiny_test())
+            .receive_cap(1.0)
+            .build();
+    }
+}

@@ -1,0 +1,30 @@
+//! Full-system simulation of semi-continuous transmission for
+//! cluster-based video servers (Irani & Venkatasubramanian, CLUSTER 2001).
+//!
+//! This crate assembles the substrates into the paper's experimental
+//! apparatus:
+//!
+//! * [`config`] — [`config::SimConfig`]: one complete experimental setup
+//!   (system, Zipf skew, placement, migration, staging, scheduler, seed).
+//! * [`policies`] — the paper's policy table P1–P8 (Fig. 6) mapping onto
+//!   configs.
+//! * [`simulation`] — the discrete-event loop: Poisson arrivals →
+//!   admission control (with DRM) → per-server EFTF transmission engines →
+//!   utilization accounting.
+//! * [`runner`] — deterministic parallel multi-trial execution.
+//! * [`experiments`] — one function per paper table/figure (and per
+//!   tech-report extension), producing [`sct_analysis::Series`]/tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiments;
+pub mod policies;
+pub mod runner;
+pub mod simulation;
+
+pub use config::{SimConfig, SimConfigBuilder, StagingSpec};
+pub use policies::Policy;
+pub use runner::{run_trials, utilization_summary, TrialPlan};
+pub use simulation::{SimOutcome, Simulation};

@@ -1,0 +1,180 @@
+//! The video catalog.
+//!
+//! A [`Catalog`] is the immutable set of video objects offered by the
+//! service. Video ids double as popularity ranks: the workload's Zipf-like
+//! law assigns probability `p_i = c / (i+1)^(1-θ)` to `VideoId(i)`, and the
+//! *predictive* placement strategy reads the same ranks. The catalog itself
+//! is popularity-agnostic — it only knows lengths and sizes.
+
+use crate::video::{Video, VideoId};
+use sct_simcore::{Rng, UniformRange};
+use serde::{Deserialize, Serialize};
+
+/// An immutable collection of videos.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Catalog {
+    videos: Vec<Video>,
+}
+
+impl Catalog {
+    /// Builds a catalog from an explicit video list.
+    ///
+    /// Ids must equal positions (`videos[i].id == VideoId(i)`), so that the
+    /// popularity rank ↔ id correspondence holds by construction.
+    pub fn from_videos(videos: Vec<Video>) -> Self {
+        assert!(!videos.is_empty(), "catalog must not be empty");
+        for (i, v) in videos.iter().enumerate() {
+            assert_eq!(
+                v.id,
+                VideoId(i as u32),
+                "video ids must be dense and in positional order"
+            );
+        }
+        Catalog { videos }
+    }
+
+    /// Builds a catalog of `n` videos with lengths drawn uniformly from
+    /// `[min_length_secs, max_length_secs)` at a common view rate —
+    /// the paper's §4.1 catalog model.
+    pub fn uniform_lengths(
+        n: usize,
+        min_length_secs: f64,
+        max_length_secs: f64,
+        view_rate_mbps: f64,
+        rng: &mut Rng,
+    ) -> Self {
+        assert!(n > 0, "catalog must not be empty");
+        let dist = UniformRange::new(min_length_secs, max_length_secs);
+        let videos = (0..n)
+            .map(|i| Video::new(VideoId(i as u32), dist.sample(rng), view_rate_mbps))
+            .collect();
+        Catalog { videos }
+    }
+
+    /// Number of videos.
+    pub fn len(&self) -> usize {
+        self.videos.len()
+    }
+
+    /// `true` if the catalog has no videos (cannot happen via constructors).
+    pub fn is_empty(&self) -> bool {
+        self.videos.is_empty()
+    }
+
+    /// The video with the given id. Panics on out-of-range ids — those are
+    /// simulation bugs, not recoverable conditions.
+    #[inline]
+    pub fn video(&self, id: VideoId) -> &Video {
+        &self.videos[id.index()]
+    }
+
+    /// All videos in rank order.
+    pub fn videos(&self) -> &[Video] {
+        &self.videos
+    }
+
+    /// Iterator over ids in rank order.
+    pub fn ids(&self) -> impl Iterator<Item = VideoId> + '_ {
+        (0..self.videos.len() as u32).map(VideoId)
+    }
+
+    /// Mean video size in megabits. Staging-buffer sizes are expressed as a
+    /// fraction of this ("buffer space which is only 20 % of the entire
+    /// video object", §4.3).
+    pub fn avg_size_mb(&self) -> f64 {
+        self.videos.iter().map(Video::size_mb).sum::<f64>() / self.videos.len() as f64
+    }
+
+    /// Mean video length in seconds.
+    pub fn avg_length_secs(&self) -> f64 {
+        self.videos.iter().map(|v| v.length_secs).sum::<f64>() / self.videos.len() as f64
+    }
+
+    /// Total size of one copy of every video, in megabits.
+    pub fn total_size_mb(&self) -> f64 {
+        self.videos.iter().map(Video::size_mb).sum()
+    }
+
+    /// The largest single video, in megabits.
+    pub fn max_size_mb(&self) -> f64 {
+        self.videos
+            .iter()
+            .map(Video::size_mb)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_catalog() -> Catalog {
+        let mut rng = Rng::new(1);
+        Catalog::uniform_lengths(100, 600.0, 1800.0, 3.0, &mut rng)
+    }
+
+    #[test]
+    fn uniform_lengths_in_range() {
+        let c = small_catalog();
+        assert_eq!(c.len(), 100);
+        for v in c.videos() {
+            assert!((600.0..1800.0).contains(&v.length_secs));
+            assert_eq!(v.view_rate_mbps, 3.0);
+        }
+    }
+
+    #[test]
+    fn avg_size_near_expected() {
+        // E[length] = 1200 s → E[size] = 3600 Mb; 100 samples land well
+        // within ±15 %.
+        let c = small_catalog();
+        let avg = c.avg_size_mb();
+        assert!(
+            (avg - 3600.0).abs() < 3600.0 * 0.15,
+            "avg size {avg} too far from 3600"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut r1 = Rng::new(99);
+        let mut r2 = Rng::new(99);
+        let a = Catalog::uniform_lengths(10, 100.0, 200.0, 3.0, &mut r1);
+        let b = Catalog::uniform_lengths(10, 100.0, 200.0, 3.0, &mut r2);
+        for (va, vb) in a.videos().iter().zip(b.videos()) {
+            assert_eq!(va.length_secs, vb.length_secs);
+        }
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let c = small_catalog();
+        let total = c.total_size_mb();
+        assert!((total / c.len() as f64 - c.avg_size_mb()).abs() < 1e-9);
+        assert!(c.max_size_mb() <= 1800.0 * 3.0);
+        assert!(c.max_size_mb() >= c.avg_size_mb());
+    }
+
+    #[test]
+    fn from_videos_validates_ids() {
+        let vids = vec![
+            Video::new(VideoId(0), 100.0, 3.0),
+            Video::new(VideoId(1), 200.0, 3.0),
+        ];
+        let c = Catalog::from_videos(vids);
+        assert_eq!(c.video(VideoId(1)).length_secs, 200.0);
+        assert_eq!(c.ids().collect::<Vec<_>>(), vec![VideoId(0), VideoId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense and in positional order")]
+    fn from_videos_rejects_misordered_ids() {
+        Catalog::from_videos(vec![Video::new(VideoId(1), 100.0, 3.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn rejects_empty() {
+        Catalog::from_videos(Vec::new());
+    }
+}

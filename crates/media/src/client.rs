@@ -1,0 +1,157 @@
+//! Client capability model.
+//!
+//! The paper distinguishes *client buffering* (a small memory buffer) from
+//! *client staging* (workahead transmission onto larger client disk). For
+//! the transmission engine both reduce to the same two constraints, so a
+//! [`ClientProfile`] carries exactly:
+//!
+//! * `staging_capacity_mb` — how far (in megabits) transmission may run
+//!   ahead of the playback point. `0` degenerates to classic continuous
+//!   transmission; `f64::INFINITY` means the client can hold a whole video.
+//! * `receive_cap_mbps` — the peak receive bandwidth. The paper's staging
+//!   experiments cap this at 30 Mb/s (10 × the view rate); Theorem 1's
+//!   optimality of EFTF assumes it is unbounded.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's client receive-bandwidth limit: "we restrict the amount of
+/// bandwidth which can be used to send data to a single client to 30 Mb per
+/// second" (§4.3).
+pub const PAPER_RECEIVE_CAP_MBPS: f64 = 30.0;
+
+/// Client-side resources relevant to semi-continuous transmission.
+///
+/// ```
+/// use sct_media::ClientProfile;
+/// // The paper's §4.3 client: buffer = 20 % of a 5400 Mb average video,
+/// // receive cap 30 Mb/s.
+/// let c = ClientProfile::staging_fraction(0.2, 5400.0, 30.0);
+/// assert_eq!(c.staging_capacity_mb, 1080.0);
+/// assert!(c.can_stage(1000.0));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClientProfile {
+    /// Staging buffer capacity in megabits (how much data may sit at the
+    /// client unviewed). May be `INFINITY`.
+    pub staging_capacity_mb: f64,
+    /// Maximum receive bandwidth in Mb/s. May be `INFINITY`.
+    pub receive_cap_mbps: f64,
+}
+
+impl ClientProfile {
+    /// Creates a profile. Capacities must be non-negative; the receive cap
+    /// must be positive (a client that cannot receive at all is
+    /// meaningless).
+    pub fn new(staging_capacity_mb: f64, receive_cap_mbps: f64) -> Self {
+        assert!(
+            staging_capacity_mb >= 0.0 && !staging_capacity_mb.is_nan(),
+            "staging capacity must be >= 0, got {staging_capacity_mb}"
+        );
+        assert!(
+            receive_cap_mbps > 0.0 && !receive_cap_mbps.is_nan(),
+            "receive cap must be > 0, got {receive_cap_mbps}"
+        );
+        ClientProfile {
+            staging_capacity_mb,
+            receive_cap_mbps,
+        }
+    }
+
+    /// A client with no staging at all: transmission degenerates to the
+    /// continuous baseline (every stream gets exactly `b_view`).
+    pub fn no_staging(receive_cap_mbps: f64) -> Self {
+        Self::new(0.0, receive_cap_mbps)
+    }
+
+    /// A client whose staging buffer is `fraction` of `avg_video_size_mb` —
+    /// the paper's parameterisation ("the amount of staging buffer is
+    /// expressed as a percentage of the storage required to store an entire
+    /// copy of the average sized video", §4.3).
+    pub fn staging_fraction(
+        fraction: f64,
+        avg_video_size_mb: f64,
+        receive_cap_mbps: f64,
+    ) -> Self {
+        assert!(
+            (0.0..=f64::INFINITY).contains(&fraction),
+            "fraction must be >= 0, got {fraction}"
+        );
+        Self::new(fraction * avg_video_size_mb, receive_cap_mbps)
+    }
+
+    /// A client with unbounded staging and receive bandwidth — the regime
+    /// of Theorem 1 (EFTF optimality).
+    pub fn unbounded() -> Self {
+        ClientProfile {
+            staging_capacity_mb: f64::INFINITY,
+            receive_cap_mbps: f64::INFINITY,
+        }
+    }
+
+    /// `true` if this client can stage at least `mb` megabits.
+    #[inline]
+    pub fn can_stage(&self, mb: f64) -> bool {
+        self.staging_capacity_mb >= mb
+    }
+
+    /// `true` if the staging buffer is unbounded.
+    #[inline]
+    pub fn is_unbounded_staging(&self) -> bool {
+        self.staging_capacity_mb.is_infinite()
+    }
+}
+
+impl Default for ClientProfile {
+    /// The paper's default client for the staging experiments:
+    /// no staging, 30 Mb/s receive cap.
+    fn default() -> Self {
+        Self::no_staging(PAPER_RECEIVE_CAP_MBPS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staging_fraction_scales_avg_size() {
+        let p = ClientProfile::staging_fraction(0.2, 5400.0, 30.0);
+        assert_eq!(p.staging_capacity_mb, 1080.0);
+        assert_eq!(p.receive_cap_mbps, 30.0);
+    }
+
+    #[test]
+    fn zero_fraction_means_no_staging() {
+        let p = ClientProfile::staging_fraction(0.0, 5400.0, 30.0);
+        assert_eq!(p.staging_capacity_mb, 0.0);
+        assert!(p.can_stage(0.0));
+        assert!(!p.can_stage(1.0));
+    }
+
+    #[test]
+    fn unbounded_profile() {
+        let p = ClientProfile::unbounded();
+        assert!(p.is_unbounded_staging());
+        assert!(p.can_stage(1e18));
+        assert!(p.receive_cap_mbps.is_infinite());
+    }
+
+    #[test]
+    fn default_is_paper_no_staging_client() {
+        let p = ClientProfile::default();
+        assert_eq!(p.staging_capacity_mb, 0.0);
+        assert_eq!(p.receive_cap_mbps, PAPER_RECEIVE_CAP_MBPS);
+    }
+
+    #[test]
+    #[should_panic(expected = "receive cap must be > 0")]
+    fn rejects_zero_receive_cap() {
+        ClientProfile::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "staging capacity must be >= 0")]
+    fn rejects_negative_staging() {
+        ClientProfile::new(-1.0, 30.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Video, catalog, and client models for the cluster-VoD simulation.
+//!
+//! The paper's media model is deliberately simple: constant-bit-rate videos
+//! (`b_view` = 3 Mb/s), lengths drawn uniformly from a per-system range
+//! (10–30 min for the "Small" clip server, 1–2 h for the "Large" feature
+//! server), and clients characterised by two numbers — how much data they
+//! can *stage* on local disk ahead of the playback point, and the peak
+//! bandwidth at which they can receive.
+//!
+//! * [`video`] — [`Video`], [`VideoId`], and size arithmetic (data volumes
+//!   are megabits throughout the workspace).
+//! * [`catalog`] — an immutable [`Catalog`] of videos plus deterministic
+//!   builders.
+//! * [`client`] — [`ClientProfile`] (staging capacity + receive cap) with
+//!   the constructors the experiments use ("buffer = 20 % of the average
+//!   video size", "only enough staging to cover a migration hand-off").
+//! * [`units`] — explicit unit conversions (GB ↔ megabits, etc.) so no
+//!   magic factors appear in simulation code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod client;
+pub mod units;
+pub mod video;
+
+pub use catalog::Catalog;
+pub use client::ClientProfile;
+pub use video::{Video, VideoId};

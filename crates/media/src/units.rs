@@ -1,0 +1,71 @@
+//! Unit conversions.
+//!
+//! Internal conventions, used consistently across the workspace:
+//!
+//! * **data volume** — megabits (`Mb`, f64),
+//! * **bandwidth** — megabits per second (`Mb/s`, f64),
+//! * **time** — seconds (via [`sct_simcore::SimTime`]),
+//! * **disk capacity** — specified in gigabytes (decimal GB) in configs,
+//!   converted here to megabits for comparisons against video sizes.
+//!
+//! Keeping the conversion factors in one module avoids the classic
+//! bits-vs-bytes error class.
+
+/// Megabits per decimal gigabyte (10⁹ bytes × 8 bits ÷ 10⁶).
+pub const MEGABITS_PER_GB: f64 = 8000.0;
+
+/// Megabits per decimal megabyte.
+pub const MEGABITS_PER_MB: f64 = 8.0;
+
+/// Converts decimal gigabytes to megabits.
+#[inline]
+pub fn gb_to_megabits(gb: f64) -> f64 {
+    gb * MEGABITS_PER_GB
+}
+
+/// Converts megabits to decimal gigabytes.
+#[inline]
+pub fn megabits_to_gb(mb: f64) -> f64 {
+    mb / MEGABITS_PER_GB
+}
+
+/// Converts decimal megabytes to megabits.
+#[inline]
+pub fn mbytes_to_megabits(mbytes: f64) -> f64 {
+    mbytes * MEGABITS_PER_MB
+}
+
+/// Converts megabits to decimal megabytes.
+#[inline]
+pub fn megabits_to_mbytes(megabits: f64) -> f64 {
+    megabits / MEGABITS_PER_MB
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gb_round_trip() {
+        let gb = 123.456;
+        assert!((megabits_to_gb(gb_to_megabits(gb)) - gb).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_gb_is_8000_megabits() {
+        assert_eq!(gb_to_megabits(1.0), 8000.0);
+    }
+
+    #[test]
+    fn mbyte_round_trip() {
+        assert_eq!(mbytes_to_megabits(100.0), 800.0);
+        assert_eq!(megabits_to_mbytes(800.0), 100.0);
+    }
+
+    #[test]
+    fn typical_video_fits_expected_scale() {
+        // A 90-minute video at 3 Mb/s is 16 200 Mb ≈ 2.025 GB.
+        let size_mb = 90.0 * 60.0 * 3.0;
+        assert!((megabits_to_gb(size_mb) - 2.025).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,104 @@
+//! Video objects.
+//!
+//! A video is a constant-bit-rate stream: a length in seconds and a view
+//! bandwidth in Mb/s. Its storage/transfer size is the product. The paper
+//! fixes the view bandwidth at 3 Mb/s for every video; we keep it per-video
+//! so heterogeneous-bitrate extensions stay possible, but all paper
+//! experiments use a uniform rate.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's view bandwidth: "The rate at which videos are viewed is
+/// 3 Mb/s" (§4.1).
+pub const PAPER_VIEW_RATE_MBPS: f64 = 3.0;
+
+/// Identifier of a video within a [`crate::Catalog`] — also its popularity
+/// rank (0 = most popular) under the workload's Zipf ordering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VideoId(pub u32);
+
+impl VideoId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for VideoId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A constant-bit-rate video object.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Video {
+    /// Identifier / popularity rank.
+    pub id: VideoId,
+    /// Playback length in seconds.
+    pub length_secs: f64,
+    /// View bandwidth `b_view` in Mb/s.
+    pub view_rate_mbps: f64,
+}
+
+impl Video {
+    /// Creates a video. Requires a positive length and view rate.
+    pub fn new(id: VideoId, length_secs: f64, view_rate_mbps: f64) -> Self {
+        assert!(
+            length_secs > 0.0 && length_secs.is_finite(),
+            "video length must be positive, got {length_secs}"
+        );
+        assert!(
+            view_rate_mbps > 0.0 && view_rate_mbps.is_finite(),
+            "view rate must be positive, got {view_rate_mbps}"
+        );
+        Video {
+            id,
+            length_secs,
+            view_rate_mbps,
+        }
+    }
+
+    /// Total object size in megabits (`length × b_view`).
+    #[inline]
+    pub fn size_mb(&self) -> f64 {
+        self.length_secs * self.view_rate_mbps
+    }
+
+    /// Playback length in minutes.
+    #[inline]
+    pub fn length_mins(&self) -> f64 {
+        self.length_secs / 60.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_is_length_times_rate() {
+        let v = Video::new(VideoId(0), 1800.0, 3.0);
+        assert_eq!(v.size_mb(), 5400.0);
+        assert_eq!(v.length_mins(), 30.0);
+    }
+
+    #[test]
+    fn id_display_and_index() {
+        assert_eq!(VideoId(7).to_string(), "v7");
+        assert_eq!(VideoId(7).index(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn rejects_zero_length() {
+        Video::new(VideoId(0), 0.0, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "view rate must be positive")]
+    fn rejects_negative_rate() {
+        Video::new(VideoId(0), 60.0, -1.0);
+    }
+}

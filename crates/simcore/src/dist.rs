@@ -1,0 +1,391 @@
+//! Distributions used by the paper's workload model.
+//!
+//! * [`Exponential`] — inter-arrival times of the Poisson request process.
+//! * [`UniformRange`] — video lengths ("chosen uniformly at random from the
+//!   ranges indicated", §4.1).
+//! * [`ZipfLike`] — the paper's Zipf-like popularity law (§4.1):
+//!   `p_i = c / i^(1-θ)` with normalisation `c = 1 / Σ 1/i^(1-θ)`.
+//!   θ = 1 is the uniform distribution, θ = 0 is "highly skewed", and the
+//!   paper explores θ down to −1.5 (even more skewed). Note this is the
+//!   *paper's* parameterisation — the exponent is `1-θ`, not θ.
+//! * [`AliasTable`] — Vose's alias method for O(1) sampling from any finite
+//!   discrete distribution. The workload samples a video id per request,
+//!   millions of times per trial, so constant-time sampling matters.
+
+use crate::rng::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate (events per
+    /// second). Requires `rate > 0`.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive, got {rate}");
+        Exponential { rate }
+    }
+
+    /// The rate parameter λ.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The mean `1/λ`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Draws a sample via inversion. Always finite and strictly positive.
+    #[inline]
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        // 1 - U is in (0, 1], so ln() is finite and <= 0.
+        -(1.0 - rng.next_f64()).ln() / self.rate
+    }
+}
+
+/// Uniform distribution on `[lo, hi)` (degenerate point mass if `lo == hi`).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UniformRange {
+    lo: f64,
+    hi: f64,
+}
+
+impl UniformRange {
+    /// Creates a uniform distribution on `[lo, hi)`. Requires `lo <= hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi && lo.is_finite() && hi.is_finite(), "bad range [{lo}, {hi})");
+        UniformRange { lo, hi }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// The mean `(lo + hi) / 2`.
+    pub fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Draws a sample.
+    #[inline]
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        rng.range_f64(self.lo, self.hi)
+    }
+}
+
+/// The paper's Zipf-like popularity distribution over items `1..=n`.
+///
+/// `p_i = c / i^(1-θ)`, `c = 1 / Σ_{i=1..n} i^(θ-1)`.
+///
+/// ```
+/// use sct_simcore::ZipfLike;
+/// let uniform = ZipfLike::new(4, 1.0);           // θ = 1 → uniform
+/// assert!((uniform.prob(0) - 0.25).abs() < 1e-12);
+/// let skewed = ZipfLike::new(4, 0.0);            // θ = 0 → p ∝ 1/i
+/// assert!(skewed.prob(0) > 2.0 * skewed.prob(3));
+/// ```
+///
+/// The probability vector is exposed for placement strategies (the
+/// *predictive* scheme sizes replica counts by these probabilities) and an
+/// [`AliasTable`] can be built from it for request sampling.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ZipfLike {
+    theta: f64,
+    probs: Vec<f64>,
+}
+
+impl ZipfLike {
+    /// Builds the distribution for `n` items with skew parameter `theta`.
+    ///
+    /// Requires `n > 0`. `theta = 1` gives the uniform distribution;
+    /// smaller (including negative) values skew mass toward item 1.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "ZipfLike needs at least one item");
+        assert!(theta.is_finite(), "theta must be finite");
+        let exponent = 1.0 - theta;
+        let mut probs: Vec<f64> = (1..=n).map(|i| (i as f64).powf(-exponent)).collect();
+        let norm: f64 = probs.iter().sum();
+        for p in &mut probs {
+            *p /= norm;
+        }
+        ZipfLike { theta, probs }
+    }
+
+    /// The skew parameter θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// `true` if there are no items (never; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Probability of item `i` (0-based).
+    pub fn prob(&self, i: usize) -> f64 {
+        self.probs[i]
+    }
+
+    /// The full probability vector, most popular first.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Builds an O(1) sampler for this distribution.
+    pub fn sampler(&self) -> AliasTable {
+        AliasTable::new(&self.probs)
+    }
+}
+
+/// Vose's alias method: O(n) construction, O(1) sampling from a finite
+/// discrete distribution.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AliasTable {
+    // For bucket i: with probability `accept[i]` return i, otherwise
+    // return `alias[i]`.
+    accept: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from (possibly unnormalised) non-negative
+    /// weights. Requires at least one strictly positive weight.
+    pub fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "AliasTable needs at least one weight");
+        assert!(n <= u32::MAX as usize, "too many categories");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "weights must sum to a positive finite value, got {total}"
+        );
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative"
+        );
+
+        // Scaled weights: mean 1.0.
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut accept = vec![0.0f64; n];
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        // Note: test emptiness *before* popping — a `while let` on
+        // `(small.pop(), large.pop())` would pop (and lose) a large entry
+        // when only `small` is empty.
+        while !small.is_empty() && !large.is_empty() {
+            let (s, l) = (small.pop().unwrap(), large.pop().unwrap());
+            accept[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers are numerically ~1.0: they always accept.
+        for i in small.into_iter().chain(large) {
+            accept[i as usize] = 1.0;
+            alias[i as usize] = i;
+        }
+        AliasTable { accept, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// `true` if the table is empty (cannot happen via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.accept.is_empty()
+    }
+
+    /// Draws a category index in O(1).
+    #[inline]
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let i = rng.below(self.accept.len());
+        if rng.next_f64() < self.accept[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Rng {
+        Rng::new(0xC0FFEE)
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = Exponential::new(0.25);
+        assert_eq!(d.mean(), 4.0);
+        let mut r = rng();
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.05, "sample mean {mean}");
+    }
+
+    #[test]
+    fn exponential_samples_positive() {
+        let d = Exponential::new(10.0);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let s = d.sample(&mut r);
+            assert!(s > 0.0 && s.is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_zero_rate() {
+        Exponential::new(0.0);
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_mean() {
+        let d = UniformRange::new(600.0, 1800.0);
+        assert_eq!(d.mean(), 1200.0);
+        let mut r = rng();
+        let n = 100_000;
+        let mut acc = 0.0;
+        for _ in 0..n {
+            let s = d.sample(&mut r);
+            assert!((600.0..1800.0).contains(&s));
+            acc += s;
+        }
+        let mean = acc / n as f64;
+        assert!((mean - 1200.0).abs() < 5.0, "sample mean {mean}");
+    }
+
+    #[test]
+    fn zipf_theta_one_is_uniform() {
+        let z = ZipfLike::new(10, 1.0);
+        for i in 0..10 {
+            assert!((z.prob(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_classic_zipf() {
+        // p_i proportional to 1/i.
+        let z = ZipfLike::new(4, 0.0);
+        let h = 1.0 + 0.5 + 1.0 / 3.0 + 0.25;
+        assert!((z.prob(0) - 1.0 / h).abs() < 1e-12);
+        assert!((z.prob(1) - 0.5 / h).abs() < 1e-12);
+        assert!((z.prob(3) - 0.25 / h).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_negative_theta_is_more_skewed() {
+        let mild = ZipfLike::new(100, 0.0);
+        let harsh = ZipfLike::new(100, -1.5);
+        assert!(harsh.prob(0) > mild.prob(0));
+        assert!(harsh.prob(99) < mild.prob(99));
+    }
+
+    #[test]
+    fn zipf_probs_sum_to_one_and_decrease() {
+        for &theta in &[-1.5, -1.0, -0.5, 0.0, 0.5, 1.0] {
+            let z = ZipfLike::new(100, theta);
+            let sum: f64 = z.probs().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "theta {theta} sum {sum}");
+            for i in 1..100 {
+                assert!(
+                    z.prob(i - 1) >= z.prob(i) - 1e-15,
+                    "probabilities must be non-increasing at theta {theta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alias_table_matches_target_distribution() {
+        let weights = [0.5, 0.2, 0.2, 0.1];
+        let t = AliasTable::new(&weights);
+        let mut r = rng();
+        let n = 400_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[t.sample(&mut r)] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let freq = counts[i] as f64 / n as f64;
+            assert!((freq - w).abs() < 0.005, "bucket {i}: {freq} vs {w}");
+        }
+    }
+
+    #[test]
+    fn alias_table_single_category() {
+        let t = AliasTable::new(&[3.0]);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut r), 0);
+        }
+    }
+
+    #[test]
+    fn alias_table_handles_zero_weights() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0, 1.0]);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let s = t.sample(&mut r);
+            assert!(s == 1 || s == 3, "zero-weight category {s} sampled");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn alias_table_rejects_all_zero() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn alias_table_agrees_with_zipf_probs() {
+        let z = ZipfLike::new(50, 0.271);
+        let t = z.sampler();
+        let mut r = rng();
+        let n = 500_000;
+        let mut counts = vec![0usize; 50];
+        for _ in 0..n {
+            counts[t.sample(&mut r)] += 1;
+        }
+        // Check the head of the distribution closely.
+        for (i, &c) in counts.iter().enumerate().take(5) {
+            let freq = c as f64 / n as f64;
+            assert!(
+                (freq - z.prob(i)).abs() < 0.01,
+                "item {i}: {freq} vs {}",
+                z.prob(i)
+            );
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Deterministic event queue.
+//!
+//! A binary-heap priority queue keyed by `(time, sequence)`: events at equal
+//! timestamps pop in insertion order, which makes runs reproducible
+//! regardless of heap internals. Payloads are generic; the simulation layer
+//! uses lightweight enums.
+//!
+//! Cancellation is handled by the *generation* pattern at the call site
+//! (each server keeps a wake-generation counter and ignores stale wakes)
+//! rather than by tombstones inside the queue — that keeps this structure
+//! trivial and allocation-free per operation after warm-up.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a point in simulated time.
+#[derive(Clone, Debug)]
+pub struct EventEntry<T> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Global insertion sequence number; breaks timestamp ties FIFO.
+    pub seq: u64,
+    /// The event payload.
+    pub payload: T,
+}
+
+impl<T> PartialEq for EventEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for EventEntry<T> {}
+
+impl<T> PartialOrd for EventEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for EventEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-priority queue of timed events with FIFO tie-breaking.
+#[derive(Clone, Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<EventEntry<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at `time`. Panics on non-finite times — an
+    /// infinite wake must be expressed by *not* scheduling.
+    pub fn push(&mut self, time: SimTime, payload: T) {
+        assert!(
+            time.is_finite(),
+            "cannot schedule an event at infinite time"
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(EventEntry { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<EventEntry<T>> {
+        self.heap.pop()
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3.0), "c");
+        q.push(SimTime::from_secs(1.0), "a");
+        q.push(SimTime::from_secs(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5.0);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(10.0), 10);
+        q.push(SimTime::from_secs(1.0), 1);
+        assert_eq!(q.pop().unwrap().payload, 1);
+        q.push(SimTime::from_secs(5.0), 5);
+        q.push(SimTime::from_secs(0.5), 0);
+        // 0.5 is in the "past" relative to popped 1.0 — the queue itself
+        // doesn't enforce monotonicity; the simulation loop asserts it.
+        assert_eq!(q.pop().unwrap().payload, 0);
+        assert_eq!(q.pop().unwrap().payload, 5);
+        assert_eq!(q.pop().unwrap().payload, 10);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::new();
+        assert!(q.peek_time().is_none());
+        q.push(SimTime::from_secs(2.0), ());
+        q.push(SimTime::from_secs(1.0), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1.0)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2.0)));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::with_capacity(8);
+        assert!(q.is_empty());
+        q.push(SimTime::ZERO, 1);
+        q.push(SimTime::ZERO, 2);
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "infinite time")]
+    fn rejects_infinite_time() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::FAR_FUTURE, ());
+    }
+}

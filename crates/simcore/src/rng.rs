@@ -1,0 +1,316 @@
+//! Self-contained pseudo-random number generation.
+//!
+//! The reproduction's headline numbers come from Monte-Carlo trials, so we
+//! want bit-identical streams regardless of platform, `std` version, or
+//! third-party crate upgrades. We therefore implement the generator
+//! in-tree:
+//!
+//! * [`Rng`] — xoshiro256\*\* (Blackman & Vigna, 2018): 256-bit state,
+//!   period 2²⁵⁶−1, passes BigCrush, and is a few ns per draw.
+//! * Seeding uses SplitMix64, the sequence recommended by the xoshiro
+//!   authors, so low-entropy seeds (0, 1, 2, …) still give well-mixed
+//!   initial states.
+//!
+//! [`Rng::fork`] derives independent child streams for parallel trials: the
+//! child state is seeded from the parent seed and a stream index through
+//! SplitMix64, so trial *i* draws the same numbers whether trials run
+//! sequentially or on 32 threads.
+
+/// SplitMix64 step: advances `state` and returns the next output.
+///
+/// Used for seeding and for deriving child streams; also useful on its own
+/// for hashing small integer tuples into seeds.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256\*\* pseudo-random number generator.
+///
+/// Not cryptographically secure — strictly for simulation.
+///
+/// ```
+/// use sct_simcore::Rng;
+/// let mut a = Rng::new(42);
+/// let mut b = Rng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());        // same seed, same stream
+/// let mut child = a.fork(7);                      // independent sub-stream
+/// assert!(child.next_f64() < 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// The 256-bit internal state is filled with four SplitMix64 outputs,
+    /// so nearby seeds (0, 1, 2, …) produce unrelated streams.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Derives an independent child generator for logical stream `stream`.
+    ///
+    /// Children with distinct stream ids are statistically independent of
+    /// each other and of the parent's continued output.
+    pub fn fork(&self, stream: u64) -> Rng {
+        // Mix the *current* state with the stream id so forks taken at
+        // different points of the parent's life differ.
+        let mut sm = self.s[0] ^ self.s[2].rotate_left(17) ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Next raw 64-bit output (xoshiro256\*\* scrambler).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`, using the top 53 bits of one output.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 2^-53 * [0, 2^53): every representable value is equally likely.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`. Requires `lo <= hi`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi, "range_f64: lo {lo} > hi {hi}");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)`. Requires `n > 0`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method: unbiased and one
+    /// multiplication in the common case.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0, "below(0) is meaningless");
+        let n = n as u64;
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as usize
+    }
+
+    /// Uniform integer in `[lo, hi)`. Requires `lo < hi`.
+    #[inline]
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi, "range_usize: empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle of `slice`, in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniformly random element of `slice`, or `None` if it is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.below(slice.len())])
+        }
+    }
+
+    /// Samples `k` distinct indices from `0..n` (a uniform k-subset),
+    /// returned in random order. Requires `k <= n`.
+    ///
+    /// Used by placement to pick the servers that receive a video's
+    /// replicas. O(n) time, O(n) scratch — `n` is a server count here, so
+    /// this is never hot.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct items from {n}");
+        let mut pool: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut pool);
+        pool.truncate(k);
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Reference outputs for seed 1234567 from the public-domain
+        // splitmix64.c (Vigna).
+        let mut s = 1234567u64;
+        assert_eq!(splitmix64(&mut s), 6457827717110365317);
+        assert_eq!(splitmix64(&mut s), 3203168211198807973);
+        assert_eq!(splitmix64(&mut s), 9817491932198370423);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_streams_are_independent_and_deterministic() {
+        let root = Rng::new(7);
+        let mut c1 = root.fork(0);
+        let mut c2 = root.fork(1);
+        let mut c1b = root.fork(0);
+        let x: Vec<u64> = (0..16).map(|_| c1.next_u64()).collect();
+        let y: Vec<u64> = (0..16).map(|_| c2.next_u64()).collect();
+        let xb: Vec<u64> = (0..16).map(|_| c1b.next_u64()).collect();
+        assert_eq!(x, xb, "same stream id must reproduce");
+        assert_ne!(x, y, "distinct stream ids must differ");
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = Rng::new(9);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn next_f64_mean_near_half() {
+        let mut r = Rng::new(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn below_is_unbiased_over_small_range() {
+        let mut r = Rng::new(13);
+        let mut counts = [0usize; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            counts[r.below(7)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expect = n as f64 / 7.0;
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.1,
+                "bucket {i} count {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_usize_endpoints() {
+        let mut r = Rng::new(17);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..1000 {
+            let v = r.range_usize(5, 8);
+            assert!((5..8).contains(&v));
+            saw_lo |= v == 5;
+            saw_hi |= v == 7;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::new(19);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely to be identity");
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut r = Rng::new(23);
+        for _ in 0..100 {
+            let s = r.sample_indices(10, 4);
+            assert_eq!(s.len(), 4);
+            let mut d = s.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), 4, "indices must be distinct");
+            assert!(s.iter().all(|&i| i < 10));
+        }
+    }
+
+    #[test]
+    fn sample_indices_full_set() {
+        let mut r = Rng::new(29);
+        let mut s = r.sample_indices(5, 5);
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut r = Rng::new(31);
+        let empty: [u8; 0] = [];
+        assert!(r.choose(&empty).is_none());
+        assert_eq!(r.choose(&[42]), Some(&42));
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::new(37);
+        assert!((0..100).all(|_| !r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+}

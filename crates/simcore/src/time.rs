@@ -1,0 +1,212 @@
+//! Simulation time.
+//!
+//! Time is a thin newtype over `f64` seconds. The paper works in a mix of
+//! units (videos are 10 minutes to 2 hours, trials are 1000 hours, rates
+//! are Mb/s), so [`SimTime`] offers constructors and accessors for each and
+//! keeps the arithmetic honest at the type level: a `SimTime` is a point on
+//! the simulation clock, and differences/offsets are plain `f64` seconds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in seconds since the start of the run.
+///
+/// `SimTime` is totally ordered (the simulation never produces NaN
+/// timestamps; constructors debug-assert this) and cheap to copy.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The origin of the simulation clock.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// A time later than any event the simulation will schedule.
+    pub const FAR_FUTURE: SimTime = SimTime(f64::INFINITY);
+
+    /// Creates a time from seconds.
+    #[inline]
+    pub fn from_secs(secs: f64) -> Self {
+        debug_assert!(!secs.is_nan(), "SimTime must not be NaN");
+        SimTime(secs)
+    }
+
+    /// Creates a time from minutes.
+    #[inline]
+    pub fn from_mins(mins: f64) -> Self {
+        Self::from_secs(mins * 60.0)
+    }
+
+    /// Creates a time from hours.
+    #[inline]
+    pub fn from_hours(hours: f64) -> Self {
+        Self::from_secs(hours * 3600.0)
+    }
+
+    /// This time as seconds since the origin.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// This time as minutes since the origin.
+    #[inline]
+    pub fn as_mins(self) -> f64 {
+        self.0 / 60.0
+    }
+
+    /// This time as hours since the origin.
+    #[inline]
+    pub fn as_hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+
+    /// `true` if this is a finite point in time (not [`SimTime::FAR_FUTURE`]).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Returns the earlier of two times.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if other.0 < self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Returns the later of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Timestamps are never NaN (constructors assert), so total_cmp
+        // agrees with the IEEE order on the values we produce.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd<f64> for SimTime {
+    #[inline]
+    fn partial_cmp(&self, other: &f64) -> Option<std::cmp::Ordering> {
+        self.0.partial_cmp(other)
+    }
+}
+
+impl PartialEq<f64> for SimTime {
+    #[inline]
+    fn eq(&self, other: &f64) -> bool {
+        self.0 == *other
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    /// Advances the clock by `rhs` seconds.
+    #[inline]
+    fn add(self, rhs: f64) -> SimTime {
+        SimTime::from_secs(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: f64) {
+        self.0 += rhs;
+        debug_assert!(!self.0.is_nan());
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+    /// The elapsed seconds from `rhs` to `self`.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 3600.0 {
+            write!(f, "{:.2}h", self.as_hours())
+        } else if self.0 >= 60.0 {
+            write!(f, "{:.2}m", self.as_mins())
+        } else {
+            write!(f, "{:.3}s", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_round_trip() {
+        let t = SimTime::from_hours(2.5);
+        assert!((t.as_secs() - 9000.0).abs() < 1e-12);
+        assert!((t.as_mins() - 150.0).abs() < 1e-12);
+        assert!((t.as_hours() - 2.5).abs() < 1e-12);
+        let m = SimTime::from_mins(90.0);
+        assert!((m.as_hours() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_is_total_and_sane() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert!(SimTime::ZERO < SimTime::FAR_FUTURE);
+        assert!(!SimTime::FAR_FUTURE.is_finite());
+        assert!(a.is_finite());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_secs(10.0);
+        let b = a + 5.0;
+        assert_eq!(b.as_secs(), 15.0);
+        assert_eq!(b - a, 5.0);
+        let mut c = a;
+        c += 2.5;
+        assert_eq!(c.as_secs(), 12.5);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimTime::from_secs(5.0)), "5.000s");
+        assert_eq!(format!("{}", SimTime::from_secs(120.0)), "2.00m");
+        assert_eq!(format!("{}", SimTime::from_hours(3.0)), "3.00h");
+    }
+
+    #[test]
+    fn comparison_with_f64() {
+        let t = SimTime::from_secs(7.0);
+        assert!(t > 6.0);
+        assert!(t == 7.0);
+        assert!(t < 8.0);
+    }
+}

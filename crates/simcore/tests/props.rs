@@ -1,0 +1,150 @@
+//! Property tests for the simulation substrate.
+
+use proptest::prelude::*;
+use sct_simcore::{AliasTable, EventQueue, OnlineStats, Rng, SimTime, Summary, ZipfLike};
+
+proptest! {
+    /// The event queue pops strictly by (time, insertion order) — i.e. a
+    /// stable sort of the pushed entries.
+    #[test]
+    fn event_queue_is_a_stable_time_sort(times in prop::collection::vec(0.0f64..1e6, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_secs(t), i);
+        }
+        let mut expected: Vec<(f64, usize)> =
+            times.iter().copied().enumerate().map(|(i, t)| (t, i)).collect();
+        expected.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut popped = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push((e.time.as_secs(), e.payload));
+        }
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Welford merge is equivalent to sequential accumulation for any
+    /// split point.
+    #[test]
+    fn stats_merge_any_split(
+        data in prop::collection::vec(-1e6f64..1e6, 1..300),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((data.len() as f64) * split_frac) as usize;
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &data[..split] {
+            left.push(x);
+        }
+        for &x in &data[split..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!(
+            (left.variance() - whole.variance()).abs()
+                <= 1e-6 * (1.0 + whole.variance().abs())
+        );
+        prop_assert_eq!(left.min(), whole.min());
+        prop_assert_eq!(left.max(), whole.max());
+    }
+
+    /// Summary::of agrees with the accumulator and orders its fields.
+    #[test]
+    fn summary_fields_are_consistent(data in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+        let s = Summary::of(&data);
+        prop_assert_eq!(s.n, data.len() as u64);
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert!(s.ci95 >= 0.0);
+    }
+
+    /// The paper's Zipf-like law is a valid pmf for any finite skew, and
+    /// non-increasing in rank throughout the studied range θ ≤ 1
+    /// (θ = 1 is uniform; beyond it the exponent flips sign and the law
+    /// would favour the tail — outside the paper's domain).
+    #[test]
+    fn zipf_is_a_monotone_pmf(n in 1usize..400, theta in -2.5f64..=1.0) {
+        let z = ZipfLike::new(n, theta);
+        let sum: f64 = z.probs().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        for w in z.probs().windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-15);
+        }
+        prop_assert!(z.probs().iter().all(|&p| p > 0.0));
+    }
+
+    /// Alias sampling stays in range and never returns a zero-weight
+    /// category.
+    #[test]
+    fn alias_table_respects_support(
+        weights in prop::collection::vec(0.0f64..10.0, 1..64),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(weights.iter().any(|&w| w > 1e-9));
+        let t = AliasTable::new(&weights);
+        let mut rng = Rng::new(seed);
+        for _ in 0..256 {
+            let i = t.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            prop_assert!(
+                weights[i] > 0.0,
+                "sampled zero-weight category {} (weights {:?})",
+                i,
+                weights
+            );
+        }
+    }
+
+    /// below(n) is always within range, for any n and seed.
+    #[test]
+    fn rng_below_in_range(n in 1usize..1_000_000, seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    /// Shuffling preserves multiset contents.
+    #[test]
+    fn shuffle_is_permutation(mut v in prop::collection::vec(any::<i32>(), 0..100), seed in any::<u64>()) {
+        let mut sorted_before = v.clone();
+        sorted_before.sort_unstable();
+        let mut rng = Rng::new(seed);
+        rng.shuffle(&mut v);
+        v.sort_unstable();
+        prop_assert_eq!(v, sorted_before);
+    }
+
+    /// Forked streams are reproducible functions of (parent seed, stream).
+    #[test]
+    fn fork_reproducible(seed in any::<u64>(), stream in any::<u64>()) {
+        let a: Vec<u64> = {
+            let mut r = Rng::new(seed).fork(stream);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::new(seed).fork(stream);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        prop_assert_eq!(a, b);
+    }
+
+    /// sample_indices returns exactly k distinct in-range indices.
+    #[test]
+    fn sample_indices_contract(n in 1usize..64, frac in 0.0f64..1.0, seed in any::<u64>()) {
+        let k = ((n as f64) * frac) as usize;
+        let mut rng = Rng::new(seed);
+        let s = rng.sample_indices(n, k);
+        prop_assert_eq!(s.len(), k);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        prop_assert_eq!(d.len(), k);
+        prop_assert!(s.iter().all(|&i| i < n));
+    }
+}

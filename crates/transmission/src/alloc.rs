@@ -1,0 +1,361 @@
+//! Bandwidth allocation policies (minimum-flow family).
+//!
+//! All policies share the minimum-flow skeleton: every unfinished stream
+//! first receives its view bandwidth; the policies differ only in how the
+//! *spare* server bandwidth is distributed among streams whose staging
+//! buffers still have room:
+//!
+//! * [`SchedulerKind::Eftf`] — the paper's Earliest Finishing Time First
+//!   (Fig. 2): spare goes to the stream with the earliest projected finish,
+//!   up to its client receive cap, then the next, and so on. Optimal among
+//!   minimum-flow algorithms for unbounded receive caps (Theorem 1).
+//! * [`SchedulerKind::LatestFinishFirst`] — the adversarial mirror image;
+//!   an ablation baseline showing the ordering matters.
+//! * [`SchedulerKind::ProportionalShare`] — waterfilling: spare is split
+//!   evenly among candidates, respecting receive caps; a "fair" baseline.
+//! * [`SchedulerKind::NoWorkahead`] — no spare is handed out at all:
+//!   classic *continuous* transmission, the pre-paper state of the art.
+//!
+//! [`allocate`] mutates the streams' rates in place and returns the spare
+//! bandwidth that could not be used (all buffers full / caps reached).
+
+use crate::stream::Stream;
+use crate::EPS_MB;
+use sct_simcore::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Which minimum-flow allocation policy a server runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Earliest Finishing Time First (the paper's algorithm, Fig. 2).
+    Eftf,
+    /// Latest finishing time first — adversarial ablation.
+    LatestFinishFirst,
+    /// Even split of spare bandwidth among eligible streams (waterfill).
+    ProportionalShare,
+    /// No workahead: every stream gets exactly `b_view` (continuous
+    /// transmission baseline).
+    NoWorkahead,
+}
+
+impl SchedulerKind {
+    /// All variants, for ablation sweeps.
+    pub const ALL: [SchedulerKind; 4] = [
+        SchedulerKind::Eftf,
+        SchedulerKind::LatestFinishFirst,
+        SchedulerKind::ProportionalShare,
+        SchedulerKind::NoWorkahead,
+    ];
+
+    /// Short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::Eftf => "eftf",
+            SchedulerKind::LatestFinishFirst => "lff",
+            SchedulerKind::ProportionalShare => "prop",
+            SchedulerKind::NoWorkahead => "none",
+        }
+    }
+}
+
+/// Distributes `capacity_mbps` across `streams` at time `now` according to
+/// `kind`, writing each stream's rate. All streams must be unfinished and
+/// advanced to `now`. Returns the unused (idle) bandwidth.
+///
+/// ```
+/// use sct_transmission::{allocate, SchedulerKind, Stream, StreamId};
+/// use sct_media::{ClientProfile, VideoId};
+/// use sct_simcore::SimTime;
+/// let client = ClientProfile::new(1e6, 30.0);
+/// let mut streams = vec![
+///     Stream::new(StreamId(1), VideoId(0), 30.0, 3.0, client, SimTime::ZERO),
+///     Stream::new(StreamId(2), VideoId(1), 600.0, 3.0, client, SimTime::ZERO),
+/// ];
+/// let idle = allocate(SchedulerKind::Eftf, 40.0, SimTime::ZERO, &mut streams);
+/// // Minimum flow 3 + 3; EFTF gives the earliest finisher the spare, up
+/// // to its 30 Mb/s receive cap; the rest goes to the other stream.
+/// assert_eq!(streams[0].rate(), 30.0);
+/// assert_eq!(streams[1].rate(), 10.0);
+/// assert_eq!(idle, 0.0);
+/// ```
+///
+/// Panics in debug builds if the minimum-flow admission invariant
+/// (Σ `b_view` ≤ capacity) is violated — admission control must prevent
+/// that before calling.
+pub fn allocate(
+    kind: SchedulerKind,
+    capacity_mbps: f64,
+    now: SimTime,
+    streams: &mut [Stream],
+) -> f64 {
+    // Phase 1: minimum flow. Paused streams consume nothing, so their
+    // guaranteed minimum is zero — a paused stream with a full buffer
+    // cannot absorb even the view rate (interactivity extension; in the
+    // paper's regime nothing is ever paused and every stream gets b_view).
+    let mut used = 0.0;
+    for s in streams.iter_mut() {
+        debug_assert!(!s.is_finished(), "finished streams must be reaped first");
+        let min = if s.is_paused() { 0.0 } else { s.view_rate };
+        s.set_rate(min);
+        used += min;
+    }
+    let mut spare = capacity_mbps - used;
+    debug_assert!(
+        spare >= -EPS_MB,
+        "admission let through too many streams: used {used} of {capacity_mbps}"
+    );
+    if spare <= EPS_MB {
+        return spare.max(0.0);
+    }
+
+    // Phase 2: distribute spare among streams that can absorb workahead.
+    let mut candidates: Vec<usize> = (0..streams.len())
+        .filter(|&i| !streams[i].buffer_full(now))
+        .collect();
+
+    match kind {
+        SchedulerKind::NoWorkahead => {}
+        SchedulerKind::Eftf | SchedulerKind::LatestFinishFirst => {
+            candidates.sort_by(|&a, &b| {
+                let fa = streams[a].projected_finish(now);
+                let fb = streams[b].projected_finish(now);
+                let ord = fa.cmp(&fb).then(streams[a].id.cmp(&streams[b].id));
+                if kind == SchedulerKind::LatestFinishFirst {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            });
+            for &i in &candidates {
+                if spare <= EPS_MB {
+                    break;
+                }
+                let s = &mut streams[i];
+                let headroom = s.client.receive_cap_mbps - s.rate();
+                let give = spare.min(headroom).max(0.0);
+                s.set_rate(s.rate() + give);
+                spare -= give;
+            }
+        }
+        SchedulerKind::ProportionalShare => {
+            spare -= waterfill(spare, now, streams, &candidates);
+        }
+    }
+    spare.max(0.0)
+}
+
+/// Exact waterfill: finds the common extra rate `r` such that
+/// `Σ min(headroom_i, r) = spare` (or hands out all headroom if spare
+/// exceeds it). Returns the amount distributed.
+fn waterfill(spare: f64, _now: SimTime, streams: &mut [Stream], candidates: &[usize]) -> f64 {
+    if candidates.is_empty() || spare <= EPS_MB {
+        return 0.0;
+    }
+    let mut headrooms: Vec<(usize, f64)> = candidates
+        .iter()
+        .map(|&i| {
+            let s = &streams[i];
+            (i, (s.client.receive_cap_mbps - s.rate()).max(0.0))
+        })
+        .collect();
+    headrooms.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+
+    let total_headroom: f64 = headrooms.iter().map(|&(_, h)| h).sum();
+    if total_headroom <= spare {
+        // Everyone saturates.
+        for &(i, h) in &headrooms {
+            let s = &mut streams[i];
+            s.set_rate(s.rate() + h);
+        }
+        return total_headroom;
+    }
+
+    // Find the water level. Processing in ascending headroom order: once a
+    // stream's headroom is below the provisional even share, it saturates
+    // and the rest re-split.
+    let mut remaining = spare;
+    let mut left = headrooms.len();
+    let mut level = 0.0;
+    for &(_, h) in &headrooms {
+        let share = remaining / left as f64;
+        if h <= share {
+            remaining -= h;
+            left -= 1;
+        } else {
+            level = share;
+            break;
+        }
+    }
+    let mut given = 0.0;
+    for &(i, h) in &headrooms {
+        let extra = h.min(level.max(0.0)).min(h);
+        // Saturated streams (h <= their share) take exactly h; the rest
+        // take the final level.
+        let extra = if h <= level { h } else { extra };
+        let s = &mut streams[i];
+        s.set_rate(s.rate() + extra);
+        given += extra;
+    }
+    given
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{Stream, StreamId};
+    use sct_media::{ClientProfile, VideoId};
+
+    const NOW: SimTime = SimTime::ZERO;
+
+    /// A stream with `remaining` Mb left, buffer capacity `cap`, receive
+    /// cap `recv`, view rate 3.
+    fn mk(id: u64, size: f64, cap: f64, recv: f64) -> Stream {
+        Stream::new(
+            StreamId(id),
+            VideoId(id as u32),
+            size,
+            3.0,
+            ClientProfile::new(cap, recv),
+            NOW,
+        )
+    }
+
+    fn rates(streams: &[Stream]) -> Vec<f64> {
+        streams.iter().map(|s| s.rate()).collect()
+    }
+
+    #[test]
+    fn min_flow_always_granted() {
+        let mut streams = vec![mk(1, 300.0, 0.0, 30.0), mk(2, 600.0, 0.0, 30.0)];
+        for kind in SchedulerKind::ALL {
+            let idle = allocate(kind, 100.0, NOW, &mut streams);
+            assert_eq!(rates(&streams), vec![3.0, 3.0], "{kind:?}");
+            assert!((idle - 94.0).abs() < 1e-9, "{kind:?}: idle {idle}");
+        }
+    }
+
+    #[test]
+    fn eftf_favors_earliest_finish() {
+        // Stream 1 has 30 Mb left (finish in 10 s at b_view), stream 2 has
+        // 600 Mb (200 s). Both have big buffers and 30 Mb/s caps.
+        let mut streams = vec![mk(1, 30.0, 1e6, 30.0), mk(2, 600.0, 1e6, 30.0)];
+        let idle = allocate(SchedulerKind::Eftf, 40.0, NOW, &mut streams);
+        // min flow: 3+3; spare 34 → stream 1 up to 30, stream 2 gets 7.
+        assert_eq!(rates(&streams), vec![30.0, 10.0]);
+        assert_eq!(idle, 0.0);
+    }
+
+    #[test]
+    fn lff_mirrors_eftf() {
+        let mut streams = vec![mk(1, 30.0, 1e6, 30.0), mk(2, 600.0, 1e6, 30.0)];
+        allocate(SchedulerKind::LatestFinishFirst, 40.0, NOW, &mut streams);
+        assert_eq!(rates(&streams), vec![10.0, 30.0]);
+    }
+
+    #[test]
+    fn full_buffers_get_only_view_rate() {
+        // Zero staging: workahead impossible even with spare capacity.
+        let mut streams = vec![mk(1, 300.0, 0.0, 30.0), mk(2, 300.0, 1e6, 30.0)];
+        let idle = allocate(SchedulerKind::Eftf, 100.0, NOW, &mut streams);
+        assert_eq!(streams[0].rate(), 3.0);
+        assert_eq!(streams[1].rate(), 30.0);
+        assert!((idle - 67.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn receive_cap_limits_workahead() {
+        let mut streams = vec![mk(1, 300.0, 1e6, 5.0)];
+        let idle = allocate(SchedulerKind::Eftf, 100.0, NOW, &mut streams);
+        assert_eq!(streams[0].rate(), 5.0);
+        assert!((idle - 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_workahead_ignores_spare() {
+        let mut streams = vec![mk(1, 300.0, 1e6, 30.0), mk(2, 300.0, 1e6, 30.0)];
+        let idle = allocate(SchedulerKind::NoWorkahead, 100.0, NOW, &mut streams);
+        assert_eq!(rates(&streams), vec![3.0, 3.0]);
+        assert!((idle - 94.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proportional_share_splits_evenly() {
+        let mut streams = vec![
+            mk(1, 300.0, 1e6, 30.0),
+            mk(2, 600.0, 1e6, 30.0),
+            mk(3, 900.0, 1e6, 30.0),
+        ];
+        let idle = allocate(SchedulerKind::ProportionalShare, 30.0, NOW, &mut streams);
+        // 9 min-flow, spare 21 → 7 extra each.
+        assert_eq!(rates(&streams), vec![10.0, 10.0, 10.0]);
+        assert!(idle.abs() < 1e-9);
+    }
+
+    #[test]
+    fn proportional_share_respects_uneven_caps() {
+        let mut streams = vec![
+            mk(1, 300.0, 1e6, 5.0),  // headroom 2
+            mk(2, 300.0, 1e6, 30.0), // headroom 27
+            mk(3, 300.0, 1e6, 30.0), // headroom 27
+        ];
+        let idle = allocate(SchedulerKind::ProportionalShare, 31.0, NOW, &mut streams);
+        // min-flow 9, spare 22: stream 1 saturates at +2, remaining 20
+        // splits 10/10.
+        assert_eq!(rates(&streams), vec![5.0, 13.0, 13.0]);
+        assert!(idle.abs() < 1e-9);
+    }
+
+    #[test]
+    fn proportional_share_with_excess_spare_saturates_everyone() {
+        let mut streams = vec![mk(1, 300.0, 1e6, 10.0), mk(2, 300.0, 1e6, 10.0)];
+        let idle = allocate(SchedulerKind::ProportionalShare, 100.0, NOW, &mut streams);
+        assert_eq!(rates(&streams), vec![10.0, 10.0]);
+        assert!((idle - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allocation_conserves_capacity() {
+        for kind in SchedulerKind::ALL {
+            let mut streams: Vec<Stream> = (0..20)
+                .map(|i| mk(i, 100.0 + 37.0 * i as f64, (i % 3) as f64 * 500.0, 30.0))
+                .collect();
+            let idle = allocate(kind, 100.0, NOW, &mut streams);
+            let total: f64 = streams.iter().map(|s| s.rate()).sum();
+            assert!(
+                (total + idle - 100.0).abs() < 1e-6,
+                "{kind:?}: {total} + {idle} != 100"
+            );
+            for s in &streams {
+                assert!(s.rate() >= s.view_rate - 1e-12, "{kind:?} broke min-flow");
+                assert!(
+                    s.rate() <= s.client.receive_cap_mbps + 1e-12,
+                    "{kind:?} broke receive cap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_server_is_all_idle() {
+        let mut streams: Vec<Stream> = Vec::new();
+        for kind in SchedulerKind::ALL {
+            assert_eq!(allocate(kind, 100.0, NOW, &mut streams), 100.0);
+        }
+    }
+
+    #[test]
+    fn eftf_tie_break_is_by_id() {
+        // Identical projected finishes: lower id wins the spare.
+        let mut streams = vec![mk(2, 300.0, 1e6, 30.0), mk(1, 300.0, 1e6, 30.0)];
+        allocate(SchedulerKind::Eftf, 33.0, NOW, &mut streams);
+        // spare = 27 → id 1 takes it all (up to cap).
+        assert_eq!(streams[1].rate(), 30.0);
+        assert_eq!(streams[0].rate(), 3.0);
+    }
+
+    #[test]
+    fn scheduler_names_are_stable() {
+        assert_eq!(SchedulerKind::Eftf.name(), "eftf");
+        assert_eq!(SchedulerKind::NoWorkahead.name(), "none");
+    }
+}

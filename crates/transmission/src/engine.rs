@@ -1,0 +1,592 @@
+//! Per-server stream engine.
+//!
+//! A [`ServerEngine`] owns the streams currently served by one data source
+//! and advances them between events. The global simulation drives it with
+//! three operations:
+//!
+//! 1. [`ServerEngine::advance_to`] — integrate all stream states (and the
+//!    transmitted-megabits meter) up to the current time;
+//! 2. mutations — [`admit`](ServerEngine::admit),
+//!    [`reap_finished`](ServerEngine::reap_finished),
+//!    [`remove_stream`](ServerEngine::remove_stream) (migration out);
+//! 3. [`ServerEngine::reschedule`] — re-run the bandwidth allocator and
+//!    report when this server next needs attention (earliest stream
+//!    completion or staging-buffer fill).
+//!
+//! Stale wake-ups are filtered with a generation counter: every
+//! `reschedule` invalidates previously scheduled wakes, so the global
+//! event queue never needs to delete entries.
+
+use crate::alloc::{allocate, SchedulerKind};
+use crate::stream::{Stream, StreamId};
+use crate::{EPS_MB, EPS_SECS};
+use sct_cluster::ServerId;
+use sct_simcore::SimTime;
+
+/// What a scheduled wake-up is expected to handle (diagnostic only — the
+/// engine re-derives the actual state when woken).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// A stream will have transmitted all its data.
+    Completion,
+    /// A client staging buffer will be full.
+    BufferFull,
+}
+
+/// The transmission state of one data server.
+#[derive(Clone, Debug)]
+pub struct ServerEngine {
+    id: ServerId,
+    capacity_mbps: f64,
+    scheduler: SchedulerKind,
+    streams: Vec<Stream>,
+    clock: SimTime,
+    /// Megabits transmitted since the measurement start.
+    measured_mb: f64,
+    /// Megabits transmitted since t = 0 (includes warm-up).
+    transmitted_mb: f64,
+    /// Transmission before this instant does not count toward utilization.
+    measure_start: SimTime,
+    generation: u64,
+    /// Sum of admitted view rates — the minimum-flow commitment.
+    committed_mbps: f64,
+    /// Whether the server is up. Offline servers admit nothing and hold no
+    /// streams; see [`ServerEngine::fail`].
+    online: bool,
+}
+
+impl ServerEngine {
+    /// Creates an idle engine.
+    pub fn new(id: ServerId, capacity_mbps: f64, scheduler: SchedulerKind) -> Self {
+        assert!(capacity_mbps > 0.0);
+        ServerEngine {
+            id,
+            capacity_mbps,
+            scheduler,
+            streams: Vec::new(),
+            clock: SimTime::ZERO,
+            measured_mb: 0.0,
+            transmitted_mb: 0.0,
+            measure_start: SimTime::ZERO,
+            generation: 0,
+            committed_mbps: 0.0,
+            online: true,
+        }
+    }
+
+    /// Sets the utilization-measurement start (warm-up cutoff). Must be
+    /// called before the simulation starts.
+    pub fn set_measure_start(&mut self, t: SimTime) {
+        assert!(self.clock == SimTime::ZERO && self.streams.is_empty());
+        self.measure_start = t;
+    }
+
+    /// Server id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Outbound capacity in Mb/s.
+    pub fn capacity_mbps(&self) -> f64 {
+        self.capacity_mbps
+    }
+
+    /// Number of unfinished streams currently assigned here.
+    pub fn active_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// The streams currently assigned here (read-only; used by the
+    /// migration victim search).
+    pub fn streams(&self) -> &[Stream] {
+        &self.streams
+    }
+
+    /// Current wake generation; wake-ups carrying an older generation are
+    /// stale and must be ignored.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The engine's local clock (time of last `advance_to`).
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Megabits transmitted within the measurement window so far.
+    pub fn measured_mb(&self) -> f64 {
+        self.measured_mb
+    }
+
+    /// Megabits transmitted since t = 0.
+    pub fn transmitted_mb(&self) -> f64 {
+        self.transmitted_mb
+    }
+
+    /// Minimum-flow admission test (§3.3): can this server take one more
+    /// stream viewed at `view_rate` without breaking Σ b_view ≤ capacity?
+    /// Offline servers admit nothing.
+    pub fn can_admit(&self, view_rate: f64) -> bool {
+        self.online && self.committed_mbps + view_rate <= self.capacity_mbps + EPS_MB
+    }
+
+    /// `true` while the server is up.
+    pub fn is_online(&self) -> bool {
+        self.online
+    }
+
+    /// Fails the server at `now`: integrates state, takes every active
+    /// stream off it (their transmission state intact, for possible
+    /// emergency migration by the controller), and marks it offline.
+    /// Previously scheduled wakes become stale.
+    pub fn fail(&mut self, now: SimTime) -> Vec<Stream> {
+        self.advance_to(now);
+        self.generation += 1;
+        self.online = false;
+        self.committed_mbps = 0.0;
+        std::mem::take(&mut self.streams)
+    }
+
+    /// Repairs the server at `now`: it comes back empty and admitting.
+    pub fn repair(&mut self, now: SimTime) {
+        self.advance_to(now);
+        assert!(self.streams.is_empty(), "offline servers cannot hold streams");
+        self.generation += 1;
+        self.online = true;
+    }
+
+    /// Integrates all stream states from the engine clock to `now`.
+    /// Idempotent for equal times; panics if time would run backwards.
+    pub fn advance_to(&mut self, now: SimTime) {
+        let dt = now - self.clock;
+        assert!(dt >= -EPS_SECS, "engine {} time went backwards", self.id);
+        if dt <= 0.0 {
+            self.clock = now;
+            return;
+        }
+        // Fraction of this interval inside the measurement window. Rates
+        // are constant across the interval, so a linear share is exact.
+        let measured_fraction = if self.measure_start <= self.clock {
+            1.0
+        } else if self.measure_start >= now {
+            0.0
+        } else {
+            (now - self.measure_start) / dt
+        };
+        for s in &mut self.streams {
+            let delta = s.advance_to(now);
+            self.transmitted_mb += delta;
+            self.measured_mb += delta * measured_fraction;
+        }
+        self.clock = now;
+    }
+
+    /// Admits a stream (must satisfy [`ServerEngine::can_admit`]) and
+    /// reallocates bandwidth. Returns the next wake time.
+    pub fn admit(&mut self, stream: Stream, now: SimTime) -> Option<SimTime> {
+        self.advance_to(now);
+        assert!(
+            self.can_admit(stream.view_rate),
+            "admission invariant violated on {}",
+            self.id
+        );
+        assert!(!stream.is_finished());
+        self.committed_mbps += stream.view_rate;
+        self.streams.push(stream);
+        self.reschedule(now)
+    }
+
+    /// Removes and returns every finished stream. Call after
+    /// `advance_to(now)` at a wake; follow with [`ServerEngine::reschedule`].
+    pub fn reap_finished(&mut self, now: SimTime) -> Vec<Stream> {
+        debug_assert!((now - self.clock).abs() <= EPS_SECS, "reap before advancing");
+        let mut finished = Vec::new();
+        let mut i = 0;
+        while i < self.streams.len() {
+            if self.streams[i].is_finished() {
+                let s = self.streams.swap_remove(i);
+                self.committed_mbps -= s.view_rate;
+                finished.push(s);
+            } else {
+                i += 1;
+            }
+        }
+        if self.streams.is_empty() {
+            self.committed_mbps = 0.0; // absorb float drift at idle
+        }
+        finished
+    }
+
+    /// Removes a specific stream (for migration to another server).
+    /// The caller must `advance_to(now)` first and `reschedule` after.
+    pub fn remove_stream(&mut self, id: StreamId, now: SimTime) -> Option<Stream> {
+        debug_assert!((now - self.clock).abs() <= EPS_SECS);
+        let idx = self.streams.iter().position(|s| s.id == id)?;
+        let s = self.streams.swap_remove(idx);
+        self.committed_mbps -= s.view_rate;
+        if self.streams.is_empty() {
+            self.committed_mbps = 0.0;
+        }
+        Some(s)
+    }
+
+    /// Pauses or resumes a stream's playback (interactivity extension).
+    /// Returns `false` if the stream is not on this server (it may have
+    /// completed or migrated away). The caller must `reschedule` after a
+    /// successful toggle.
+    pub fn set_paused(&mut self, id: StreamId, paused: bool, now: SimTime) -> bool {
+        self.advance_to(now);
+        match self.streams.iter_mut().find(|s| s.id == id) {
+            Some(s) => {
+                if paused {
+                    s.pause(now);
+                } else {
+                    s.resume(now);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Re-runs the allocator at `now`, bumps the wake generation, and
+    /// returns the time of the next intrinsic event (stream completion or
+    /// buffer fill), if any.
+    pub fn reschedule(&mut self, now: SimTime) -> Option<SimTime> {
+        debug_assert!((now - self.clock).abs() <= EPS_SECS, "reschedule before advancing");
+        self.generation += 1;
+        allocate(self.scheduler, self.capacity_mbps, now, &mut self.streams);
+        self.next_event_after(now).map(|(t, _)| t)
+    }
+
+    /// When (and why) this server next changes state on its own.
+    pub fn next_event_after(&self, now: SimTime) -> Option<(SimTime, EngineEvent)> {
+        let mut best: Option<(SimTime, EngineEvent)> = None;
+        for s in &self.streams {
+            if let Some(dt) = s.time_to_completion() {
+                let t = now + dt;
+                if best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, EngineEvent::Completion));
+                }
+            }
+            if let Some(dt) = s.time_to_buffer_full(now) {
+                let t = now + dt;
+                if best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, EngineEvent::BufferFull));
+                }
+            }
+        }
+        best
+    }
+
+    /// Validates engine-level invariants at the current clock. Test aid.
+    pub fn check_invariants(&self) {
+        let now = self.clock;
+        let mut total_rate = 0.0;
+        let mut committed = 0.0;
+        for s in &self.streams {
+            s.check_invariants(now);
+            assert!(!s.is_finished(), "finished stream not reaped");
+            assert!(
+                s.is_paused() || s.rate() >= s.view_rate - EPS_MB,
+                "min-flow violated on {}",
+                self.id
+            );
+            total_rate += s.rate();
+            committed += s.view_rate;
+        }
+        assert!(
+            total_rate <= self.capacity_mbps + EPS_MB * self.streams.len() as f64,
+            "capacity exceeded on {}: {total_rate} > {}",
+            self.id,
+            self.capacity_mbps
+        );
+        assert!(
+            (committed - self.committed_mbps).abs() < EPS_MB * (1.0 + self.streams.len() as f64),
+            "committed bandwidth drifted on {}",
+            self.id
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_media::{ClientProfile, VideoId};
+
+    fn mk_stream(id: u64, size: f64, cap: f64, now: SimTime) -> Stream {
+        Stream::new(
+            StreamId(id),
+            VideoId(id as u32),
+            size,
+            3.0,
+            ClientProfile::new(cap, 30.0),
+            now,
+        )
+    }
+
+    fn engine() -> ServerEngine {
+        ServerEngine::new(ServerId(0), 100.0, SchedulerKind::Eftf)
+    }
+
+    #[test]
+    fn admission_respects_capacity() {
+        let mut e = ServerEngine::new(ServerId(0), 10.0, SchedulerKind::Eftf);
+        let now = SimTime::ZERO;
+        assert!(e.can_admit(3.0));
+        e.admit(mk_stream(1, 300.0, 0.0, now), now);
+        e.admit(mk_stream(2, 300.0, 0.0, now), now);
+        e.admit(mk_stream(3, 300.0, 0.0, now), now);
+        // 3 × 3 = 9; a fourth would commit 12 > 10.
+        assert!(!e.can_admit(3.0));
+        assert_eq!(e.active_count(), 3);
+        e.check_invariants();
+    }
+
+    #[test]
+    fn single_stream_completes_at_projected_time() {
+        let mut e = engine();
+        let now = SimTime::ZERO;
+        // 300 Mb, 30 Mb/s receive cap, huge buffer: EFTF sends at 30 → 10 s.
+        let wake = e.admit(mk_stream(1, 300.0, 1e9, now), now).unwrap();
+        assert!((wake.as_secs() - 10.0).abs() < 1e-9);
+        e.advance_to(wake);
+        let done = e.reap_finished(wake);
+        assert_eq!(done.len(), 1);
+        assert!(done[0].is_finished());
+        assert_eq!(e.active_count(), 0);
+        assert!((e.transmitted_mb() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_staging_stream_completes_exactly_at_deadline() {
+        let mut e = engine();
+        let now = SimTime::ZERO;
+        let wake = e.admit(mk_stream(1, 300.0, 0.0, now), now).unwrap();
+        assert!((wake.as_secs() - 100.0).abs() < 1e-9, "wake {wake}");
+        e.advance_to(wake);
+        assert_eq!(e.reap_finished(wake).len(), 1);
+    }
+
+    #[test]
+    fn buffer_full_event_then_completion() {
+        let mut e = engine();
+        let now = SimTime::ZERO;
+        // 300 Mb object, 54 Mb buffer, cap 30: buffer grows at 27 → full at
+        // 2 s. Then rate drops to 3; remaining 240 Mb → completes at 82 s
+        // (wall): sent(2s)=60, viewed grows with playback; transmission
+        // finishes when sent = 300 → 2 + 240/3 = 82 s.
+        let w1 = e.admit(mk_stream(1, 300.0, 54.0, now), now).unwrap();
+        assert!((w1.as_secs() - 2.0).abs() < 1e-9, "w1 {w1}");
+        e.advance_to(w1);
+        assert!(e.reap_finished(w1).is_empty());
+        let w2 = e.reschedule(w1).unwrap();
+        assert!((w2.as_secs() - 82.0).abs() < 1e-9, "w2 {w2}");
+        e.advance_to(w2);
+        let done = e.reap_finished(w2);
+        assert_eq!(done.len(), 1);
+        e.check_invariants();
+    }
+
+    #[test]
+    fn eftf_reassigns_spare_when_first_buffer_fills() {
+        let mut e = engine();
+        let now = SimTime::ZERO;
+        // Stream 1 finishes earlier → gets the workahead until its buffer
+        // fills; then stream 2 should inherit the spare.
+        e.admit(mk_stream(1, 150.0, 27.0, now), now);
+        let wake = e.admit(mk_stream(2, 600.0, 1e9, now), now).unwrap();
+        // Both get min-flow 3; spare 94 goes to stream 1 first, capped at
+        // receive 30 → rate 30, growth 27, headroom 27 → full at 1 s.
+        // Stream 2 receives the remainder: min(94-27, 27) → rate 30 too.
+        let r1 = e.streams().iter().find(|s| s.id == StreamId(1)).unwrap().rate();
+        let r2 = e.streams().iter().find(|s| s.id == StreamId(2)).unwrap().rate();
+        assert_eq!(r1, 30.0);
+        assert_eq!(r2, 30.0);
+        assert!((wake.as_secs() - 1.0).abs() < 1e-9);
+        e.advance_to(wake);
+        e.reap_finished(wake);
+        e.reschedule(wake);
+        let r1 = e.streams().iter().find(|s| s.id == StreamId(1)).unwrap().rate();
+        let r2 = e.streams().iter().find(|s| s.id == StreamId(2)).unwrap().rate();
+        assert_eq!(r1, 3.0, "full buffer drops to view rate");
+        assert_eq!(r2, 30.0, "later stream keeps its workahead");
+        e.check_invariants();
+    }
+
+    #[test]
+    fn measured_window_excludes_warmup() {
+        let mut e = engine();
+        e.set_measure_start(SimTime::from_secs(50.0));
+        let now = SimTime::ZERO;
+        // No staging: constant 3 Mb/s for 100 s.
+        e.admit(mk_stream(1, 300.0, 0.0, now), now);
+        e.advance_to(SimTime::from_secs(100.0));
+        assert!((e.transmitted_mb() - 300.0).abs() < 1e-9);
+        assert!((e.measured_mb() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_window_straddling_interval_is_split_exactly() {
+        let mut e = engine();
+        e.set_measure_start(SimTime::from_secs(30.0));
+        let now = SimTime::ZERO;
+        e.admit(mk_stream(1, 300.0, 0.0, now), now);
+        // One single advance across the boundary.
+        e.advance_to(SimTime::from_secs(40.0));
+        assert!((e.measured_mb() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remove_stream_for_migration_preserves_state() {
+        let mut e = engine();
+        let now = SimTime::ZERO;
+        e.admit(mk_stream(1, 300.0, 1e9, now), now);
+        let t = SimTime::from_secs(2.0);
+        e.advance_to(t);
+        let s = e.remove_stream(StreamId(1), t).unwrap();
+        assert!((s.sent_mb() - 60.0).abs() < 1e-9, "sent {}", s.sent_mb());
+        assert_eq!(e.active_count(), 0);
+        assert!(e.can_admit(3.0));
+        // Re-admission elsewhere continues from the same state.
+        let mut e2 = ServerEngine::new(ServerId(1), 100.0, SchedulerKind::Eftf);
+        e2.advance_to(t);
+        let mut s = s;
+        s.record_hop();
+        e2.admit(s, t);
+        assert_eq!(e2.streams()[0].hops, 1);
+        assert!((e2.streams()[0].sent_mb() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remove_missing_stream_is_none() {
+        let mut e = engine();
+        assert!(e.remove_stream(StreamId(9), SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn generation_bumps_on_reschedule() {
+        let mut e = engine();
+        let g0 = e.generation();
+        e.reschedule(SimTime::ZERO);
+        assert_eq!(e.generation(), g0 + 1);
+        e.admit(mk_stream(1, 300.0, 0.0, SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(e.generation(), g0 + 2);
+    }
+
+    #[test]
+    fn idle_engine_has_no_events() {
+        let e = engine();
+        assert!(e.next_event_after(SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn paused_stream_releases_bandwidth_to_others() {
+        let mut e = ServerEngine::new(ServerId(0), 9.0, SchedulerKind::Eftf);
+        let now = SimTime::ZERO;
+        // Three streams saturate the 9 Mb/s server at min flow.
+        for i in 0..3 {
+            e.admit(mk_stream(i, 300.0, 1e6, now), now);
+        }
+        assert!(e.streams().iter().all(|s| s.rate() == 3.0));
+        // Pausing one frees its minimum flow; EFTF hands it to the
+        // earliest finisher among the others... including possibly the
+        // paused stream itself (it still has buffer room).
+        let t = SimTime::from_secs(1.0);
+        assert!(e.set_paused(StreamId(1), true, t));
+        e.reschedule(t);
+        let total: f64 = e.streams().iter().map(|s| s.rate()).sum();
+        assert!((total - 9.0).abs() < 1e-9, "capacity stays busy: {total}");
+        for s in e.streams() {
+            if !s.is_paused() {
+                assert!(s.rate() >= 3.0 - 1e-9, "min flow for playing streams");
+            }
+        }
+        e.check_invariants();
+    }
+
+    #[test]
+    fn pause_unknown_stream_is_false() {
+        let mut e = engine();
+        assert!(!e.set_paused(StreamId(77), true, SimTime::ZERO));
+    }
+
+    #[test]
+    fn paused_full_buffer_stream_goes_idle() {
+        let mut e = ServerEngine::new(ServerId(0), 30.0, SchedulerKind::Eftf);
+        let now = SimTime::ZERO;
+        // 30 Mb buffer fills quickly at full rate.
+        e.admit(mk_stream(1, 300.0, 30.0, now), now);
+        let w = e.next_event_after(now).unwrap().0; // buffer-full
+        e.advance_to(w);
+        e.reschedule(w);
+        assert!(e.set_paused(StreamId(1), true, w));
+        e.reschedule(w);
+        let s = &e.streams()[0];
+        assert_eq!(s.rate(), 0.0, "paused + full buffer → no feed");
+        assert!(e.next_event_after(w).is_none(), "nothing can happen until resume");
+        e.check_invariants();
+    }
+
+    #[test]
+    fn fail_takes_streams_and_blocks_admission() {
+        let mut e = engine();
+        let now = SimTime::ZERO;
+        e.admit(mk_stream(1, 300.0, 1e9, now), now);
+        e.admit(mk_stream(2, 300.0, 1e9, now), now);
+        let t = SimTime::from_secs(2.0);
+        let taken = e.fail(t);
+        assert_eq!(taken.len(), 2);
+        assert!(!e.is_online());
+        assert!(!e.can_admit(3.0));
+        assert_eq!(e.active_count(), 0);
+        // Transmission state survived the failure (for emergency
+        // migration): both streams got workahead before the crash.
+        assert!(taken.iter().all(|s| s.sent_mb() > 6.0 - 1e-9));
+        assert!(e.next_event_after(t).is_none());
+    }
+
+    #[test]
+    fn repair_restores_admission() {
+        let mut e = engine();
+        let t0 = SimTime::ZERO;
+        e.admit(mk_stream(1, 300.0, 0.0, t0), t0);
+        let t1 = SimTime::from_secs(1.0);
+        e.fail(t1);
+        let g_down = e.generation();
+        let t2 = SimTime::from_secs(5.0);
+        e.repair(t2);
+        assert!(e.is_online());
+        assert!(e.generation() > g_down, "repair must invalidate stale wakes");
+        assert!(e.can_admit(3.0));
+        e.admit(mk_stream(2, 300.0, 0.0, t2), t2);
+        assert_eq!(e.active_count(), 1);
+        e.check_invariants();
+    }
+
+    #[test]
+    fn many_streams_conserve_data() {
+        let mut e = engine();
+        let now = SimTime::ZERO;
+        for i in 0..30 {
+            e.admit(mk_stream(i, 90.0 + i as f64, 30.0, now), now);
+        }
+        // Run the engine loop manually for a while.
+        let mut t = now;
+        let mut total_reaped = 0.0;
+        for _ in 0..500 {
+            let Some(next) = e.next_event_after(t) else { break };
+            t = next.0;
+            e.advance_to(t);
+            for s in e.reap_finished(t) {
+                total_reaped += s.sent_mb();
+            }
+            e.reschedule(t);
+            e.check_invariants();
+        }
+        assert_eq!(e.active_count(), 0, "everything finishes");
+        let expected: f64 = (0..30).map(|i| 90.0 + i as f64).sum();
+        assert!((total_reaped - expected).abs() < 1e-6);
+        assert!((e.transmitted_mb() - expected).abs() < 1e-6);
+    }
+}

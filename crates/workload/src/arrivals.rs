@@ -1,0 +1,255 @@
+//! Poisson arrival process and offered-load calibration.
+
+use sct_media::Catalog;
+use sct_simcore::{Exponential, Rng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The arrival rate (requests/second) that makes the offered load exactly
+/// 100 % of the cluster bandwidth (§4.1): `λ · E[size] = Σ b_server`,
+/// where the expectation weights each video by its request probability.
+///
+/// `popularity[i]` is the probability that a request asks for video `i`.
+pub fn calibrated_rate(
+    total_bandwidth_mbps: f64,
+    catalog: &Catalog,
+    popularity: &[f64],
+) -> f64 {
+    assert_eq!(popularity.len(), catalog.len());
+    let mean_size: f64 = catalog
+        .videos()
+        .iter()
+        .zip(popularity)
+        .map(|(v, &p)| v.size_mb() * p)
+        .sum();
+    assert!(mean_size > 0.0, "mean requested size must be positive");
+    total_bandwidth_mbps / mean_size
+}
+
+/// A Poisson arrival stream: exponential inter-arrival times at a fixed
+/// rate, advanced lazily.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PoissonArrivals {
+    exp: Exponential,
+    next: SimTime,
+}
+
+impl PoissonArrivals {
+    /// Creates a stream with the first arrival strictly after t = 0.
+    pub fn new(rate_per_sec: f64, rng: &mut Rng) -> Self {
+        let exp = Exponential::new(rate_per_sec);
+        let first = SimTime::ZERO + exp.sample(rng);
+        PoissonArrivals { exp, next: first }
+    }
+
+    /// The time of the next arrival (without consuming it).
+    pub fn peek(&self) -> SimTime {
+        self.next
+    }
+
+    /// Consumes and returns the next arrival time, scheduling the one
+    /// after it.
+    pub fn pop(&mut self, rng: &mut Rng) -> SimTime {
+        let t = self.next;
+        self.next = t + self.exp.sample(rng);
+        t
+    }
+
+    /// The configured rate (arrivals per second).
+    pub fn rate(&self) -> f64 {
+        self.exp.rate()
+    }
+}
+
+/// A non-homogeneous Poisson stream with a sinusoidal (diurnal) rate:
+///
+/// ```text
+/// λ(t) = base_rate · (1 + amplitude · sin(2π t / period))
+/// ```
+///
+/// Sampled by Lewis–Shedler thinning against the peak rate, so
+/// inter-arrival statistics are exact. `amplitude = 0` degenerates to the
+/// homogeneous process; `amplitude = 1` swings the offered load between
+/// zero and twice the mean over each period — a stylised day/night cycle.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DiurnalPoisson {
+    base_rate: f64,
+    amplitude: f64,
+    period_secs: f64,
+    peak: Exponential,
+    next: SimTime,
+}
+
+impl DiurnalPoisson {
+    /// Creates the stream; `amplitude ∈ [0, 1]`, positive period.
+    pub fn new(base_rate: f64, amplitude: f64, period_secs: f64, rng: &mut Rng) -> Self {
+        assert!(base_rate > 0.0);
+        assert!((0.0..=1.0).contains(&amplitude));
+        assert!(period_secs > 0.0);
+        let peak = Exponential::new(base_rate * (1.0 + amplitude).max(1e-12));
+        let mut d = DiurnalPoisson {
+            base_rate,
+            amplitude,
+            period_secs,
+            peak,
+            next: SimTime::ZERO,
+        };
+        d.next = d.draw_from(SimTime::ZERO, rng);
+        d
+    }
+
+    /// The instantaneous rate at `t`.
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * t.as_secs() / self.period_secs;
+        self.base_rate * (1.0 + self.amplitude * phase.sin())
+    }
+
+    /// Thinning: draw candidates at the peak rate, accept with probability
+    /// λ(t)/λ_peak.
+    fn draw_from(&self, mut t: SimTime, rng: &mut Rng) -> SimTime {
+        let peak_rate = self.base_rate * (1.0 + self.amplitude);
+        loop {
+            t += self.peak.sample(rng);
+            if self.amplitude == 0.0 || rng.next_f64() < self.rate_at(t) / peak_rate {
+                return t;
+            }
+        }
+    }
+
+    /// The time of the next arrival (without consuming it).
+    pub fn peek(&self) -> SimTime {
+        self.next
+    }
+
+    /// Consumes and returns the next arrival time.
+    pub fn pop(&mut self, rng: &mut Rng) -> SimTime {
+        let t = self.next;
+        self.next = self.draw_from(t, rng);
+        t
+    }
+
+    /// The long-run mean rate (arrivals per second).
+    pub fn mean_rate(&self) -> f64 {
+        self.base_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_small_system_scale() {
+        // 100 uniform-popularity videos of exactly 20 min at 3 Mb/s:
+        // E[size] = 3600 Mb; cluster 500 Mb/s → λ = 0.1389/s ≈ 500/hr.
+        let videos = (0..100)
+            .map(|i| sct_media::Video::new(sct_media::VideoId(i), 1200.0, 3.0))
+            .collect();
+        let catalog = Catalog::from_videos(videos);
+        let pops = vec![0.01; 100];
+        let rate = calibrated_rate(500.0, &catalog, &pops);
+        assert!((rate - 500.0 / 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_respects_popularity_weighting() {
+        // Two videos: a short popular one and a long unpopular one.
+        let videos = vec![
+            sct_media::Video::new(sct_media::VideoId(0), 600.0, 3.0), // 1800 Mb
+            sct_media::Video::new(sct_media::VideoId(1), 6000.0, 3.0), // 18000 Mb
+        ];
+        let catalog = Catalog::from_videos(videos);
+        let rate = calibrated_rate(100.0, &catalog, &[0.9, 0.1]);
+        let mean = 0.9 * 1800.0 + 0.1 * 18000.0;
+        assert!((rate - 100.0 / mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing() {
+        let mut rng = Rng::new(8);
+        let mut p = PoissonArrivals::new(10.0, &mut rng);
+        let mut prev = SimTime::ZERO;
+        for _ in 0..1000 {
+            let t = p.pop(&mut rng);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn arrival_rate_matches_requested() {
+        let mut rng = Rng::new(9);
+        let mut p = PoissonArrivals::new(2.0, &mut rng);
+        let n = 100_000;
+        let mut last = SimTime::ZERO;
+        for _ in 0..n {
+            last = p.pop(&mut rng);
+        }
+        let measured = n as f64 / last.as_secs();
+        assert!((measured - 2.0).abs() < 0.05, "rate {measured}");
+    }
+
+    #[test]
+    fn diurnal_mean_rate_matches_base() {
+        let mut rng = Rng::new(21);
+        let mut p = DiurnalPoisson::new(2.0, 0.8, 3600.0, &mut rng);
+        let n = 200_000;
+        let mut last = SimTime::ZERO;
+        for _ in 0..n {
+            last = p.pop(&mut rng);
+        }
+        // Average over many whole periods → base rate.
+        let measured = n as f64 / last.as_secs();
+        assert!((measured - 2.0).abs() < 0.05, "mean rate {measured}");
+    }
+
+    #[test]
+    fn diurnal_peak_beats_trough() {
+        let mut rng = Rng::new(22);
+        let period = 3600.0;
+        let mut p = DiurnalPoisson::new(1.0, 0.9, period, &mut rng);
+        // Count arrivals by phase quadrant over many periods.
+        let mut peak_count = 0u64;
+        let mut trough_count = 0u64;
+        loop {
+            let t = p.pop(&mut rng);
+            if t.as_secs() > 400.0 * period {
+                break;
+            }
+            let phase = (t.as_secs() / period).fract();
+            if (0.125..0.375).contains(&phase) {
+                peak_count += 1; // sin ≈ +1 quadrant
+            } else if (0.625..0.875).contains(&phase) {
+                trough_count += 1; // sin ≈ −1 quadrant
+            }
+        }
+        assert!(
+            peak_count as f64 > 4.0 * trough_count as f64,
+            "peak {peak_count} vs trough {trough_count}"
+        );
+    }
+
+    #[test]
+    fn zero_amplitude_is_homogeneous() {
+        let mut rng = Rng::new(23);
+        let mut p = DiurnalPoisson::new(5.0, 0.0, 3600.0, &mut rng);
+        assert_eq!(p.rate_at(SimTime::from_secs(0.0)), 5.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(900.0)), 5.0);
+        let mut prev = SimTime::ZERO;
+        for _ in 0..1000 {
+            let t = p.pop(&mut rng);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut rng = Rng::new(10);
+        let mut p = PoissonArrivals::new(1.0, &mut rng);
+        let t1 = p.peek();
+        let t2 = p.peek();
+        assert_eq!(t1, t2);
+        assert_eq!(p.pop(&mut rng), t1);
+        assert!(p.peek() > t1);
+    }
+}

@@ -1,0 +1,180 @@
+//! The combined request source: Poisson arrival times × Zipf video choice.
+
+use crate::arrivals::{DiurnalPoisson, PoissonArrivals};
+use sct_media::VideoId;
+use sct_simcore::{AliasTable, Rng, SimTime, ZipfLike};
+
+/// One request before admission: when it arrives and what it wants.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RequestEvent {
+    /// Arrival time.
+    pub at: SimTime,
+    /// Requested video.
+    pub video: VideoId,
+}
+
+/// The arrival process driving a generator.
+#[derive(Clone, Debug)]
+enum Arrivals {
+    /// Stationary Poisson (the paper's model).
+    Homogeneous(PoissonArrivals),
+    /// Sinusoidally modulated Poisson (diurnal extension).
+    Diurnal(DiurnalPoisson),
+}
+
+impl Arrivals {
+    fn peek(&self) -> SimTime {
+        match self {
+            Arrivals::Homogeneous(p) => p.peek(),
+            Arrivals::Diurnal(d) => d.peek(),
+        }
+    }
+
+    fn pop(&mut self, rng: &mut Rng) -> SimTime {
+        match self {
+            Arrivals::Homogeneous(p) => p.pop(rng),
+            Arrivals::Diurnal(d) => d.pop(rng),
+        }
+    }
+}
+
+/// A deterministic stream of [`RequestEvent`]s.
+///
+/// Owns its RNG (forked from the trial seed) so that the arrival sequence
+/// is independent of how the rest of the simulation consumes randomness.
+#[derive(Clone, Debug)]
+pub struct RequestGenerator {
+    arrivals: Arrivals,
+    sampler: AliasTable,
+    rng: Rng,
+    produced: u64,
+}
+
+impl RequestGenerator {
+    /// Creates a generator with the given arrival rate and popularity law.
+    pub fn new(rate_per_sec: f64, popularity: &ZipfLike, seed_rng: &Rng) -> Self {
+        let mut rng = seed_rng.fork(0xA221_7A15);
+        let arrivals = Arrivals::Homogeneous(PoissonArrivals::new(rate_per_sec, &mut rng));
+        RequestGenerator {
+            arrivals,
+            sampler: popularity.sampler(),
+            rng,
+            produced: 0,
+        }
+    }
+
+    /// Creates a generator whose arrival rate swings sinusoidally around
+    /// `mean_rate_per_sec` (diurnal extension; the mean offered load stays
+    /// at the calibrated 100 %).
+    pub fn new_diurnal(
+        mean_rate_per_sec: f64,
+        amplitude: f64,
+        period_secs: f64,
+        popularity: &ZipfLike,
+        seed_rng: &Rng,
+    ) -> Self {
+        let mut rng = seed_rng.fork(0xA221_7A15);
+        let arrivals = Arrivals::Diurnal(DiurnalPoisson::new(
+            mean_rate_per_sec,
+            amplitude,
+            period_secs,
+            &mut rng,
+        ));
+        RequestGenerator {
+            arrivals,
+            sampler: popularity.sampler(),
+            rng,
+            produced: 0,
+        }
+    }
+
+    /// The arrival time of the next request (not yet consumed).
+    pub fn peek_time(&self) -> SimTime {
+        self.arrivals.peek()
+    }
+
+    /// Produces the next request.
+    pub fn next_request(&mut self) -> RequestEvent {
+        let at = self.arrivals.pop(&mut self.rng);
+        let video = VideoId(self.sampler.sample(&mut self.rng) as u32);
+        self.produced += 1;
+        RequestEvent { at, video }
+    }
+
+    /// How many requests have been produced so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let pops = ZipfLike::new(50, 0.0);
+        let root = Rng::new(99);
+        let mut g1 = RequestGenerator::new(1.0, &pops, &root);
+        let mut g2 = RequestGenerator::new(1.0, &pops, &root);
+        for _ in 0..100 {
+            assert_eq!(g1.next_request(), g2.next_request());
+        }
+        assert_eq!(g1.produced(), 100);
+    }
+
+    #[test]
+    fn video_choice_follows_popularity() {
+        let pops = ZipfLike::new(10, -0.5);
+        let root = Rng::new(3);
+        let mut g = RequestGenerator::new(1.0, &pops, &root);
+        let mut counts = [0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[g.next_request().video.index()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / n as f64;
+            assert!(
+                (freq - pops.prob(i)).abs() < 0.01,
+                "video {i}: freq {freq} vs p {}",
+                pops.prob(i)
+            );
+        }
+    }
+
+    #[test]
+    fn diurnal_generator_contract() {
+        let pops = ZipfLike::new(8, 0.0);
+        let root = Rng::new(6);
+        let mut g = RequestGenerator::new_diurnal(1.0, 0.8, 3600.0, &pops, &root);
+        let mut prev = SimTime::ZERO;
+        for _ in 0..500 {
+            let r = g.next_request();
+            assert!(r.at > prev);
+            assert!(r.video.index() < 8);
+            prev = r.at;
+        }
+        // Deterministic per seed.
+        let mut g2 = RequestGenerator::new_diurnal(1.0, 0.8, 3600.0, &pops, &root);
+        let mut g3 = RequestGenerator::new_diurnal(1.0, 0.8, 3600.0, &pops, &root);
+        for _ in 0..100 {
+            assert_eq!(g2.next_request(), g3.next_request());
+        }
+    }
+
+    #[test]
+    fn times_strictly_increase_and_peek_agrees() {
+        let pops = ZipfLike::new(5, 1.0);
+        let root = Rng::new(4);
+        let mut g = RequestGenerator::new(5.0, &pops, &root);
+        let mut prev = SimTime::ZERO;
+        for _ in 0..1000 {
+            let peeked = g.peek_time();
+            let r = g.next_request();
+            assert_eq!(r.at, peeked);
+            assert!(r.at > prev);
+            prev = r.at;
+        }
+    }
+}

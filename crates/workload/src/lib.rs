@@ -1,0 +1,38 @@
+//! Workload generation for the cluster-VoD experiments.
+//!
+//! The paper's workload model (§4.1):
+//!
+//! * request arrivals form a **Poisson process** whose rate is calibrated
+//!   so the *offered load is exactly 100 %*: the expected megabits
+//!   requested per second equal the cluster's aggregate bandwidth
+//!   ("the arrival rate is chosen so as to place as much stress as
+//!   possible on the system");
+//! * each request asks for a video drawn from the **Zipf-like** popularity
+//!   law `p_i = c / i^(1-θ)` (implemented in `sct-simcore`);
+//! * two reference systems, **Small** (5 × 100 Mb/s, 10–30 min clips) and
+//!   **Large** (20 × 300 Mb/s, 1–2 h features), defined in Fig. 3 and
+//!   reconstructed in [`scenario`];
+//! * trials of 1000 simulated hours, 5 trials per data point.
+//!
+//! Modules:
+//!
+//! * [`arrivals`] — Poisson arrival stream + the 100 %-load calibration.
+//! * [`generator`] — the combined request source (arrival times × video
+//!   choice), deterministic per seed.
+//! * [`scenario`] — [`scenario::SystemSpec`]: the Fig. 3 parameter sets and
+//!   heterogeneous variants (§4.6).
+//! * [`trace`] — materialised request traces with JSON (de)serialisation,
+//!   for exact cross-run and cross-implementation comparisons.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod generator;
+pub mod scenario;
+pub mod trace;
+
+pub use arrivals::{calibrated_rate, DiurnalPoisson, PoissonArrivals};
+pub use generator::RequestGenerator;
+pub use scenario::{HeterogeneityKind, SystemSpec};
+pub use trace::Trace;

@@ -1,0 +1,135 @@
+//! Materialised request traces.
+//!
+//! A [`Trace`] pins down the exact request sequence of a trial so that two
+//! implementations (or two configurations of this one) can be compared on
+//! *identical* inputs, and so that interesting runs can be archived as
+//! JSON. The live simulation normally uses the lazy
+//! [`crate::RequestGenerator`]; traces are for debugging, tests, and
+//! cross-checks.
+
+use crate::generator::{RequestEvent, RequestGenerator};
+use sct_media::VideoId;
+use sct_simcore::{Rng, SimTime, ZipfLike};
+use serde::{Deserialize, Serialize};
+
+/// A finite recorded request sequence.
+///
+/// ```
+/// use sct_workload::Trace;
+/// use sct_simcore::{Rng, SimTime, ZipfLike};
+/// let pops = ZipfLike::new(10, 0.271);
+/// let t = Trace::generate(1.0, &pops, SimTime::from_mins(5.0), &Rng::new(1));
+/// let back = Trace::from_json(&t.to_json()).unwrap();
+/// assert_eq!(t, back);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// (arrival seconds, video id), strictly increasing in time.
+    pub events: Vec<(f64, u32)>,
+}
+
+impl Trace {
+    /// Records all requests arriving before `horizon`.
+    pub fn generate(
+        rate_per_sec: f64,
+        popularity: &ZipfLike,
+        horizon: SimTime,
+        seed_rng: &Rng,
+    ) -> Trace {
+        let mut g = RequestGenerator::new(rate_per_sec, popularity, seed_rng);
+        let mut events = Vec::new();
+        while g.peek_time() < horizon {
+            let r = g.next_request();
+            events.push((r.at.as_secs(), r.video.0));
+        }
+        Trace { events }
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if the trace holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates the trace as typed request events.
+    pub fn iter(&self) -> impl Iterator<Item = RequestEvent> + '_ {
+        self.events.iter().map(|&(t, v)| RequestEvent {
+            at: SimTime::from_secs(t),
+            video: VideoId(v),
+        })
+    }
+
+    /// Serialises to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serialisation cannot fail")
+    }
+
+    /// Parses a JSON trace, validating monotone arrival times.
+    pub fn from_json(s: &str) -> Result<Trace, String> {
+        let t: Trace = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        for w in t.events.windows(2) {
+            if w[1].0 < w[0].0 {
+                return Err(format!(
+                    "trace times must be non-decreasing ({} after {})",
+                    w[1].0, w[0].0
+                ));
+            }
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let pops = ZipfLike::new(10, 0.0);
+        Trace::generate(1.0, &pops, SimTime::from_secs(500.0), &Rng::new(11))
+    }
+
+    #[test]
+    fn generation_is_bounded_by_horizon() {
+        let t = sample_trace();
+        assert!(!t.is_empty());
+        assert!(t.events.iter().all(|&(s, _)| s < 500.0));
+        // λ = 1/s over 500 s → ~500 events.
+        assert!((t.len() as f64 - 500.0).abs() < 120.0, "{} events", t.len());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = sample_trace();
+        let j = t.to_json();
+        let back = Trace::from_json(&j).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn from_json_rejects_time_travel() {
+        let bad = r#"{"events":[[5.0,1],[4.0,2]]}"#;
+        assert!(Trace::from_json(bad).is_err());
+        let good = r#"{"events":[[4.0,1],[5.0,2]]}"#;
+        assert_eq!(Trace::from_json(good).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn iter_produces_typed_events() {
+        let t = sample_trace();
+        let first = t.iter().next().unwrap();
+        assert_eq!(first.at.as_secs(), t.events[0].0);
+        assert_eq!(first.video.0, t.events[0].1);
+    }
+
+    #[test]
+    fn identical_seeds_identical_traces() {
+        let pops = ZipfLike::new(10, 0.5);
+        let a = Trace::generate(2.0, &pops, SimTime::from_secs(100.0), &Rng::new(5));
+        let b = Trace::generate(2.0, &pops, SimTime::from_secs(100.0), &Rng::new(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests for workload generation: calibration arithmetic, arrival
+//! monotonicity, and trace integrity.
+
+use proptest::prelude::*;
+use sct_media::{Catalog, Video, VideoId};
+use sct_simcore::{Rng, SimTime, ZipfLike};
+use sct_workload::{calibrated_rate, RequestGenerator, SystemSpec, Trace};
+
+proptest! {
+    /// The calibrated arrival rate satisfies λ · E[size] = total bandwidth
+    /// exactly, for arbitrary catalogs and popularity skews.
+    #[test]
+    fn calibration_identity(
+        lengths in prop::collection::vec(60.0f64..7200.0, 1..100),
+        theta in -1.5f64..=1.0,
+        bandwidth in 10.0f64..10_000.0,
+    ) {
+        let videos: Vec<Video> = lengths
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| Video::new(VideoId(i as u32), l, 3.0))
+            .collect();
+        let catalog = Catalog::from_videos(videos);
+        let pops = ZipfLike::new(catalog.len(), theta);
+        let rate = calibrated_rate(bandwidth, &catalog, pops.probs());
+        let mean_size: f64 = catalog
+            .videos()
+            .iter()
+            .zip(pops.probs())
+            .map(|(v, &p)| v.size_mb() * p)
+            .sum();
+        prop_assert!((rate * mean_size - bandwidth).abs() < 1e-6 * bandwidth);
+    }
+
+    /// Request times strictly increase and videos stay within the catalog,
+    /// for any seed and rate.
+    #[test]
+    fn generator_contract(seed in any::<u64>(), rate in 0.01f64..100.0, n_videos in 1usize..50) {
+        let pops = ZipfLike::new(n_videos, 0.0);
+        let mut g = RequestGenerator::new(rate, &pops, &Rng::new(seed));
+        let mut prev = SimTime::ZERO;
+        for _ in 0..200 {
+            let r = g.next_request();
+            prop_assert!(r.at > prev);
+            prop_assert!(r.video.index() < n_videos);
+            prev = r.at;
+        }
+    }
+
+    /// Traces round-trip through JSON for arbitrary horizons and seeds.
+    #[test]
+    fn trace_json_round_trip(seed in any::<u64>(), horizon_secs in 1.0f64..5000.0) {
+        let pops = ZipfLike::new(10, 0.5);
+        let t = Trace::generate(0.5, &pops, SimTime::from_secs(horizon_secs), &Rng::new(seed));
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        prop_assert_eq!(t, back);
+    }
+
+    /// `with_servers` preserves cluster totals for any server count.
+    #[test]
+    fn with_servers_total_invariant(n in 1usize..64) {
+        let base = SystemSpec::large_paper();
+        let scaled = base.with_servers(n);
+        prop_assert!(
+            (scaled.total_bandwidth_mbps() - base.total_bandwidth_mbps()).abs() < 1e-6
+        );
+        prop_assert!(
+            (scaled.server_disk_gb * n as f64
+                - base.server_disk_gb * base.n_servers as f64)
+                .abs()
+                < 1e-6
+        );
+    }
+}

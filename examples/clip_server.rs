@@ -1,0 +1,54 @@
+//! A short-clip server (news/sports highlights) asking the paper's §4.3
+//! question directly: how much client disk is worth dedicating to staging?
+//!
+//! Sweeps the staging buffer from 0 % to 100 % of the average clip size on
+//! the Small system and prints utilization and rejection rate — the knee
+//! should appear around 20 %.
+//!
+//! ```text
+//! cargo run --release --example clip_server
+//! ```
+
+use semi_continuous_vod::prelude::*;
+
+fn main() {
+    let spec = SystemSpec::small_paper();
+    println!(
+        "Small system — {} servers × {} Mb/s, {}–{} min clips, receive cap {} Mb/s",
+        spec.n_servers,
+        spec.server_bandwidth_mbps,
+        spec.video_length_secs.0 / 60.0,
+        spec.video_length_secs.1 / 60.0,
+        spec.client_receive_cap_mbps,
+    );
+    println!("even placement, no migration, θ = 0.5, 3 × 24 h per point\n");
+    println!("{:>8}  {:>12}  {:>10}  {:>12}", "staging", "utilization", "rejected", "avg stage MB");
+
+    for fraction in [0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 1.0] {
+        let config = SimConfig::builder(spec.clone())
+            .theta(0.5)
+            .staging_fraction(fraction)
+            .duration_hours(24.0)
+            .warmup_hours(1.0)
+            .build();
+        let outcomes = run_trials(&config, TrialPlan::new(3, 7));
+        let util = semi_continuous_vod::core::runner::utilization_summary(&outcomes);
+        let rejected: u64 = outcomes.iter().map(|o| o.stats.rejected).sum();
+        let arrivals: u64 = outcomes.iter().map(|o| o.stats.arrivals).sum();
+        // Staging capacity in megabytes for operator intuition.
+        let avg_clip_mb = (spec.video_length_secs.0 + spec.video_length_secs.1) / 2.0
+            * spec.view_rate_mbps;
+        let staging_mbytes = fraction * avg_clip_mb / 8.0;
+        println!(
+            "{:>7.0}%  {:>12.4}  {:>9.2}%  {:>12.1}",
+            fraction * 100.0,
+            util.mean,
+            100.0 * rejected as f64 / arrivals as f64,
+            staging_mbytes,
+        );
+    }
+
+    println!("\nReading: utilization climbs steeply until ~20% of a clip is");
+    println!("stageable at the client, then flattens — matching the paper's");
+    println!("observation that 20% client buffers capture nearly all the benefit.");
+}

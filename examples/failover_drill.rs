@@ -1,0 +1,62 @@
+//! Failover drill: what happens to viewers when servers crash?
+//!
+//! §3.1 observes that dynamic request migration "can also be used to
+//! engineer a limited degree of fault tolerance into the server". This
+//! example injects server failures (exponential MTBF, 30-minute repairs)
+//! into the Small system and compares viewer survival with and without
+//! DRM-based emergency evacuation.
+//!
+//! ```text
+//! cargo run --release --example failover_drill
+//! ```
+
+use semi_continuous_vod::admission::MigrationPolicy;
+use semi_continuous_vod::prelude::*;
+
+fn drill(mtbf_hours: f64, evacuate: bool) -> (f64, u64, u64, u64) {
+    let mut builder = SimConfig::builder(SystemSpec::small_paper())
+        .theta(0.271)
+        .staging_fraction(0.2)
+        .duration_hours(48.0)
+        .warmup_hours(1.0)
+        .failures(mtbf_hours, 0.5)
+        .seed(99);
+    if evacuate {
+        builder = builder.migration(MigrationPolicy {
+            handoff_latency_secs: 0.0,
+            ..MigrationPolicy::single_hop()
+        });
+    }
+    let out = Simulation::run(&builder.build());
+    (
+        out.utilization,
+        out.server_failures,
+        out.stats.relocated_on_failure,
+        out.stats.dropped_on_failure,
+    )
+}
+
+fn main() {
+    println!("Small system, 48 h drill, repairs take 30 min on average\n");
+    println!(
+        "{:>8}  {:>9}  {:>28}  {:>28}",
+        "MTBF", "failures", "with DRM evacuation", "without (drop all)"
+    );
+    println!(
+        "{:>8}  {:>9}  {:>10} {:>8} {:>8}  {:>10} {:>8} {:>8}",
+        "", "", "util", "saved", "lost", "util", "saved", "lost"
+    );
+    for mtbf in [4.0, 8.0, 16.0, 32.0] {
+        let (u1, f1, saved1, lost1) = drill(mtbf, true);
+        let (u0, _f0, saved0, lost0) = drill(mtbf, false);
+        println!(
+            "{:>7.0}h  {:>9}  {:>10.4} {:>8} {:>8}  {:>10.4} {:>8} {:>8}",
+            mtbf, f1, u1, saved1, lost1, u0, saved0, lost0
+        );
+    }
+    println!("\nReading: every crash strands ~33 viewers; DRM re-homes the share of");
+    println!("them whose videos have replicas on servers with free slots, so the");
+    println!("'saved' column is the service-continuity win of semi-continuous");
+    println!("transmission. Utilization moves little — the cluster stays busy —");
+    println!("but without DRM every one of those viewers goes dark.");
+}

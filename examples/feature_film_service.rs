@@ -1,0 +1,55 @@
+//! A feature-film VoD operator sizing question: how much does admission
+//! policy matter on the paper's Large system (20 × 300 Mb/s, 1–2 h films)
+//! as demand skew varies?
+//!
+//! Compares three operating points across demand skews:
+//!   * P1 — naive: even placement, no migration, no staging;
+//!   * P4 — the paper's proposal: even placement + DRM + 20 % staging;
+//!   * P8 — the oracle: perfectly predictive placement + DRM + staging.
+//!
+//! The paper's claim: P4 ≈ P8 for θ ∈ [0, 1] — you do not need to predict
+//! popularity unless demand is pathologically skewed.
+//!
+//! ```text
+//! cargo run --release --example feature_film_service
+//! ```
+
+use semi_continuous_vod::prelude::*;
+use semi_continuous_vod::analysis::Table;
+
+fn main() {
+    let spec = SystemSpec::large_paper();
+    let thetas = [-1.0, -0.5, 0.0, 0.5, 1.0];
+    let policies = [Policy::P1, Policy::P4, Policy::P8];
+
+    println!("Large system — {} servers × {} Mb/s, {} films",
+        spec.n_servers, spec.server_bandwidth_mbps, spec.n_videos);
+    println!("3 trials × 24 simulated hours per cell; offered load 100 %\n");
+
+    let mut table = Table::new(vec![
+        "zipf theta",
+        "P1 naive",
+        "P4 oblivious+DRM+staging",
+        "P8 predictive oracle",
+    ]);
+
+    for &theta in &thetas {
+        let mut row = vec![format!("{theta:+.2}")];
+        for &policy in &policies {
+            let config = SimConfig::builder(spec.clone())
+                .policy(policy)
+                .theta(theta)
+                .duration_hours(24.0)
+                .warmup_hours(1.0)
+                .build();
+            let outcomes = run_trials(&config, TrialPlan::new(3, 42));
+            let summary = semi_continuous_vod::core::runner::utilization_summary(&outcomes);
+            row.push(format!("{:.4} ± {:.4}", summary.mean, summary.ci95));
+        }
+        table.push_row(row);
+    }
+
+    println!("{}", table.to_text());
+    println!("Reading: P4 should track P8 closely for theta >= 0; only under");
+    println!("extreme skew (negative theta) does predictive placement pull ahead.");
+}

@@ -1,0 +1,72 @@
+//! Mixed-hardware clusters (§4.6): what does resource imbalance cost, and
+//! does semi-continuous transmission absorb it?
+//!
+//! Builds 10-server clusters with the Large system's total capacity but
+//! increasing bandwidth (or storage) spread, and measures utilization with
+//! the full semi-continuous stack (EFTF + staging + DRM).
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_cluster
+//! ```
+
+use semi_continuous_vod::admission::MigrationPolicy;
+use semi_continuous_vod::prelude::*;
+use semi_continuous_vod::workload::HeterogeneityKind;
+
+fn run_point(spec: &SystemSpec, het: Option<(HeterogeneityKind, f64)>) -> (f64, f64) {
+    let mut builder = SimConfig::builder(spec.clone())
+        .theta(0.271)
+        .staging_fraction(0.2)
+        .migration(MigrationPolicy {
+            handoff_latency_secs: 0.0,
+            ..MigrationPolicy::single_hop()
+        })
+        .duration_hours(24.0)
+        .warmup_hours(1.0);
+    if let Some((kind, spread)) = het {
+        builder = builder.heterogeneity(kind, spread);
+    }
+    let outcomes = run_trials(&builder.build(), TrialPlan::new(3, 23));
+    let util = semi_continuous_vod::core::runner::utilization_summary(&outcomes).mean;
+    // Imbalance indicator: spread of per-server utilizations in the last trial.
+    let per = &outcomes[0].per_server_utilization;
+    let min = per.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per.iter().cloned().fold(0.0, f64::max);
+    (util, max - min)
+}
+
+fn main() {
+    let spec = SystemSpec::large_paper().with_servers(10);
+    println!(
+        "10-server cluster, totals fixed at {} Mb/s / {} GB; θ = 0.271; EFTF + 20% staging + DRM\n",
+        spec.total_bandwidth_mbps(),
+        spec.server_disk_gb * 10.0
+    );
+    println!(
+        "{:>10}  {:>22}  {:>22}",
+        "spread", "bandwidth-heterogeneous", "storage-heterogeneous"
+    );
+    println!(
+        "{:>10}  {:>11} {:>10}  {:>11} {:>10}",
+        "", "utilization", "imbalance", "utilization", "imbalance"
+    );
+
+    let (u0, d0) = run_point(&spec, None);
+    println!("{:>9.0}%  {:>11.4} {:>10.3}  {:>11.4} {:>10.3}", 0.0, u0, d0, u0, d0);
+    for spread in [0.2, 0.4, 0.6, 0.8] {
+        let (ub, db) = run_point(&spec, Some((HeterogeneityKind::Bandwidth, spread)));
+        let (us, ds) = run_point(&spec, Some((HeterogeneityKind::Storage, spread)));
+        println!(
+            "{:>9.0}%  {:>11.4} {:>10.3}  {:>11.4} {:>10.3}",
+            spread * 100.0,
+            ub,
+            db,
+            us,
+            ds
+        );
+    }
+
+    println!("\nReading: storage imbalance should barely move utilization (replicas");
+    println!("just land elsewhere), while bandwidth imbalance costs more — but the");
+    println!("semi-continuous stack keeps the loss small, matching §4.6.");
+}

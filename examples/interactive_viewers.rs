@@ -1,0 +1,51 @@
+//! Interactive viewers: the cost of the pause button.
+//!
+//! §6 lists "interactivity in semi-continuous transmission" as future
+//! work. This example implements it: every viewer pauses once for 1–10
+//! minutes, and we measure how much utilization that costs at three
+//! staging levels. With generous staging, a paused stream keeps receiving
+//! into the client buffer and often *finishes transmission during the
+//! pause*, releasing its server slot early — the pause becomes free.
+//!
+//! ```text
+//! cargo run --release --example interactive_viewers
+//! ```
+
+use semi_continuous_vod::prelude::*;
+
+fn run(pause_probability: f64, staging_fraction: f64) -> (f64, u64) {
+    let mut builder = SimConfig::builder(SystemSpec::small_paper())
+        .theta(0.271)
+        .staging_fraction(staging_fraction)
+        .duration_hours(24.0)
+        .warmup_hours(1.0)
+        .seed(7);
+    if pause_probability > 0.0 {
+        builder = builder.interactivity(pause_probability, 60.0, 600.0);
+    }
+    let out = Simulation::run(&builder.build());
+    (out.utilization, out.pauses_applied)
+}
+
+fn main() {
+    println!("Small system, every viewer may pause once for 1-10 minutes\n");
+    println!(
+        "{:>12}  {:>14}  {:>14}  {:>14}",
+        "P(pause)", "no staging", "20% staging", "100% staging"
+    );
+    for p in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let (u0, _) = run(p, 0.0);
+        let (u20, _) = run(p, 0.2);
+        let (u100, pauses) = run(p, 1.0);
+        println!(
+            "{:>11.0}%  {:>14.4}  {:>14.4}  {:>14.4}   ({pauses} pauses hit live streams)",
+            p * 100.0,
+            u0,
+            u20,
+            u100
+        );
+    }
+    println!("\nReading: without staging the pause column melts utilization (slots");
+    println!("sit idle while viewers make tea); with a full-object buffer the");
+    println!("transmission simply runs ahead and pauses cost nothing.");
+}

@@ -1,0 +1,88 @@
+//! Premiere night: everyone wants the same movie at 8 pm.
+//!
+//! The hardest case for a unicast VoD cluster is a synchronized demand
+//! spike for a single title — exactly the regime the paper's negative-θ
+//! experiments model. This example compares four front-end strategies on
+//! the Small system under extreme skew (θ = −1.5, the top title draws the
+//! bulk of requests):
+//!
+//! 1. drop on rejection (the paper's baseline),
+//! 2. a 5-minute waitlist,
+//! 3. the waitlist with multicast batching (one stream, whole cohort),
+//! 4. batching plus dynamic replication (extra copies appear on quiet
+//!    servers as the spike persists).
+//!
+//! ```text
+//! cargo run --release --example premiere_night
+//! ```
+
+use semi_continuous_vod::prelude::*;
+
+struct Row {
+    label: &'static str,
+    acceptance: f64,
+    utilization: f64,
+    batched: u64,
+    replicas: u64,
+    mean_wait: f64,
+}
+
+fn run(
+    label: &'static str,
+    waitlist: Option<WaitlistSpec>,
+    replication: bool,
+) -> Row {
+    let mut b = SimConfig::builder(SystemSpec::small_paper())
+        .theta(-1.5)
+        .staging_fraction(0.2)
+        .duration_hours(24.0)
+        .warmup_hours(1.0)
+        .seed(88);
+    if let Some(spec) = waitlist {
+        b = b.waitlist_spec(spec);
+    }
+    if replication {
+        b = b.replication(ReplicationSpec::default_paper_scale());
+    }
+    let out = Simulation::run(&b.build());
+    Row {
+        label,
+        acceptance: out.acceptance_ratio(),
+        utilization: out.utilization,
+        batched: out.waitlist.batched,
+        replicas: out.replication.replicas_created,
+        mean_wait: out.waitlist.mean_served_wait_secs(),
+    }
+}
+
+fn main() {
+    println!("Small system, θ = -1.5 (one blockbuster dominates), 24 h\n");
+    let rows = [
+        run("drop on rejection", None, false),
+        run("waitlist 5 min", Some(WaitlistSpec::new(300.0, 10_000)), false),
+        run(
+            "waitlist + batching",
+            Some(WaitlistSpec::batching(300.0, 10_000)),
+            false,
+        ),
+        run(
+            "batching + replication",
+            Some(WaitlistSpec::batching(300.0, 10_000)),
+            true,
+        ),
+    ];
+    println!(
+        "{:<24}  {:>10}  {:>11}  {:>8}  {:>8}  {:>9}",
+        "strategy", "acceptance", "utilization", "batched", "replicas", "wait (s)"
+    );
+    for r in rows {
+        println!(
+            "{:<24}  {:>10.4}  {:>11.4}  {:>8}  {:>8}  {:>9.1}",
+            r.label, r.acceptance, r.utilization, r.batched, r.replicas, r.mean_wait
+        );
+    }
+    println!("\nReading: dropping strands most of the audience; a queue alone only");
+    println!("shifts the pain; multicast batching turns the correlated demand into");
+    println!("shared streams; replication then fills the remaining capacity gap by");
+    println!("spreading the blockbuster across more servers.");
+}

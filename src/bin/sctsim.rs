@@ -1,0 +1,220 @@
+//! `sctsim` — command-line front end for the cluster-VoD simulator.
+//!
+//! ```text
+//! sctsim run --system small --policy P4 --theta 0.271 --hours 24 --trials 3
+//! sctsim run --config my_config.json --out outcome.json
+//! sctsim scenario --system large              # dump a SimConfig as JSON
+//! sctsim erlang --svbr 33                     # analytic single-server numbers
+//! sctsim trace --system small --hours 1 --theta 0.0 > trace.json
+//! ```
+//!
+//! All subcommands are deterministic given `--seed`.
+
+use semi_continuous_vod::analysis::erlang::{erlang_b, expected_utilization_vs_svbr};
+use semi_continuous_vod::core::config::SimConfig;
+use semi_continuous_vod::core::policies::Policy;
+use semi_continuous_vod::core::runner::{run_trials, utilization_summary, TrialPlan};
+use semi_continuous_vod::simcore::{Rng, SimTime, ZipfLike};
+use semi_continuous_vod::workload::{calibrated_rate, SystemSpec, Trace};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  sctsim run [--config FILE | --system small|large|tiny] [--policy P1..P8]\n\
+         \x20          [--theta T] [--hours H] [--warmup H] [--trials N] [--seed S] [--out FILE]\n\
+         \x20 sctsim scenario --system small|large|tiny [--policy P..] [--theta T]\n\
+         \x20 sctsim erlang --svbr K [--view-rate MBPS]\n\
+         \x20 sctsim trace --system small|large|tiny [--theta T] [--hours H] [--seed S]"
+    );
+    exit(2)
+}
+
+struct Args {
+    map: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Args {
+        let mut map = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let val = it.next().unwrap_or_else(|| {
+                    eprintln!("missing value for --{key}");
+                    usage()
+                });
+                map.push((key.to_string(), val.clone()));
+            } else {
+                eprintln!("unexpected argument {a}");
+                usage();
+            }
+        }
+        Args { map }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.map
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_f64(&self, key: &str) -> Option<f64> {
+        self.get(key).map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--{key} expects a number, got {v}");
+                usage()
+            })
+        })
+    }
+}
+
+fn system_by_name(name: &str) -> SystemSpec {
+    match name {
+        "small" => SystemSpec::small_paper(),
+        "large" => SystemSpec::large_paper(),
+        "tiny" => SystemSpec::tiny_test(),
+        other => {
+            eprintln!("unknown system {other} (expected small|large|tiny)");
+            usage()
+        }
+    }
+}
+
+fn policy_by_name(name: &str) -> Policy {
+    Policy::ALL
+        .into_iter()
+        .find(|p| p.name().eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown policy {name} (expected P1..P8)");
+            usage()
+        })
+}
+
+fn build_config(args: &Args) -> SimConfig {
+    if let Some(path) = args.get("config") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1)
+        });
+        return serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            exit(1)
+        });
+    }
+    let system = system_by_name(args.get("system").unwrap_or("small"));
+    let mut b = SimConfig::builder(system);
+    if let Some(p) = args.get("policy") {
+        b = b.policy(policy_by_name(p));
+    }
+    if let Some(t) = args.get_f64("theta") {
+        b = b.theta(t);
+    }
+    if let Some(h) = args.get_f64("hours") {
+        b = b.duration_hours(h);
+        // Keep the default warm-up sensible for short runs.
+        if args.get("warmup").is_none() {
+            b = b.warmup_hours((h * 0.1).min(1.0));
+        }
+    }
+    if let Some(w) = args.get_f64("warmup") {
+        b = b.warmup_hours(w);
+    }
+    if let Some(s) = args.get_f64("seed") {
+        b = b.seed(s as u64);
+    }
+    b.build()
+}
+
+fn cmd_run(args: &Args) {
+    let config = build_config(args);
+    let trials = args.get_f64("trials").unwrap_or(1.0) as u32;
+    let seed = args.get_f64("seed").unwrap_or(0.0) as u64;
+    let outcomes = run_trials(&config, TrialPlan::new(trials.max(1), seed));
+    let summary = utilization_summary(&outcomes);
+    eprintln!(
+        "system={} theta={} trials={} hours={:.1}",
+        config.system.name,
+        config.theta,
+        outcomes.len(),
+        config.duration.as_hours()
+    );
+    eprintln!(
+        "utilization = {:.4} ± {:.4}   acceptance = {:.4}   migrations = {}",
+        summary.mean,
+        summary.ci95,
+        outcomes
+            .iter()
+            .map(|o| o.acceptance_ratio())
+            .sum::<f64>()
+            / outcomes.len() as f64,
+        outcomes
+            .iter()
+            .map(|o| o.stats.accepted_via_migration)
+            .sum::<u64>(),
+    );
+    let json = serde_json::to_string_pretty(&outcomes).expect("outcomes serialise");
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, json).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                exit(1)
+            });
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
+fn cmd_scenario(args: &Args) {
+    let config = build_config(args);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&config).expect("config serialises")
+    );
+}
+
+fn cmd_erlang(args: &Args) {
+    let k = args.get_f64("svbr").unwrap_or_else(|| {
+        eprintln!("--svbr is required");
+        usage()
+    }) as usize;
+    let view = args.get_f64("view-rate").unwrap_or(3.0);
+    let bw = k as f64 * view;
+    println!("SVBR                      {k}");
+    println!("server bandwidth          {bw} Mb/s at view rate {view} Mb/s");
+    println!("blocking B(k,k)           {:.6}", erlang_b(k, k as f64));
+    println!(
+        "expected utilization      {:.6}",
+        expected_utilization_vs_svbr(bw, view)
+    );
+}
+
+fn cmd_trace(args: &Args) {
+    let system = system_by_name(args.get("system").unwrap_or("small"));
+    let theta = args.get_f64("theta").unwrap_or(0.271);
+    let hours = args.get_f64("hours").unwrap_or(1.0);
+    let seed = args.get_f64("seed").unwrap_or(0.0) as u64;
+    let mut rng = Rng::new(seed).fork(1);
+    let catalog = system.catalog(&mut rng);
+    let pops = ZipfLike::new(catalog.len(), theta);
+    let rate = calibrated_rate(system.total_bandwidth_mbps(), &catalog, pops.probs());
+    let trace = Trace::generate(rate, &pops, SimTime::from_hours(hours), &Rng::new(seed));
+    println!("{}", trace.to_json());
+    eprintln!("{} requests over {hours} h (rate {rate:.4}/s)", trace.len());
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        usage()
+    };
+    let args = Args::parse(rest);
+    match cmd.as_str() {
+        "run" => cmd_run(&args),
+        "scenario" => cmd_scenario(&args),
+        "erlang" => cmd_erlang(&args),
+        "trace" => cmd_trace(&args),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,74 @@
+//! Integration tests for the `sctsim` command-line interface.
+
+use std::process::Command;
+
+fn sctsim(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_sctsim"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn erlang_subcommand_prints_analytics() {
+    let out = sctsim(&["erlang", "--svbr", "33"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("SVBR"));
+    assert!(text.contains("0.873156"), "expected utilization for k=33: {text}");
+}
+
+#[test]
+fn scenario_round_trips_through_run() {
+    let out = sctsim(&["scenario", "--system", "tiny", "--policy", "P4", "--theta", "0.5"]);
+    assert!(out.status.success());
+    let config_json = String::from_utf8(out.stdout).unwrap();
+    assert!(config_json.contains("\"theta\": 0.5"));
+
+    // Feed the emitted config back through `run --config`.
+    let dir = std::env::temp_dir().join("sctsim-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg_path = dir.join("config.json");
+    std::fs::write(&cfg_path, &config_json).unwrap();
+    let out_path = dir.join("outcome.json");
+    let run = sctsim(&[
+        "run",
+        "--config",
+        cfg_path.to_str().unwrap(),
+        "--trials",
+        "1",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(run.status.success(), "{}", String::from_utf8_lossy(&run.stderr));
+    let outcome = std::fs::read_to_string(&out_path).unwrap();
+    assert!(outcome.contains("utilization"));
+}
+
+#[test]
+fn run_is_deterministic_across_invocations() {
+    let args = [
+        "run", "--system", "tiny", "--hours", "1", "--trials", "1", "--seed", "5",
+    ];
+    let a = sctsim(&args);
+    let b = sctsim(&args);
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(a.stdout, b.stdout, "same seed must print identical outcomes");
+}
+
+#[test]
+fn trace_emits_valid_json() {
+    let out = sctsim(&["trace", "--system", "tiny", "--hours", "0.2", "--theta", "0.0"]);
+    assert!(out.status.success());
+    let json = String::from_utf8(out.stdout).unwrap();
+    let trace = sct_workload::Trace::from_json(json.trim()).expect("valid trace JSON");
+    assert!(!trace.is_empty());
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = sctsim(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("usage"));
+}

@@ -1,0 +1,65 @@
+//! Serialisation contracts: configs, outcomes, series, and traces must
+//! round-trip through JSON so experiments can be archived and replayed.
+
+use sct_core::config::SimConfig;
+use sct_core::policies::Policy;
+use sct_core::simulation::{SimOutcome, Simulation};
+use sct_simcore::{Rng, SimTime, ZipfLike};
+use sct_workload::{SystemSpec, Trace};
+
+#[test]
+fn config_round_trips_and_reproduces() {
+    let cfg = SimConfig::builder(SystemSpec::tiny_test())
+        .policy(Policy::P4)
+        .theta(-0.25)
+        .duration_hours(2.0)
+        .seed(0xABCD)
+        .build();
+    let json = serde_json::to_string_pretty(&cfg).unwrap();
+    let back: SimConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(cfg, back);
+    // A deserialised config reproduces the original run exactly.
+    assert_eq!(Simulation::run(&cfg), Simulation::run(&back));
+}
+
+#[test]
+fn outcome_round_trips() {
+    let cfg = SimConfig::builder(SystemSpec::tiny_test())
+        .duration_hours(1.0)
+        .warmup_hours(0.1)
+        .seed(5)
+        .build();
+    let out = Simulation::run(&cfg);
+    let json = serde_json::to_string(&out).unwrap();
+    let back: SimOutcome = serde_json::from_str(&json).unwrap();
+    assert_eq!(out, back);
+}
+
+#[test]
+fn trace_archives_a_workload() {
+    let pops = ZipfLike::new(30, 0.271);
+    let trace = Trace::generate(0.5, &pops, SimTime::from_hours(1.0), &Rng::new(77));
+    let json = trace.to_json();
+    let back = Trace::from_json(&json).unwrap();
+    assert_eq!(trace, back);
+    assert!(back.len() > 100, "half a req/s for an hour: {}", back.len());
+}
+
+#[test]
+fn infinite_receive_cap_survives_json() {
+    // f64::INFINITY is not valid JSON; serde_json maps it to null and back
+    // to... this documents the behaviour so nobody archives unbounded
+    // configs by accident.
+    let cfg = SimConfig::builder(SystemSpec::tiny_test())
+        .receive_cap(f64::INFINITY)
+        .build();
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: Result<SimConfig, _> = serde_json::from_str(&json);
+    match back {
+        Ok(b) => assert!(
+            b.receive_cap_mbps.is_infinite() || json.contains("null"),
+            "either preserved or explicitly null"
+        ),
+        Err(_) => { /* also acceptable: explicit failure beats silent corruption */ }
+    }
+}
