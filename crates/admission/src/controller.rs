@@ -215,8 +215,7 @@ impl Controller {
             // engine clock and `now` under minimum flow, so a stale read
             // can under-approximate, never over-approximate feasibility.
             for v1 in engines[from.index()].streams() {
-                if v1.is_copy() || v1.is_finished() || !self.migration.allows_another_hop(v1.hops)
-                {
+                if v1.is_copy() || v1.is_finished() || !self.migration.allows_another_hop(v1.hops) {
                     continue;
                 }
                 let need1 = self.migration.required_staging_mb(v1.view_rate);
@@ -316,6 +315,26 @@ impl Controller {
             }
         }
         touched
+    }
+
+    /// Differential-testing hook: the eligible direct-placement set the
+    /// controller would consider for `video` right now — online holders
+    /// with a free minimum-flow slot, in holder order. The oracle asserts
+    /// that a `Direct` outcome names a member of this set and that a
+    /// non-direct outcome implies the set was empty at decision time.
+    #[cfg(feature = "differential")]
+    pub fn direct_candidates(
+        &self,
+        video: sct_media::VideoId,
+        view_rate: f64,
+        engines: &[ServerEngine],
+        map: &ReplicaMap,
+    ) -> Vec<ServerId> {
+        map.holders(video)
+            .iter()
+            .copied()
+            .filter(|&s| engines[s.index()].can_admit(view_rate))
+            .collect()
     }
 
     /// Applies the assignment policy to the eligible holder set.
@@ -443,10 +462,8 @@ mod tests {
             ServerEngine::new(ServerId(0), 12.0, SchedulerKind::Eftf),
             ServerEngine::new(ServerId(1), 12.0, SchedulerKind::Eftf),
         ];
-        let map = ReplicaMap::from_holders(
-            2,
-            vec![vec![ServerId(0)], vec![ServerId(0), ServerId(1)]],
-        );
+        let map =
+            ReplicaMap::from_holders(2, vec![vec![ServerId(0)], vec![ServerId(0), ServerId(1)]]);
         (engines, map)
     }
 
@@ -481,7 +498,12 @@ mod tests {
             now,
             &mut rng,
         );
-        assert_eq!(adm, Admission::Direct { server: ServerId(1) });
+        assert_eq!(
+            adm,
+            Admission::Direct {
+                server: ServerId(1)
+            }
+        );
         assert_eq!(touched, vec![ServerId(1)]);
         assert_eq!(engines[1].active_count(), 1);
         c.stats.check();
@@ -534,6 +556,69 @@ mod tests {
         assert_eq!(engines[1].active_count(), 1, "victim moved");
         assert_eq!(engines[1].streams()[0].hops, 1);
         assert_eq!(c.stats.accepted_via_migration, 1);
+        c.stats.check();
+    }
+
+    #[test]
+    fn source_failure_after_migration_keeps_ledgers_consistent() {
+        // DRM moves a victim s0 → s1, then s0 fails. The migrated stream
+        // keeps playing from s1, a stale removal handle on the dead server
+        // must be a no-op (no second decrement of the already-zeroed
+        // commitment ledger), and after repair s0 admits exactly its slot
+        // count again.
+        let (mut engines, map) = two_server_setup();
+        let mut rng = Rng::new(5);
+        let mut c = Controller::new(
+            AssignmentPolicy::LeastLoaded,
+            MigrationPolicy {
+                handoff_latency_secs: 0.0,
+                ..MigrationPolicy::single_hop()
+            },
+        );
+        let now = fill_s0(&mut engines);
+        let (adm, _) = c.admit(
+            mk_stream(50, 0, 3000.0, 1e6, now),
+            &mut engines,
+            &map,
+            now,
+            &mut rng,
+        );
+        let victim = match adm {
+            Admission::WithMigration { victim, .. } => victim,
+            other => panic!("expected migration, got {other:?}"),
+        };
+
+        let t_fail = now + 5.0;
+        engines[1].advance_to(t_fail);
+        engines[1].reschedule(t_fail);
+        let taken = engines[0].fail(t_fail);
+        assert_eq!(taken.len(), 4, "three v1 streams plus the v0 arrival");
+        // Stale handle to the migrated victim on the dead server: no-op.
+        assert!(engines[0].remove_stream(victim, t_fail).is_none());
+
+        let touched = c.evacuate(taken, ServerId(0), &mut engines, &map, t_fail);
+        // The v1 streams relocate into s1's three free slots; the v0
+        // arrival has no other holder and is dropped.
+        assert_eq!(touched, vec![ServerId(1)]);
+        assert_eq!(c.stats.relocated_on_failure, 3);
+        assert_eq!(c.stats.dropped_on_failure, 1);
+        assert_eq!(engines[1].active_count(), 4);
+        assert!(!engines[1].can_admit(VIEW));
+        engines[1].advance_to(t_fail);
+        engines[1].reschedule(t_fail);
+        engines[1].check_invariants();
+
+        let t_up = t_fail + 60.0;
+        engines[0].repair(t_up);
+        let mut re_admitted = 0;
+        for i in 200..210 {
+            if engines[0].can_admit(VIEW) {
+                engines[0].admit(mk_stream(i, 1, 300.0, 0.0, t_up), t_up);
+                re_admitted += 1;
+            }
+        }
+        assert_eq!(re_admitted, 4, "ledger must not drift across fail/repair");
+        engines[0].check_invariants();
         c.stats.check();
     }
 
@@ -655,7 +740,12 @@ mod tests {
             now,
             &mut rng,
         );
-        assert_eq!(adm, Admission::Direct { server: ServerId(0) });
+        assert_eq!(
+            adm,
+            Admission::Direct {
+                server: ServerId(0)
+            }
+        );
         // FirstFit picks the lowest id among eligible.
         let mut c = Controller::new(AssignmentPolicy::FirstFit, MigrationPolicy::disabled());
         let (adm, _) = c.admit(
@@ -665,7 +755,12 @@ mod tests {
             now,
             &mut rng,
         );
-        assert_eq!(adm, Admission::Direct { server: ServerId(0) });
+        assert_eq!(
+            adm,
+            Admission::Direct {
+                server: ServerId(0)
+            }
+        );
     }
 
     #[test]
@@ -791,7 +886,11 @@ mod tests {
             &mut rng,
         );
         match adm {
-            Admission::WithChain { server, first, second } => {
+            Admission::WithChain {
+                server,
+                first,
+                second,
+            } => {
                 assert_eq!(server, ServerId(0));
                 assert_eq!(first.1, ServerId(1));
                 assert_eq!(second.1, ServerId(2));
@@ -841,12 +940,19 @@ mod tests {
             now,
             &mut rng,
         );
-        assert_eq!(adm, Admission::Rejected, "spent hop budgets must block chains");
+        assert_eq!(
+            adm,
+            Admission::Rejected,
+            "spent hop budgets must block chains"
+        );
     }
 
     #[test]
     fn accepted_flag() {
-        assert!(Admission::Direct { server: ServerId(0) }.accepted());
+        assert!(Admission::Direct {
+            server: ServerId(0)
+        }
+        .accepted());
         assert!(!Admission::Rejected.accepted());
     }
 }

@@ -37,6 +37,8 @@ pub mod waitlist;
 
 pub use controller::{Admission, Controller};
 pub use policy::{AssignmentPolicy, MigrationPolicy, VictimSelection};
-pub use replication::{CopyLaunch, CopySource, ReplicationManager, ReplicationSpec, ReplicationStats};
+pub use replication::{
+    CopyLaunch, CopySource, ReplicationManager, ReplicationSpec, ReplicationStats,
+};
 pub use stats::AdmissionStats;
 pub use waitlist::{Waitlist, WaitlistSpec, WaitlistStats};

@@ -214,8 +214,7 @@ impl ReplicationManager {
                     .min_by_key(|s| (engines[s.index()].active_count(), *s))?;
                 let id = StreamId(*next_stream_id);
                 *next_stream_id += 1;
-                let copy =
-                    Stream::replica_copy(id, video, size_mb, self.spec.copy_rate_mbps, now);
+                let copy = Stream::replica_copy(id, video, size_mb, self.spec.copy_rate_mbps, now);
                 engines[source.index()].admit(copy, now);
                 self.pending.push(PendingCopy {
                     stream: id,
@@ -298,12 +297,8 @@ mod tests {
         let mut rng = Rng::new(9);
         let catalog = Catalog::uniform_lengths(10, 600.0, 601.0, 3.0, &mut rng);
         let cluster = ClusterSpec::homogeneous(3, 90.0, 100.0);
-        let map = PlacementStrategy::Even { avg_copies: 1.0 }.place(
-            &catalog,
-            &cluster,
-            &[0.1; 10],
-            &mut rng,
-        );
+        let map = PlacementStrategy::Even { avg_copies: 1.0 }
+            .place(&catalog, &cluster, &[0.1; 10], &mut rng);
         let engines = cluster
             .ids()
             .map(|id| ServerEngine::new(id, 90.0, SchedulerKind::Eftf))
@@ -380,7 +375,11 @@ mod tests {
         let launch = mgr
             .maybe_replicate(video, size, &mut next_id, &mut engines, &map, &cluster, now)
             .expect("tertiary copies start even under saturation");
-        let CopyLaunch::FromTertiary { token, done_in_secs } = launch else {
+        let CopyLaunch::FromTertiary {
+            token,
+            done_in_secs,
+        } = launch
+        else {
             panic!("expected a tertiary copy");
         };
         assert!((done_in_secs - size / 30.0).abs() < 1e-9);
@@ -411,7 +410,15 @@ mod tests {
             .is_none());
         // A different video is fine.
         assert!(mgr
-            .maybe_replicate(VideoId(2), size, &mut next_id, &mut engines, &map, &cluster, now)
+            .maybe_replicate(
+                VideoId(2),
+                size,
+                &mut next_id,
+                &mut engines,
+                &map,
+                &cluster,
+                now
+            )
             .is_some());
         assert_eq!(mgr.stats.copies_started, 2);
     }
@@ -429,10 +436,26 @@ mod tests {
         let mut next_id = 0;
         let now = SimTime::ZERO;
         assert!(mgr
-            .maybe_replicate(VideoId(0), size, &mut next_id, &mut engines, &map, &cluster, now)
+            .maybe_replicate(
+                VideoId(0),
+                size,
+                &mut next_id,
+                &mut engines,
+                &map,
+                &cluster,
+                now
+            )
             .is_some());
         assert!(mgr
-            .maybe_replicate(VideoId(1), size, &mut next_id, &mut engines, &map, &cluster, now)
+            .maybe_replicate(
+                VideoId(1),
+                size,
+                &mut next_id,
+                &mut engines,
+                &map,
+                &cluster,
+                now
+            )
             .is_none());
     }
 

@@ -204,8 +204,7 @@ impl Waitlist {
             match target {
                 Some(server) => {
                     // Playback starts now, not at arrival.
-                    let stream =
-                        Stream::new(w.id, w.video, w.size_mb, w.view_rate, w.client, now);
+                    let stream = Stream::new(w.id, w.video, w.size_mb, w.view_rate, w.client, now);
                     engines[server.index()].admit(stream, now);
                     self.stats.served += 1;
                     self.stats.served_wait_secs += now - w.arrived;
@@ -258,10 +257,8 @@ mod tests {
             ServerEngine::new(ServerId(1), 6.0, SchedulerKind::Eftf),
         ];
         // v0 on s0 only; v1 on both.
-        let map = ReplicaMap::from_holders(
-            2,
-            vec![vec![ServerId(0)], vec![ServerId(0), ServerId(1)]],
-        );
+        let map =
+            ReplicaMap::from_holders(2, vec![vec![ServerId(0)], vec![ServerId(0), ServerId(1)]]);
         (engines, map)
     }
 
@@ -270,8 +267,14 @@ mod tests {
         let (mut engines, map) = setup();
         let t0 = SimTime::ZERO;
         // Fill s0 with two short v0 streams.
-        engines[0].admit(Stream::new(StreamId(1), VideoId(0), 30.0, VIEW, client(), t0), t0);
-        engines[0].admit(Stream::new(StreamId(2), VideoId(0), 60.0, VIEW, client(), t0), t0);
+        engines[0].admit(
+            Stream::new(StreamId(1), VideoId(0), 30.0, VIEW, client(), t0),
+            t0,
+        );
+        engines[0].admit(
+            Stream::new(StreamId(2), VideoId(0), 60.0, VIEW, client(), t0),
+            t0,
+        );
         let mut wl = Waitlist::new(WaitlistSpec::new(300.0, 10));
         let expires = wl
             .enqueue(StreamId(3), VideoId(0), 90.0, VIEW, client(), t0)
@@ -305,8 +308,14 @@ mod tests {
         let (mut engines, map) = setup();
         let t0 = SimTime::ZERO;
         // s0 full; s1 open (holds only v1).
-        engines[0].admit(Stream::new(StreamId(1), VideoId(0), 300.0, VIEW, client(), t0), t0);
-        engines[0].admit(Stream::new(StreamId(2), VideoId(0), 300.0, VIEW, client(), t0), t0);
+        engines[0].admit(
+            Stream::new(StreamId(1), VideoId(0), 300.0, VIEW, client(), t0),
+            t0,
+        );
+        engines[0].admit(
+            Stream::new(StreamId(2), VideoId(0), 300.0, VIEW, client(), t0),
+            t0,
+        );
         let mut wl = Waitlist::new(WaitlistSpec::new(300.0, 10));
         wl.enqueue(StreamId(3), VideoId(0), 90.0, VIEW, client(), t0); // stuck
         wl.enqueue(StreamId(4), VideoId(1), 90.0, VIEW, client(), t0); // s1 can take it
@@ -321,7 +330,14 @@ mod tests {
         let (_, _) = setup();
         let mut wl = Waitlist::new(WaitlistSpec::new(10.0, 10));
         wl.enqueue(StreamId(1), VideoId(0), 90.0, VIEW, client(), SimTime::ZERO);
-        wl.enqueue(StreamId(2), VideoId(0), 90.0, VIEW, client(), SimTime::from_secs(5.0));
+        wl.enqueue(
+            StreamId(2),
+            VideoId(0),
+            90.0,
+            VIEW,
+            client(),
+            SimTime::from_secs(5.0),
+        );
         assert_eq!(wl.expire(SimTime::from_secs(9.0)), 0);
         assert_eq!(wl.expire(SimTime::from_secs(10.0)), 1);
         assert_eq!(wl.len(), 1);
@@ -335,8 +351,14 @@ mod tests {
         let (mut engines, map) = setup();
         let t0 = SimTime::ZERO;
         // s0 (the only holder of v0) full with long streams.
-        engines[0].admit(Stream::new(StreamId(1), VideoId(0), 3000.0, VIEW, client(), t0), t0);
-        engines[0].admit(Stream::new(StreamId(2), VideoId(0), 3000.0, VIEW, client(), t0), t0);
+        engines[0].admit(
+            Stream::new(StreamId(1), VideoId(0), 3000.0, VIEW, client(), t0),
+            t0,
+        );
+        engines[0].admit(
+            Stream::new(StreamId(2), VideoId(0), 3000.0, VIEW, client(), t0),
+            t0,
+        );
         let mut wl = Waitlist::new(WaitlistSpec::batching(10_000.0, 100));
         for i in 10..15 {
             wl.enqueue(StreamId(i), VideoId(0), 600.0, VIEW, client(), t0);
@@ -360,8 +382,14 @@ mod tests {
     fn unicast_waitlist_serves_one_per_slot() {
         let (mut engines, map) = setup();
         let t0 = SimTime::ZERO;
-        engines[0].admit(Stream::new(StreamId(1), VideoId(0), 3000.0, VIEW, client(), t0), t0);
-        engines[0].admit(Stream::new(StreamId(2), VideoId(0), 3000.0, VIEW, client(), t0), t0);
+        engines[0].admit(
+            Stream::new(StreamId(1), VideoId(0), 3000.0, VIEW, client(), t0),
+            t0,
+        );
+        engines[0].admit(
+            Stream::new(StreamId(2), VideoId(0), 3000.0, VIEW, client(), t0),
+            t0,
+        );
         let mut wl = Waitlist::new(WaitlistSpec::new(10_000.0, 100));
         for i in 10..15 {
             wl.enqueue(StreamId(i), VideoId(0), 600.0, VIEW, client(), t0);

@@ -59,11 +59,7 @@ impl Series {
 
     /// Adds a curve; its length must match the x axis.
     pub fn push_curve(&mut self, label: impl Into<String>, points: Vec<Summary>) {
-        assert_eq!(
-            points.len(),
-            self.x.len(),
-            "curve length must match x axis"
-        );
+        assert_eq!(points.len(), self.x.len(), "curve length must match x axis");
         self.curves.push(Curve {
             label: label.into(),
             points,
@@ -131,8 +127,16 @@ mod tests {
     }
 
     fn sample() -> Series {
-        let mut s = Series::new("fig4 small", "zipf theta", "utilization", vec![0.0, 0.5, 1.0]);
-        s.push_curve("no migration", vec![summary(0.8), summary(0.85), summary(0.9)]);
+        let mut s = Series::new(
+            "fig4 small",
+            "zipf theta",
+            "utilization",
+            vec![0.0, 0.5, 1.0],
+        );
+        s.push_curve(
+            "no migration",
+            vec![summary(0.8), summary(0.85), summary(0.9)],
+        );
         s.push_curve("hops=1", vec![summary(0.9), summary(0.95), summary(0.97)]);
         s
     }

@@ -270,11 +270,19 @@ mod tests {
         );
         s.push_curve(
             "no migration",
-            vec![Summary::of(&[0.5, 0.6]), Summary::of(&[0.8, 0.82]), Summary::of(&[0.9, 0.92])],
+            vec![
+                Summary::of(&[0.5, 0.6]),
+                Summary::of(&[0.8, 0.82]),
+                Summary::of(&[0.9, 0.92]),
+            ],
         );
         s.push_curve(
             "hops=1",
-            vec![Summary::of(&[0.55]), Summary::of(&[0.85]), Summary::of(&[0.95])],
+            vec![
+                Summary::of(&[0.55]),
+                Summary::of(&[0.85]),
+                Summary::of(&[0.95]),
+            ],
         );
         s
     }

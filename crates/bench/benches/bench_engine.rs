@@ -44,19 +44,13 @@ fn bench_allocate(c: &mut Criterion) {
         let streams = mk_streams(n, &mut rng);
         let capacity = n as f64 * 3.0 + 60.0; // some spare to distribute
         for kind in [SchedulerKind::Eftf, SchedulerKind::ProportionalShare] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), n),
-                &streams,
-                |b, streams| {
-                    b.iter_batched(
-                        || streams.clone(),
-                        |mut s| {
-                            allocate(kind, capacity, SimTime::from_secs(100.0), black_box(&mut s))
-                        },
-                        criterion::BatchSize::SmallInput,
-                    )
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &streams, |b, streams| {
+                b.iter_batched(
+                    || streams.clone(),
+                    |mut s| allocate(kind, capacity, SimTime::from_secs(100.0), black_box(&mut s)),
+                    criterion::BatchSize::SmallInput,
+                )
+            });
         }
     }
     group.finish();

@@ -96,9 +96,7 @@ fn svbr_point(c: &mut Criterion) {
             client_receive_cap_mbps: 30.0,
             avg_copies: 1.0,
         };
-        let cfg = base(system)
-            .staging(StagingSpec::AbsoluteMb(0.0))
-            .build();
+        let cfg = base(system).staging(StagingSpec::AbsoluteMb(0.0)).build();
         group.bench_with_input(BenchmarkId::from_parameter(k), &cfg, |b, cfg| {
             b.iter(|| black_box(Simulation::run(cfg)))
         });
@@ -111,8 +109,7 @@ fn heterogeneity_point(c: &mut Criterion) {
     let mut group = c.benchmark_group("het_point");
     group.sample_size(10);
     for spread in [0.0, 0.6] {
-        let mut b = base(SystemSpec::large_paper().with_servers(10))
-            .policy(Policy::P4);
+        let mut b = base(SystemSpec::large_paper().with_servers(10)).policy(Policy::P4);
         if spread > 0.0 {
             b = b.heterogeneity(HeterogeneityKind::Bandwidth, spread);
         }

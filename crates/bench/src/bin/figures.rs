@@ -55,9 +55,28 @@ fn main() {
                     .expect("--hours must be a number");
             }
             "all" => wanted.extend(
-                ["fig3", "fig4", "fig5", "fig6", "fig7", "svbr", "het", "partial", "sweep", "ablation", "faults", "pauses", "repl", "smoothing", "rejections", "waitlist", "chains", "diurnal"]
-                    .iter()
-                    .map(|s| s.to_string()),
+                [
+                    "fig3",
+                    "fig4",
+                    "fig5",
+                    "fig6",
+                    "fig7",
+                    "svbr",
+                    "het",
+                    "partial",
+                    "sweep",
+                    "ablation",
+                    "faults",
+                    "pauses",
+                    "repl",
+                    "smoothing",
+                    "rejections",
+                    "waitlist",
+                    "chains",
+                    "diurnal",
+                ]
+                .iter()
+                .map(|s| s.to_string()),
             ),
             other if other.starts_with('-') => panic!("unknown flag {other}"),
             other => wanted.push(other.to_string()),
@@ -184,8 +203,11 @@ fn main() {
                 for (sys, tag) in [(&small, "small"), (&large, "large")] {
                     let t = experiments::rejection_profile(sys, &opts);
                     std::fs::create_dir_all(&out_dir).unwrap();
-                    std::fs::write(out_dir.join(format!("rejections_{tag}.md")), t.to_markdown())
-                        .unwrap();
+                    std::fs::write(
+                        out_dir.join(format!("rejections_{tag}.md")),
+                        t.to_markdown(),
+                    )
+                    .unwrap();
                     println!("## Rejection profile ({tag})\n\n{}", t.to_text());
                 }
             }

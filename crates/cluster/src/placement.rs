@@ -111,9 +111,7 @@ impl PlacementStrategy {
         );
         let cap = n_servers as u32;
         match *self {
-            PlacementStrategy::Even { avg_copies } => {
-                even_targets(n_videos, avg_copies, cap, rng)
-            }
+            PlacementStrategy::Even { avg_copies } => even_targets(n_videos, avg_copies, cap, rng),
             PlacementStrategy::Predictive { avg_copies } => {
                 let budget = (avg_copies * n_videos as f64).round() as u64;
                 proportional_targets(popularity, budget, cap)
@@ -488,8 +486,7 @@ mod tests {
         // Head boosted by exactly 2 relative to an even run (same base
         // modulo random rounding): check mean over head vs tail.
         let head_mean: f64 = t_partial[..10].iter().map(|&x| x as f64).sum::<f64>() / 10.0;
-        let tail_mean: f64 =
-            t_partial[10..].iter().map(|&x| x as f64).sum::<f64>() / 90.0;
+        let tail_mean: f64 = t_partial[10..].iter().map(|&x| x as f64).sum::<f64>() / 90.0;
         assert!(head_mean > tail_mean + 1.5);
         let _ = (catalog, cluster, t_even);
     }
@@ -497,12 +494,7 @@ mod tests {
     #[test]
     fn placement_respects_disk_and_distinct_servers() {
         let (catalog, cluster, mut rng) = setup(100, 5);
-        let map = PlacementStrategy::even_paper().place(
-            &catalog,
-            &cluster,
-            &[0.01; 100],
-            &mut rng,
-        );
+        let map = PlacementStrategy::even_paper().place(&catalog, &cluster, &[0.01; 100], &mut rng);
         map.validate(&catalog, &cluster);
         assert_eq!(map.shortfall(), 0, "paper-scale disks fit everything");
         assert_eq!(map.total_copies(), 220);
@@ -517,12 +509,7 @@ mod tests {
         let catalog = Catalog::uniform_lengths(50, 3600.0, 7200.0, 3.0, &mut rng);
         // Tiny disks: ~2 GB each holds at most 1 long video (avg 2 GB).
         let cluster = ClusterSpec::homogeneous(4, 100.0, 2.5);
-        let map = PlacementStrategy::even_paper().place(
-            &catalog,
-            &cluster,
-            &[0.02; 50],
-            &mut rng,
-        );
+        let map = PlacementStrategy::even_paper().place(&catalog, &cluster, &[0.02; 50], &mut rng);
         map.validate(&catalog, &cluster);
         assert!(map.shortfall() > 0, "disk pressure must be detected");
         assert!(map.total_copies() < 110);
@@ -532,12 +519,8 @@ mod tests {
     fn holders_and_videos_on_are_mutually_consistent() {
         let (catalog, cluster, mut rng) = setup(30, 6);
         let pops = ZipfLike::new(30, 0.5);
-        let map = PlacementStrategy::predictive_paper().place(
-            &catalog,
-            &cluster,
-            pops.probs(),
-            &mut rng,
-        );
+        let map =
+            PlacementStrategy::predictive_paper().place(&catalog, &cluster, pops.probs(), &mut rng);
         map.validate(&catalog, &cluster);
         for v in catalog.ids() {
             for &s in map.holders(v) {
@@ -553,18 +536,10 @@ mod tests {
     fn placement_is_deterministic_per_seed() {
         let (catalog, cluster, _) = setup(40, 8);
         let pops = vec![1.0 / 40.0; 40];
-        let m1 = PlacementStrategy::even_paper().place(
-            &catalog,
-            &cluster,
-            &pops,
-            &mut Rng::new(77),
-        );
-        let m2 = PlacementStrategy::even_paper().place(
-            &catalog,
-            &cluster,
-            &pops,
-            &mut Rng::new(77),
-        );
+        let m1 =
+            PlacementStrategy::even_paper().place(&catalog, &cluster, &pops, &mut Rng::new(77));
+        let m2 =
+            PlacementStrategy::even_paper().place(&catalog, &cluster, &pops, &mut Rng::new(77));
         for v in catalog.ids() {
             assert_eq!(m1.holders(v), m2.holders(v));
         }
@@ -573,12 +548,8 @@ mod tests {
     #[test]
     fn add_replica_keeps_map_consistent() {
         let (catalog, cluster, mut rng) = setup(10, 4);
-        let mut map = PlacementStrategy::Even { avg_copies: 1.0 }.place(
-            &catalog,
-            &cluster,
-            &[0.1; 10],
-            &mut rng,
-        );
+        let mut map = PlacementStrategy::Even { avg_copies: 1.0 }
+            .place(&catalog, &cluster, &[0.1; 10], &mut rng);
         let v = VideoId(3);
         let existing = map.holders(v).to_vec();
         let newcomer = cluster
@@ -598,12 +569,8 @@ mod tests {
     #[should_panic(expected = "already holds")]
     fn add_replica_rejects_duplicates() {
         let (catalog, cluster, mut rng) = setup(10, 4);
-        let mut map = PlacementStrategy::even_paper().place(
-            &catalog,
-            &cluster,
-            &[0.1; 10],
-            &mut rng,
-        );
+        let mut map =
+            PlacementStrategy::even_paper().place(&catalog, &cluster, &[0.1; 10], &mut rng);
         let v = VideoId(0);
         let holder = map.holders(v)[0];
         map.add_replica(v, holder, 1.0);
@@ -612,12 +579,7 @@ mod tests {
     #[test]
     fn free_disk_accounts_for_placement() {
         let (catalog, cluster, mut rng) = setup(10, 4);
-        let map = PlacementStrategy::even_paper().place(
-            &catalog,
-            &cluster,
-            &[0.1; 10],
-            &mut rng,
-        );
+        let map = PlacementStrategy::even_paper().place(&catalog, &cluster, &[0.1; 10], &mut rng);
         for s in cluster.ids() {
             let cap = cluster.server(s).disk_capacity_mb;
             let free = map.free_disk_mb(s, cap);
@@ -629,18 +591,10 @@ mod tests {
     fn predictive_gives_head_more_replicas_than_even() {
         let (catalog, cluster, mut rng) = setup(100, 20);
         let pops = ZipfLike::new(100, -1.0); // strongly skewed
-        let even = PlacementStrategy::even_paper().place(
-            &catalog,
-            &cluster,
-            pops.probs(),
-            &mut rng,
-        );
-        let pred = PlacementStrategy::predictive_paper().place(
-            &catalog,
-            &cluster,
-            pops.probs(),
-            &mut rng,
-        );
+        let even =
+            PlacementStrategy::even_paper().place(&catalog, &cluster, pops.probs(), &mut rng);
+        let pred =
+            PlacementStrategy::predictive_paper().place(&catalog, &cluster, pops.probs(), &mut rng);
         assert!(pred.copies_of(VideoId(0)) > even.copies_of(VideoId(0)));
     }
 }

@@ -6,8 +6,8 @@
 //! the axis they sweep.
 
 use sct_admission::{AssignmentPolicy, MigrationPolicy, ReplicationSpec, WaitlistSpec};
-use sct_media::ClientProfile;
 use sct_cluster::PlacementStrategy;
+use sct_media::ClientProfile;
 use sct_simcore::SimTime;
 use sct_transmission::SchedulerKind;
 use sct_workload::{HeterogeneityKind, SystemSpec};
@@ -298,7 +298,12 @@ impl SimConfigBuilder {
     }
 
     /// Enables client pause/resume behaviour.
-    pub fn interactivity(mut self, probability: f64, min_pause_secs: f64, max_pause_secs: f64) -> Self {
+    pub fn interactivity(
+        mut self,
+        probability: f64,
+        min_pause_secs: f64,
+        max_pause_secs: f64,
+    ) -> Self {
         self.cfg.interactivity = Some(PauseSpec::new(probability, min_pause_secs, max_pause_secs));
         self
     }
@@ -367,7 +372,10 @@ impl SimConfigBuilder {
         let c = &self.cfg;
         assert!(c.theta.is_finite(), "theta must be finite");
         assert!(c.duration > SimTime::ZERO, "duration must be positive");
-        assert!(c.warmup < c.duration, "warm-up must end before the run does");
+        assert!(
+            c.warmup < c.duration,
+            "warm-up must end before the run does"
+        );
         assert!(
             c.receive_cap_mbps >= c.system.view_rate_mbps,
             "clients must receive at least the view rate"
@@ -416,8 +424,12 @@ mod tests {
 
     #[test]
     fn equal_configs_compare_equal() {
-        let a = SimConfig::builder(SystemSpec::small_paper()).seed(7).build();
-        let b = SimConfig::builder(SystemSpec::small_paper()).seed(7).build();
+        let a = SimConfig::builder(SystemSpec::small_paper())
+            .seed(7)
+            .build();
+        let b = SimConfig::builder(SystemSpec::small_paper())
+            .seed(7)
+            .build();
         assert_eq!(a, b);
     }
 

@@ -89,7 +89,10 @@ impl ExpOptions {
     }
 
     fn run_point(&self, cfg: &SimConfig) -> Summary {
-        utilization_summary(&run_trials(cfg, TrialPlan::new(self.trials, self.base_seed)))
+        utilization_summary(&run_trials(
+            cfg,
+            TrialPlan::new(self.trials, self.base_seed),
+        ))
     }
 }
 
@@ -155,7 +158,12 @@ pub fn fig6_table() -> Table {
     for p in Policy::ALL {
         t.push_row(vec![
             p.name().to_string(),
-            if p.is_predictive() { "Predictive" } else { "Even" }.to_string(),
+            if p.is_predictive() {
+                "Predictive"
+            } else {
+                "Even"
+            }
+            .to_string(),
             if p.migrates() { "Migr" } else { "No Migr" }.to_string(),
             format!("{:.0}% Buffer", p.staging_fraction() * 100.0),
         ]);
@@ -356,7 +364,10 @@ pub fn partial_predictive(system: &SystemSpec, opts: &ExpOptions) -> Series {
     );
     let strategies: [(&str, PlacementStrategy); 3] = [
         ("even", PlacementStrategy::even_paper()),
-        ("partial predictive", PlacementStrategy::partial_predictive_paper()),
+        (
+            "partial predictive",
+            PlacementStrategy::partial_predictive_paper(),
+        ),
         ("predictive", PlacementStrategy::predictive_paper()),
     ];
     for (label, placement) in strategies {
@@ -565,7 +576,10 @@ pub fn replication_vs_drm(system: &SystemSpec, opts: &ExpOptions) -> Series {
 pub fn smoothing(system: &SystemSpec, opts: &ExpOptions) -> Series {
     let fractions = vec![0.0, 0.02, 0.1, 0.2, 0.5, 1.0];
     let mut series = Series::new(
-        format!("Windowed-utilization quantiles vs staging ({})", system.name),
+        format!(
+            "Windowed-utilization quantiles vs staging ({})",
+            system.name
+        ),
         "staging fraction of avg video",
         "window utilization",
         fractions.clone(),
@@ -868,7 +882,9 @@ mod tests {
     fn fig6_table_has_eight_rows() {
         let t = fig6_table();
         assert_eq!(t.len(), 8);
-        assert!(t.to_markdown().contains("| P4 | Even | Migr | 20% Buffer |"));
+        assert!(t
+            .to_markdown()
+            .contains("| P4 | Even | Migr | 20% Buffer |"));
     }
 
     #[test]

@@ -20,6 +20,8 @@
 
 pub mod config;
 pub mod experiments;
+#[cfg(feature = "differential")]
+pub mod oracle;
 pub mod policies;
 pub mod runner;
 pub mod simulation;

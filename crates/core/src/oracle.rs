@@ -1,0 +1,1091 @@
+//! Differential reference simulator and invariant auditor.
+//!
+//! The production [`crate::simulation::Simulation`] is *event-driven*:
+//! engines integrate piecewise-linear stream state exactly between
+//! predicted events, and a generation counter filters stale wakes. That
+//! machinery is efficient but subtle — an allocator bug, a mis-predicted
+//! wake, or a commitment-ledger drift silently corrupts results without
+//! tripping any single assertion.
+//!
+//! This module provides the classic antidote (see ns-2/ns-3 validation
+//! practice): a **deliberately naive reference simulator** that replays
+//! the same trace with *fixed-timestep* integration (Δt ≈ 10 ms) and an
+//! independently written allocator, plus an **invariant auditor** that
+//! cross-checks the two at every event boundary:
+//!
+//! * per-stream `sent_mb`, allocated rate, staging-buffer occupancy;
+//! * per-server `committed_mbps` and capacity;
+//! * global data conservation (Σ transmitted == Σ reference deltas);
+//! * the minimum-flow guarantee (every unpaused stream ≥ `b_view`);
+//! * admission legality (a `Direct` must come from the eligible holder
+//!   set; a rejection implies that set was empty).
+//!
+//! The first divergence aborts the replay and is reported with a
+//! replayable **(seed, time, stream)** triple, so
+//! `OracleScenario::generate(seed)` reproduces the failure exactly.
+//!
+//! Only compiled with the `differential` feature (which also unlocks the
+//! introspection hooks in `sct-transmission` / `sct-admission`).
+
+use std::fmt;
+
+use sct_admission::{Admission, AssignmentPolicy, Controller, MigrationPolicy};
+use sct_cluster::{ReplicaMap, ServerId};
+use sct_media::{ClientProfile, VideoId};
+use sct_simcore::{Rng, SimTime};
+use sct_transmission::{SchedulerKind, ServerEngine, Stream, StreamId, EPS_MB};
+
+/// Reference integration step (seconds). Small enough that the slice sum
+/// reproduces the engines' exact piecewise-linear integrals to well below
+/// [`ORACLE_TOL_MB`]; large enough to keep replays fast.
+pub const ORACLE_DT_SECS: f64 = 0.01;
+
+/// Divergence threshold for data-volume comparisons, in megabits.
+pub const ORACLE_TOL_MB: f64 = 1e-6;
+
+/// Divergence threshold for rate comparisons, in Mb/s.
+pub const ORACLE_TOL_MBPS: f64 = 1e-6;
+
+// ---------------------------------------------------------------------------
+// Scenarios
+// ---------------------------------------------------------------------------
+
+/// One operation of a replayable trace.
+#[derive(Clone, Debug)]
+pub enum TraceOp {
+    /// A viewer requests `video` (`size_mb` megabits at the view rate).
+    Arrival {
+        /// Requested video.
+        video: VideoId,
+        /// Clip size in megabits.
+        size_mb: f64,
+    },
+    /// A server crashes; the controller evacuates what it can.
+    Fail(ServerId),
+    /// A failed server comes back online, empty.
+    Repair(ServerId),
+}
+
+/// A self-contained random scenario: cluster shape, policies, and a
+/// timed trace. Fully determined by the seed passed to
+/// [`OracleScenario::generate`].
+#[derive(Clone, Debug)]
+pub struct OracleScenario {
+    /// The generating seed (echoed in divergence reports).
+    pub seed: u64,
+    /// Number of data servers.
+    pub n_servers: usize,
+    /// Minimum-flow slots per server (capacity = slots × view rate).
+    pub slots_per_server: usize,
+    /// View bandwidth `b_view` in Mb/s.
+    pub view_rate: f64,
+    /// Spare-bandwidth policy under test.
+    pub scheduler: SchedulerKind,
+    /// Whether dynamic request migration is enabled.
+    pub migration_on: bool,
+    /// Client staging/receive profile shared by all viewers.
+    pub client: ClientProfile,
+    /// Holder set per video (index = video id).
+    pub holders: Vec<Vec<ServerId>>,
+    /// Time-ordered operations.
+    pub trace: Vec<(SimTime, TraceOp)>,
+}
+
+impl OracleScenario {
+    /// Deterministically derives a scenario from `seed`. The scheduler and
+    /// migration switch are also seed-derived (`seed % 4` cycles the four
+    /// [`SchedulerKind`]s, bit 2 toggles migration), so a contiguous seed
+    /// range covers every configuration.
+    pub fn generate(seed: u64) -> OracleScenario {
+        let mut rng = Rng::new(seed).fork(0x0AC1E);
+        Self::generate_inner(seed, &mut rng)
+    }
+
+    fn generate_inner(seed: u64, rng: &mut Rng) -> OracleScenario {
+        let scheduler = SchedulerKind::ALL[(seed % 4) as usize];
+        let migration_on = (seed / 4).is_multiple_of(2);
+        let n_servers = rng.range_usize(2, 5);
+        let slots_per_server = rng.range_usize(3, 7);
+        let view_rate = 3.0;
+        let n_videos = rng.range_usize(2, 7);
+
+        // Client profile: mix bounded, unbounded, and zero staging.
+        let client = match rng.below(5) {
+            0 => ClientProfile::unbounded(),
+            1 => ClientProfile::no_staging(30.0),
+            _ => ClientProfile::new(rng.range_f64(30.0, 400.0), 30.0),
+        };
+
+        // Non-empty holder set per video.
+        let holders: Vec<Vec<ServerId>> = (0..n_videos)
+            .map(|_| {
+                let k = rng.range_usize(1, n_servers + 1);
+                let mut picked = rng.sample_indices(n_servers, k);
+                picked.sort_unstable();
+                picked.into_iter().map(|i| ServerId(i as u16)).collect()
+            })
+            .collect();
+
+        // Arrivals with occasional zero gaps (the shrunken regression
+        // scenarios showed simultaneous arrivals are where bugs hide).
+        let n_arrivals = rng.range_usize(10, 26);
+        let mut trace: Vec<(SimTime, TraceOp)> = Vec::with_capacity(n_arrivals + 2);
+        let mut t = 0.0f64;
+        for _ in 0..n_arrivals {
+            if !rng.chance(0.25) {
+                t += rng.range_f64(0.0, 30.0);
+            }
+            let video = VideoId(rng.below(n_videos) as u32);
+            let size_mb = if rng.chance(0.2) {
+                30.0
+            } else {
+                rng.range_f64(30.0, 600.0)
+            };
+            trace.push((SimTime::from_secs(t), TraceOp::Arrival { video, size_mb }));
+        }
+
+        // Sometimes a failure + repair lands mid-trace.
+        if rng.chance(0.35) {
+            let victim = ServerId(rng.below(n_servers) as u16);
+            let t_fail = rng.range_f64(0.0, t.max(1.0));
+            let t_repair = t_fail + rng.range_f64(10.0, 200.0);
+            trace.push((SimTime::from_secs(t_fail), TraceOp::Fail(victim)));
+            trace.push((SimTime::from_secs(t_repair), TraceOp::Repair(victim)));
+            trace.sort_by_key(|a| a.0);
+        }
+
+        OracleScenario {
+            seed,
+            n_servers,
+            slots_per_server,
+            view_rate,
+            scheduler,
+            migration_on,
+            client,
+            holders,
+            trace,
+        }
+    }
+
+    /// The migration policy this scenario runs under.
+    pub fn migration_policy(&self) -> MigrationPolicy {
+        if self.migration_on {
+            MigrationPolicy {
+                handoff_latency_secs: 0.0,
+                ..MigrationPolicy::single_hop()
+            }
+        } else {
+            MigrationPolicy::disabled()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Divergence reports
+// ---------------------------------------------------------------------------
+
+/// What kind of disagreement was detected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// Per-stream transmitted volume disagrees.
+    SentMb,
+    /// Per-stream allocated rate disagrees.
+    Rate,
+    /// Per-stream staging-buffer occupancy disagrees.
+    StagedMb,
+    /// Per-server committed bandwidth ledger disagrees or drifted.
+    CommittedMbps,
+    /// Per-server allocated rates exceed capacity.
+    Capacity,
+    /// An unpaused stream fell below the minimum flow.
+    MinFlow,
+    /// Global transmitted volume disagrees with the reference ledger.
+    Conservation,
+    /// The two sides disagree about which streams exist / where they live.
+    StreamSet,
+    /// An admission decision was illegal for the observable state.
+    Admission,
+}
+
+/// The first point where the event-driven simulator and the reference
+/// integrator disagree. `seed` + `time` + `stream` make the failure
+/// replayable: regenerate the scenario from the seed and break at `time`.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Scenario seed ([`OracleScenario::generate`] reproduces the run).
+    pub seed: u64,
+    /// Simulation time of the check that failed.
+    pub time: SimTime,
+    /// Offending stream, when the check is stream-scoped.
+    pub stream: Option<StreamId>,
+    /// Offending server, when known.
+    pub server: Option<ServerId>,
+    /// Check category.
+    pub kind: DivergenceKind,
+    /// Human-readable magnitude / expectation.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "divergence[seed={} t={}", self.seed, self.time)?;
+        if let Some(s) = self.stream {
+            write!(f, " stream={s}")?;
+        }
+        if let Some(s) = self.server {
+            write!(f, " server={s}")?;
+        }
+        write!(f, "] {:?}: {}", self.kind, self.detail)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The naive reference model
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct RefStream {
+    id: StreamId,
+    video: VideoId,
+    server: usize,
+    size_mb: f64,
+    view_rate: f64,
+    sent_mb: f64,
+    played_secs: f64,
+    rate: f64,
+    paused: bool,
+    client: ClientProfile,
+}
+
+impl RefStream {
+    fn remaining_mb(&self) -> f64 {
+        (self.size_mb - self.sent_mb).max(0.0)
+    }
+
+    fn length_secs(&self) -> f64 {
+        self.size_mb / self.view_rate
+    }
+
+    fn staged_mb(&self) -> f64 {
+        (self.sent_mb - self.played_secs * self.view_rate).max(0.0)
+    }
+
+    fn buffer_full(&self) -> bool {
+        !self.client.is_unbounded_staging()
+            && self.staged_mb() >= self.client.staging_capacity_mb - EPS_MB
+    }
+
+    /// Projected finish offset (seconds from now) at the minimum flow —
+    /// the EFTF ordering key.
+    fn finish_offset(&self) -> f64 {
+        self.remaining_mb() / self.view_rate
+    }
+}
+
+/// The reference cluster: flat stream list, fixed-timestep integration,
+/// and an independently written spare-bandwidth allocator.
+struct RefCluster {
+    scheduler: SchedulerKind,
+    capacity: Vec<f64>,
+    online: Vec<bool>,
+    streams: Vec<RefStream>,
+    clock: SimTime,
+    /// Megabits transmitted to streams that have since left the cluster
+    /// (finished or dropped). `retired_mb + Σ live sent` is the
+    /// conservation ledger; summing per-slice deltas instead would
+    /// accumulate float drift over millions of steps.
+    retired_mb: f64,
+}
+
+impl RefCluster {
+    fn new(n_servers: usize, capacity_mbps: f64, scheduler: SchedulerKind) -> RefCluster {
+        RefCluster {
+            scheduler,
+            capacity: vec![capacity_mbps; n_servers],
+            online: vec![true; n_servers],
+            streams: Vec::new(),
+            clock: SimTime::ZERO,
+            retired_mb: 0.0,
+        }
+    }
+
+    /// Total megabits ever transmitted, live plus retired.
+    fn total_sent_mb(&self) -> f64 {
+        self.retired_mb + self.streams.iter().map(|s| s.sent_mb).sum::<f64>()
+    }
+
+    /// Naive fixed-timestep integration from the internal clock to `t`.
+    fn integrate_to(&mut self, t: SimTime) {
+        loop {
+            let left = t - self.clock;
+            if left <= 0.0 {
+                break;
+            }
+            let step = ORACLE_DT_SECS.min(left);
+            for s in &mut self.streams {
+                let delta = (s.rate * step).min(s.remaining_mb());
+                s.sent_mb += delta;
+                if !s.paused {
+                    s.played_secs = (s.played_secs + step).min(s.length_secs());
+                }
+            }
+            self.clock += step;
+        }
+        self.clock = t;
+    }
+
+    /// Independent reimplementation of the minimum-flow allocation for one
+    /// server. Written *differently* from `sct_transmission::allocate` on
+    /// purpose: repeated best-candidate extraction instead of a sorted
+    /// sweep, and a bisected water level instead of the progressive-share
+    /// fill. Agreement is therefore evidence, not tautology.
+    fn reallocate(&mut self, server: usize) {
+        let capacity = self.capacity[server];
+        let members: Vec<usize> = (0..self.streams.len())
+            .filter(|&i| self.streams[i].server == server)
+            .collect();
+        let mut used = 0.0;
+        for &i in &members {
+            let s = &mut self.streams[i];
+            s.rate = if s.paused { 0.0 } else { s.view_rate };
+            used += s.rate;
+        }
+        let mut spare = capacity - used;
+        if spare <= EPS_MB {
+            return;
+        }
+        let mut candidates: Vec<usize> = members
+            .iter()
+            .copied()
+            .filter(|&i| !self.streams[i].buffer_full())
+            .collect();
+        match self.scheduler {
+            SchedulerKind::NoWorkahead => {}
+            SchedulerKind::Eftf | SchedulerKind::LatestFinishFirst => {
+                // Repeatedly extract the best candidate instead of sorting.
+                while spare > EPS_MB && !candidates.is_empty() {
+                    let mut best = 0;
+                    for c in 1..candidates.len() {
+                        let a = &self.streams[candidates[c]];
+                        let b = &self.streams[candidates[best]];
+                        let ord = a
+                            .finish_offset()
+                            .total_cmp(&b.finish_offset())
+                            .then(a.id.cmp(&b.id));
+                        let better = if self.scheduler == SchedulerKind::Eftf {
+                            ord == std::cmp::Ordering::Less
+                        } else {
+                            ord == std::cmp::Ordering::Greater
+                        };
+                        if better {
+                            best = c;
+                        }
+                    }
+                    let i = candidates.swap_remove(best);
+                    let s = &mut self.streams[i];
+                    let headroom = s.client.receive_cap_mbps - s.rate;
+                    let give = spare.min(headroom).max(0.0);
+                    s.rate += give;
+                    spare -= give;
+                }
+            }
+            SchedulerKind::ProportionalShare => {
+                let heads: Vec<(usize, f64)> = candidates
+                    .iter()
+                    .map(|&i| {
+                        let s = &self.streams[i];
+                        (i, (s.client.receive_cap_mbps - s.rate).max(0.0))
+                    })
+                    .collect();
+                let total: f64 = heads.iter().map(|&(_, h)| h).sum();
+                if total <= spare {
+                    for &(i, h) in &heads {
+                        self.streams[i].rate += h;
+                    }
+                } else {
+                    // Bisect the water level L: Σ min(h_i, L) = spare.
+                    // L never exceeds `spare` (with total headroom above
+                    // spare, Σ min(h_i, spare) ≥ spare already), so the
+                    // bracket stays finite even for unbounded receive caps.
+                    let mut lo = 0.0f64;
+                    let mut hi = spare;
+                    for _ in 0..80 {
+                        let mid = 0.5 * (lo + hi);
+                        let given: f64 = heads.iter().map(|&(_, h)| h.min(mid)).sum();
+                        if given < spare {
+                            lo = mid;
+                        } else {
+                            hi = mid;
+                        }
+                    }
+                    let level = 0.5 * (lo + hi);
+                    for &(i, h) in &heads {
+                        self.streams[i].rate += h.min(level);
+                    }
+                }
+            }
+        }
+    }
+
+    fn find(&self, id: StreamId) -> Option<usize> {
+        self.streams.iter().position(|s| s.id == id)
+    }
+
+    fn remove(&mut self, id: StreamId) -> Option<RefStream> {
+        let removed = self.find(id).map(|i| self.streams.swap_remove(i));
+        if let Some(r) = &removed {
+            self.retired_mb += r.sent_mb;
+        }
+        removed
+    }
+
+    fn committed_mbps(&self, server: usize) -> f64 {
+        self.streams
+            .iter()
+            .filter(|s| s.server == server)
+            .map(|s| s.view_rate)
+            .sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The auditor
+// ---------------------------------------------------------------------------
+
+macro_rules! diverge {
+    ($seed:expr, $time:expr, $stream:expr, $server:expr, $kind:expr, $($arg:tt)+) => {
+        return Err(Box::new(Divergence {
+            seed: $seed,
+            time: $time,
+            stream: $stream,
+            server: $server,
+            kind: $kind,
+            detail: format!($($arg)+),
+        }))
+    };
+}
+
+/// Standalone invariant audit of live engines — the half of the oracle
+/// that needs no reference replay. Checks the commitment ledger against
+/// the stream list, the capacity bound, the minimum-flow guarantee, and
+/// staging-buffer bounds. Cheap enough to call at every event of any
+/// property test.
+pub fn audit_engines(
+    seed: u64,
+    now: SimTime,
+    engines: &[ServerEngine],
+) -> Result<(), Box<Divergence>> {
+    for e in engines {
+        let sid = Some(e.id());
+        let mut committed = 0.0;
+        let mut total_rate = 0.0;
+        for s in e.streams() {
+            committed += s.view_rate;
+            total_rate += s.rate();
+            if !s.is_paused() && !s.is_finished() && s.rate() < s.view_rate - ORACLE_TOL_MBPS {
+                diverge!(
+                    seed,
+                    now,
+                    Some(s.id),
+                    sid,
+                    DivergenceKind::MinFlow,
+                    "rate {} below view rate {}",
+                    s.rate(),
+                    s.view_rate
+                );
+            }
+            let staged = s.staged_mb(now.max(e.clock()));
+            if staged < -ORACLE_TOL_MB {
+                diverge!(
+                    seed,
+                    now,
+                    Some(s.id),
+                    sid,
+                    DivergenceKind::StagedMb,
+                    "negative staging occupancy {staged}"
+                );
+            }
+            if !s.client.is_unbounded_staging()
+                && staged > s.client.staging_capacity_mb + s.view_rate * 1e-6 + ORACLE_TOL_MB
+            {
+                diverge!(
+                    seed,
+                    now,
+                    Some(s.id),
+                    sid,
+                    DivergenceKind::StagedMb,
+                    "staging overflow: {staged} > cap {}",
+                    s.client.staging_capacity_mb
+                );
+            }
+        }
+        let n = e.streams().len() as f64;
+        if (committed - e.committed_mbps()).abs() > ORACLE_TOL_MBPS * (1.0 + n) {
+            diverge!(
+                seed,
+                now,
+                None,
+                sid,
+                DivergenceKind::CommittedMbps,
+                "ledger {} vs stream sum {committed}",
+                e.committed_mbps()
+            );
+        }
+        if total_rate > e.capacity_mbps() + ORACLE_TOL_MBPS * (1.0 + n) {
+            diverge!(
+                seed,
+                now,
+                None,
+                sid,
+                DivergenceKind::Capacity,
+                "allocated {total_rate} exceeds capacity {}",
+                e.capacity_mbps()
+            );
+        }
+        if !e.is_online() && !e.streams().is_empty() {
+            diverge!(
+                seed,
+                now,
+                None,
+                sid,
+                DivergenceKind::StreamSet,
+                "offline server holds {} streams",
+                e.streams().len()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cross_check(
+    seed: u64,
+    now: SimTime,
+    engines: &[ServerEngine],
+    reference: &RefCluster,
+) -> Result<(), Box<Divergence>> {
+    audit_engines(seed, now, engines)?;
+
+    let live: usize = engines.iter().map(|e| e.streams().len()).sum();
+    if live != reference.streams.len() {
+        diverge!(
+            seed,
+            now,
+            None,
+            None,
+            DivergenceKind::StreamSet,
+            "engines hold {live} streams, reference holds {}",
+            reference.streams.len()
+        );
+    }
+
+    for (idx, e) in engines.iter().enumerate() {
+        let sid = Some(e.id());
+        if (reference.capacity[idx] - e.capacity_mbps()).abs() > ORACLE_TOL_MBPS {
+            diverge!(
+                seed,
+                now,
+                None,
+                sid,
+                DivergenceKind::Capacity,
+                "capacity {} vs reference {}",
+                e.capacity_mbps(),
+                reference.capacity[idx]
+            );
+        }
+        if reference.online[idx] != e.is_online() {
+            diverge!(
+                seed,
+                now,
+                None,
+                sid,
+                DivergenceKind::StreamSet,
+                "online={} but reference says {}",
+                e.is_online(),
+                reference.online[idx]
+            );
+        }
+        let ref_committed = reference.committed_mbps(idx);
+        let n = e.streams().len() as f64;
+        if (ref_committed - e.committed_mbps()).abs() > ORACLE_TOL_MBPS * (1.0 + n) {
+            diverge!(
+                seed,
+                now,
+                None,
+                sid,
+                DivergenceKind::CommittedMbps,
+                "committed {} vs reference {ref_committed}",
+                e.committed_mbps()
+            );
+        }
+        for s in e.streams() {
+            let Some(r) = reference.find(s.id).map(|i| &reference.streams[i]) else {
+                diverge!(
+                    seed,
+                    now,
+                    Some(s.id),
+                    sid,
+                    DivergenceKind::StreamSet,
+                    "stream unknown to the reference"
+                );
+            };
+            if r.server != idx {
+                diverge!(
+                    seed,
+                    now,
+                    Some(s.id),
+                    sid,
+                    DivergenceKind::StreamSet,
+                    "reference places it on server {}",
+                    r.server
+                );
+            }
+            if (r.sent_mb - s.sent_mb()).abs() > ORACLE_TOL_MB {
+                diverge!(
+                    seed,
+                    now,
+                    Some(s.id),
+                    sid,
+                    DivergenceKind::SentMb,
+                    "sent {} vs reference {} (Δ={:+.3e})",
+                    s.sent_mb(),
+                    r.sent_mb,
+                    s.sent_mb() - r.sent_mb
+                );
+            }
+            if (r.rate - s.rate()).abs() > ORACLE_TOL_MBPS {
+                diverge!(
+                    seed,
+                    now,
+                    Some(s.id),
+                    sid,
+                    DivergenceKind::Rate,
+                    "rate {} vs reference {} (Δ={:+.3e})",
+                    s.rate(),
+                    r.rate,
+                    s.rate() - r.rate
+                );
+            }
+            let staged = s.staged_mb(now.max(e.clock()));
+            if (r.staged_mb() - staged).abs() > ORACLE_TOL_MB {
+                diverge!(
+                    seed,
+                    now,
+                    Some(s.id),
+                    sid,
+                    DivergenceKind::StagedMb,
+                    "staged {} vs reference {}",
+                    staged,
+                    r.staged_mb()
+                );
+            }
+        }
+    }
+
+    let transmitted: f64 = engines.iter().map(|e| e.transmitted_mb()).sum();
+    let ledger = reference.total_sent_mb();
+    if (transmitted - ledger).abs() > ORACLE_TOL_MB {
+        diverge!(
+            seed,
+            now,
+            None,
+            None,
+            DivergenceKind::Conservation,
+            "cluster transmitted {transmitted} vs reference ledger {ledger} (Δ={:+.3e})",
+            transmitted - ledger
+        );
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// The differential driver
+// ---------------------------------------------------------------------------
+
+/// Counters from a completed divergence-free replay.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OracleOutcome {
+    /// Requests in the trace.
+    pub arrivals: u64,
+    /// Requests placed directly.
+    pub accepted_direct: u64,
+    /// Requests placed by migrating a victim.
+    pub accepted_via_migration: u64,
+    /// Requests turned away.
+    pub rejected: u64,
+    /// Streams that finished transmission during the replay.
+    pub completions: u64,
+    /// Cross-checks performed (one per event boundary).
+    pub checks: u64,
+}
+
+/// A deliberately injected allocator fault, for oracle self-tests: from
+/// accepted arrival number `at_arrival` onward, the stream admitted by
+/// that arrival has its rate silently perturbed by `delta_mbps` after
+/// every reallocation, exactly as a systematically buggy allocator would.
+/// (A one-shot perturbation can be healed by an immediate reallocation
+/// with no observable data drift — correctly nothing to report.) The
+/// oracle must localize the corruption.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultInjection {
+    /// Zero-based index of the accepted arrival whose stream to corrupt.
+    pub at_arrival: u64,
+    /// Rate perturbation in Mb/s, re-applied after each reallocation.
+    pub delta_mbps: f64,
+}
+
+/// Replays `scenario` through the event-driven engines + controller while
+/// the naive reference integrates alongside, cross-checking at every
+/// event boundary. Returns the first [`Divergence`] found, or the replay
+/// counters if the two simulators agree throughout.
+pub fn run_differential(scenario: &OracleScenario) -> Result<OracleOutcome, Box<Divergence>> {
+    run_differential_with_fault(scenario, None)
+}
+
+/// [`run_differential`] with an optional injected allocator fault.
+pub fn run_differential_with_fault(
+    scenario: &OracleScenario,
+    fault: Option<FaultInjection>,
+) -> Result<OracleOutcome, Box<Divergence>> {
+    let seed = scenario.seed;
+    let view = scenario.view_rate;
+    let capacity = scenario.slots_per_server as f64 * view;
+    let mut engines: Vec<ServerEngine> = (0..scenario.n_servers as u16)
+        .map(|i| ServerEngine::new(ServerId(i), capacity, scenario.scheduler))
+        .collect();
+    let map = ReplicaMap::from_holders(scenario.n_servers, scenario.holders.clone());
+    let mut controller =
+        Controller::new(AssignmentPolicy::LeastLoaded, scenario.migration_policy());
+    let mut rng = Rng::new(seed).fork(0xD1FF);
+    let mut reference = RefCluster::new(scenario.n_servers, capacity, scenario.scheduler);
+    let mut out = OracleOutcome::default();
+    let mut accepted_seen: u64 = 0;
+    let mut next_id: u64 = 0;
+    // Armed once the faulty arrival is admitted: (stream, perturbation).
+    let mut corruption: Option<(StreamId, f64)> = None;
+
+    // Drain engine events (completions / buffer-full reallocations) up to
+    // `horizon`, keeping the reference in lock-step.
+    macro_rules! drain_until {
+        ($horizon:expr) => {
+            loop {
+                let next = engines
+                    .iter()
+                    .filter_map(|e| e.next_event_after(e.clock()).map(|(w, _)| (w, e.id())))
+                    .min_by(|a, b| a.0.cmp(&b.0));
+                match next {
+                    Some((when, id)) if when <= $horizon => {
+                        reference.integrate_to(when);
+                        // `when` is the minimum next event over ALL engines,
+                        // so advancing every engine to it crosses no event;
+                        // the cross-check below needs them all at `when`.
+                        for e in engines.iter_mut() {
+                            e.advance_to(when);
+                        }
+                        let e = &mut engines[id.index()];
+                        for done in e.reap_finished(when) {
+                            out.completions += 1;
+                            match reference.remove(done.id) {
+                                Some(r) if r.remaining_mb() <= ORACLE_TOL_MB + EPS_MB => {}
+                                Some(r) => diverge!(
+                                    seed,
+                                    when,
+                                    Some(done.id),
+                                    Some(id),
+                                    DivergenceKind::SentMb,
+                                    "engine finished it, reference still owes {} Mb",
+                                    r.remaining_mb()
+                                ),
+                                None => diverge!(
+                                    seed,
+                                    when,
+                                    Some(done.id),
+                                    Some(id),
+                                    DivergenceKind::StreamSet,
+                                    "finished stream unknown to the reference"
+                                ),
+                            }
+                        }
+                        e.reschedule(when);
+                        reference.reallocate(id.index());
+                        if let Some((sid, delta)) = corruption {
+                            engines[id.index()].inject_rate_error(sid, delta);
+                        }
+                        out.checks += 1;
+                        cross_check(seed, when, &engines, &reference)?;
+                    }
+                    _ => break,
+                }
+            }
+        };
+    }
+
+    let trace = scenario.trace.clone();
+    for (when, op) in &trace {
+        let now = *when;
+        drain_until!(now);
+        reference.integrate_to(now);
+        // The drain guarantees no engine event remains before `now`.
+        for e in engines.iter_mut() {
+            e.advance_to(now);
+        }
+        match op {
+            TraceOp::Arrival { video, size_mb } => {
+                out.arrivals += 1;
+                let id = StreamId(next_id);
+                next_id += 1;
+                let stream = Stream::new(id, *video, *size_mb, view, scenario.client, now);
+                let candidates = controller.direct_candidates(*video, view, &engines, &map);
+                let expected_direct = candidates
+                    .iter()
+                    .copied()
+                    .min_by_key(|s| (engines[s.index()].active_count(), *s));
+                let (admission, touched) =
+                    controller.admit(stream, &mut engines, &map, now, &mut rng);
+                match admission {
+                    Admission::Direct { server } => {
+                        out.accepted_direct += 1;
+                        if expected_direct != Some(server) {
+                            diverge!(
+                                seed,
+                                now,
+                                Some(id),
+                                Some(server),
+                                DivergenceKind::Admission,
+                                "direct to {server}, least-loaded eligible was {expected_direct:?}"
+                            );
+                        }
+                        reference.streams.push(RefStream {
+                            id,
+                            video: *video,
+                            server: server.index(),
+                            size_mb: *size_mb,
+                            view_rate: view,
+                            sent_mb: 0.0,
+                            played_secs: 0.0,
+                            rate: 0.0,
+                            paused: false,
+                            client: scenario.client,
+                        });
+                    }
+                    Admission::WithMigration { server, victim, to } => {
+                        out.accepted_via_migration += 1;
+                        if !scenario.migration_on {
+                            diverge!(
+                                seed,
+                                now,
+                                Some(id),
+                                Some(server),
+                                DivergenceKind::Admission,
+                                "migration fired while disabled"
+                            );
+                        }
+                        if expected_direct.is_some() {
+                            diverge!(
+                                seed,
+                                now,
+                                Some(id),
+                                Some(server),
+                                DivergenceKind::Admission,
+                                "migrated although a direct slot existed on {expected_direct:?}"
+                            );
+                        }
+                        let Some(vi) = reference.find(victim) else {
+                            diverge!(
+                                seed,
+                                now,
+                                Some(victim),
+                                Some(server),
+                                DivergenceKind::StreamSet,
+                                "migration victim unknown to the reference"
+                            );
+                        };
+                        let v = &mut reference.streams[vi];
+                        if v.server != server.index() {
+                            diverge!(
+                                seed,
+                                now,
+                                Some(victim),
+                                Some(server),
+                                DivergenceKind::Admission,
+                                "victim lived on server {} per the reference",
+                                v.server
+                            );
+                        }
+                        if !map.holds(to, v.video) {
+                            diverge!(
+                                seed,
+                                now,
+                                Some(victim),
+                                Some(to),
+                                DivergenceKind::Admission,
+                                "victim moved to a non-holder of its video"
+                            );
+                        }
+                        v.server = to.index();
+                        reference.streams.push(RefStream {
+                            id,
+                            video: *video,
+                            server: server.index(),
+                            size_mb: *size_mb,
+                            view_rate: view,
+                            sent_mb: 0.0,
+                            played_secs: 0.0,
+                            rate: 0.0,
+                            paused: false,
+                            client: scenario.client,
+                        });
+                    }
+                    Admission::WithChain { server, .. } => {
+                        diverge!(
+                            seed,
+                            now,
+                            Some(id),
+                            Some(server),
+                            DivergenceKind::Admission,
+                            "chain migration at chain length 1"
+                        );
+                    }
+                    Admission::Rejected => {
+                        out.rejected += 1;
+                        if let Some(s) = expected_direct {
+                            diverge!(
+                                seed,
+                                now,
+                                Some(id),
+                                Some(s),
+                                DivergenceKind::Admission,
+                                "rejected although {s} had a free slot"
+                            );
+                        }
+                    }
+                }
+                for sid in &touched {
+                    let e = &mut engines[sid.index()];
+                    e.advance_to(now);
+                    e.reschedule(now);
+                    reference.reallocate(sid.index());
+                }
+                if let Some((sid, delta)) = corruption {
+                    for e in engines.iter_mut() {
+                        e.inject_rate_error(sid, delta);
+                    }
+                }
+                out.checks += 1;
+                cross_check(seed, now, &engines, &reference)?;
+                if admission.accepted() {
+                    if let Some(f) = fault {
+                        if accepted_seen == f.at_arrival {
+                            // Corrupt the newly admitted stream's rate —
+                            // invisible to the reference, so the oracle
+                            // must flag it at the next event boundary.
+                            corruption = Some((id, f.delta_mbps));
+                            for e in engines.iter_mut() {
+                                e.inject_rate_error(id, f.delta_mbps);
+                            }
+                        }
+                    }
+                    accepted_seen += 1;
+                }
+            }
+            TraceOp::Fail(server) => {
+                let taken = engines[server.index()].fail(now);
+                let taken_ids: Vec<StreamId> = taken.iter().map(|s| s.id).collect();
+                let touched = controller.evacuate(taken, *server, &mut engines, &map, now);
+                reference.online[server.index()] = false;
+                // Mirror each victim's fate by observing where it landed.
+                for vid in taken_ids {
+                    let landed = engines
+                        .iter()
+                        .position(|e| e.streams().iter().any(|s| s.id == vid));
+                    match landed {
+                        Some(target) => {
+                            if !scenario.migration_on {
+                                diverge!(
+                                    seed,
+                                    now,
+                                    Some(vid),
+                                    Some(*server),
+                                    DivergenceKind::Admission,
+                                    "evacuation relocated a stream with migration off"
+                                );
+                            }
+                            let Some(vi) = reference.find(vid) else {
+                                diverge!(
+                                    seed,
+                                    now,
+                                    Some(vid),
+                                    Some(*server),
+                                    DivergenceKind::StreamSet,
+                                    "evacuated stream unknown to the reference"
+                                );
+                            };
+                            reference.streams[vi].server = target;
+                        }
+                        None => {
+                            // Dropped (or it had just finished): the viewer
+                            // is gone either way.
+                            reference.remove(vid);
+                        }
+                    }
+                }
+                for sid in &touched {
+                    let e = &mut engines[sid.index()];
+                    e.advance_to(now);
+                    e.reschedule(now);
+                    reference.reallocate(sid.index());
+                }
+                out.checks += 1;
+                cross_check(seed, now, &engines, &reference)?;
+            }
+            TraceOp::Repair(server) => {
+                engines[server.index()].repair(now);
+                reference.online[server.index()] = true;
+                out.checks += 1;
+                cross_check(seed, now, &engines, &reference)?;
+            }
+        }
+    }
+
+    // Let every remaining stream run to completion.
+    let far = trace.last().map(|(t, _)| *t).unwrap_or(SimTime::ZERO) + 1.0e7;
+    drain_until!(far);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_scenarios_have_no_divergence() {
+        for seed in 0..16 {
+            let sc = OracleScenario::generate(seed);
+            if let Err(d) = run_differential(&sc) {
+                panic!("{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn injected_fault_is_localized() {
+        let sc = OracleScenario::generate(0);
+        let fault = FaultInjection {
+            at_arrival: 0,
+            delta_mbps: 1.5,
+        };
+        let d = run_differential_with_fault(&sc, Some(fault))
+            .expect_err("a corrupted rate must diverge");
+        assert_eq!(d.seed, sc.seed);
+        assert!(d.stream.is_some(), "report must name the stream: {d}");
+        assert!(
+            matches!(
+                d.kind,
+                DivergenceKind::Rate
+                    | DivergenceKind::SentMb
+                    | DivergenceKind::Capacity
+                    | DivergenceKind::Conservation
+            ),
+            "unexpected kind: {d}"
+        );
+    }
+}

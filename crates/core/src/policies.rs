@@ -103,7 +103,11 @@ impl Policy {
         format!(
             "{} | {} | {} | {:.0}% buffer",
             self.name(),
-            if self.is_predictive() { "Predictive" } else { "Even" },
+            if self.is_predictive() {
+                "Predictive"
+            } else {
+                "Even"
+            },
             if self.migrates() { "Migr" } else { "No Migr" },
             self.staging_fraction() * 100.0
         )

@@ -84,17 +84,15 @@ pub fn run_trials(config: &SimConfig, plan: TrialPlan) -> Vec<SimOutcome> {
             }
         });
     }
-    outcomes.into_iter().map(|o| o.expect("trial ran")).collect()
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("trial ran"))
+        .collect()
 }
 
 /// Summarises the utilization of a set of trial outcomes.
 pub fn utilization_summary(outcomes: &[SimOutcome]) -> Summary {
-    Summary::of(
-        &outcomes
-            .iter()
-            .map(|o| o.utilization)
-            .collect::<Vec<f64>>(),
-    )
+    Summary::of(&outcomes.iter().map(|o| o.utilization).collect::<Vec<f64>>())
 }
 
 #[cfg(test)]

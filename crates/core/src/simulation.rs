@@ -194,8 +194,7 @@ impl Simulation {
         // and vanish on completion, so a stale hint falls back to a scan).
         let mut pause_rng = root.fork(6);
         let mut pauses_applied: u64 = 0;
-        let mut loc_hint: std::collections::HashMap<u64, u16> =
-            std::collections::HashMap::new();
+        let mut loc_hint: std::collections::HashMap<u64, u16> = std::collections::HashMap::new();
 
         let mut next_stream_id: u64 = 0;
         let mut completions: u64 = 0;
@@ -254,11 +253,7 @@ impl Simulation {
                         sct_admission::Admission::Direct { server } => {
                             loc_hint.insert(stream_id, server.0);
                         }
-                        sct_admission::Admission::WithMigration {
-                            server,
-                            victim,
-                            to,
-                        } => {
+                        sct_admission::Admission::WithMigration { server, victim, to } => {
                             loc_hint.insert(stream_id, server.0);
                             loc_hint.insert(victim.0, to.0);
                         }
@@ -278,16 +273,14 @@ impl Simulation {
                     }
                     if !admission.accepted() {
                         if let Some(wl) = waitlist.as_mut() {
-                            if let Some(expires) =
-                                wl.enqueue(
-                                    StreamId(stream_id),
-                                    req.video,
-                                    video.size_mb(),
-                                    view_rate,
-                                    client,
-                                    now,
-                                )
-                            {
+                            if let Some(expires) = wl.enqueue(
+                                StreamId(stream_id),
+                                req.video,
+                                video.size_mb(),
+                                view_rate,
+                                client,
+                                now,
+                            ) {
                                 if expires <= end {
                                     queue.push(expires, Event::WaitlistExpiry);
                                 }
@@ -336,8 +329,7 @@ impl Simulation {
                         if let Some(ps) = config.interactivity {
                             if pause_rng.chance(ps.probability) {
                                 let at = now + pause_rng.range_f64(0.0, length_secs);
-                                let dur = pause_rng
-                                    .range_f64(ps.min_pause_secs, ps.max_pause_secs);
+                                let dur = pause_rng.range_f64(ps.min_pause_secs, ps.max_pause_secs);
                                 if at <= end {
                                     queue.push(at, Event::PauseStream(stream_id));
                                     let resume = at + dur;
@@ -616,8 +608,7 @@ impl Simulation {
                 .map(|s| s.sent_mb())
                 .sum::<f64>();
         }
-        let goodput =
-            utilization - copy_mb / (cluster.total_bandwidth_mbps() * measured_secs);
+        let goodput = utilization - copy_mb / (cluster.total_bandwidth_mbps() * measured_secs);
 
         SimOutcome {
             utilization,
@@ -718,7 +709,10 @@ mod tests {
                 })
                 .build(),
         );
-        assert!(with.stats.accepted_via_migration > 0, "migration should fire");
+        assert!(
+            with.stats.accepted_via_migration > 0,
+            "migration should fire"
+        );
         assert!(
             with.utilization >= without.utilization - 0.02,
             "with {} vs without {}",
@@ -764,8 +758,7 @@ mod tests {
             .seed(13)
             .build();
         let out = Simulation::run(&cfg);
-        let capacity_mb =
-            cfg.system.total_bandwidth_mbps() * out.measured_hours * 3600.0;
+        let capacity_mb = cfg.system.total_bandwidth_mbps() * out.measured_hours * 3600.0;
         let sent_mb = out.utilization * capacity_mb;
         assert!(
             sent_mb <= out.stats.accepted_mb + 1e-3,
@@ -797,12 +790,14 @@ mod tests {
                 .failures(1.0, 0.17)
                 .build(),
         );
-        assert!(with.stats.relocated_on_failure > 0, "evacuation never fired");
+        assert!(
+            with.stats.relocated_on_failure > 0,
+            "evacuation never fired"
+        );
         // At 100 % offered load on a 3-server cluster the neighbours are
         // mostly full, so only a fraction of victims find a new home — but
         // it must be a real fraction, not a fluke.
-        let total_victims =
-            with.stats.relocated_on_failure + with.stats.dropped_on_failure;
+        let total_victims = with.stats.relocated_on_failure + with.stats.dropped_on_failure;
         assert!(
             with.stats.relocated_on_failure as f64 >= 0.2 * total_victims as f64,
             "DRM should rescue a meaningful share: {:?}",
@@ -898,7 +893,10 @@ mod tests {
                 })
                 .build(),
         );
-        assert!(with.replication.copies_started > 0, "replication never fired");
+        assert!(
+            with.replication.copies_started > 0,
+            "replication never fired"
+        );
         assert!(with.replication.replicas_created > 0);
         assert!(
             (with.goodput - with.utilization).abs() < 1e-12,
@@ -1076,10 +1074,15 @@ mod tests {
             .seed(83)
             .check_invariants(true);
         let unicast = Simulation::run(
-            &base.clone().waitlist_spec(WaitlistSpec::new(600.0, 1000)).build(),
+            &base
+                .clone()
+                .waitlist_spec(WaitlistSpec::new(600.0, 1000))
+                .build(),
         );
         let batched = Simulation::run(
-            &base.waitlist_spec(WaitlistSpec::batching(600.0, 1000)).build(),
+            &base
+                .waitlist_spec(WaitlistSpec::batching(600.0, 1000))
+                .build(),
         );
         assert!(batched.waitlist.batched > 0, "batching never happened");
         assert!(
@@ -1091,8 +1094,7 @@ mod tests {
         // A batch admits a whole cohort the moment one slot frees, so the
         // average time-to-play of queued viewers drops.
         assert!(
-            batched.waitlist.mean_served_wait_secs()
-                < unicast.waitlist.mean_served_wait_secs(),
+            batched.waitlist.mean_served_wait_secs() < unicast.waitlist.mean_served_wait_secs(),
             "batching must shorten waits: {} vs {}",
             batched.waitlist.mean_served_wait_secs(),
             unicast.waitlist.mean_served_wait_secs()
@@ -1112,16 +1114,9 @@ mod tests {
             .check_invariants(true);
         // 3-hour "days" so several cycles fit in the run.
         let flat = Simulation::run(&base.clone().staging_fraction(0.0).build());
-        let swing_raw = Simulation::run(
-            &base
-                .clone()
-                .staging_fraction(0.0)
-                .diurnal(1.0, 3.0)
-                .build(),
-        );
-        let swing_staged = Simulation::run(
-            &base.staging_fraction(1.0).diurnal(1.0, 3.0).build(),
-        );
+        let swing_raw =
+            Simulation::run(&base.clone().staging_fraction(0.0).diurnal(1.0, 3.0).build());
+        let swing_staged = Simulation::run(&base.staging_fraction(1.0).diurnal(1.0, 3.0).build());
         assert!(
             swing_raw.utilization < flat.utilization - 0.02,
             "full swings must hurt the naive system: {} vs {}",

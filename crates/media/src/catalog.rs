@@ -97,10 +97,7 @@ impl Catalog {
 
     /// The largest single video, in megabits.
     pub fn max_size_mb(&self) -> f64 {
-        self.videos
-            .iter()
-            .map(Video::size_mb)
-            .fold(0.0, f64::max)
+        self.videos.iter().map(Video::size_mb).fold(0.0, f64::max)
     }
 }
 

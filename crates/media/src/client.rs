@@ -67,11 +67,7 @@ impl ClientProfile {
     /// the paper's parameterisation ("the amount of staging buffer is
     /// expressed as a percentage of the storage required to store an entire
     /// copy of the average sized video", §4.3).
-    pub fn staging_fraction(
-        fraction: f64,
-        avg_video_size_mb: f64,
-        receive_cap_mbps: f64,
-    ) -> Self {
+    pub fn staging_fraction(fraction: f64, avg_video_size_mb: f64, receive_cap_mbps: f64) -> Self {
         assert!(
             (0.0..=f64::INFINITY).contains(&fraction),
             "fraction must be >= 0, got {fraction}"

@@ -25,7 +25,10 @@ impl Exponential {
     /// Creates an exponential distribution with the given rate (events per
     /// second). Requires `rate > 0`.
     pub fn new(rate: f64) -> Self {
-        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive, got {rate}");
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "rate must be positive, got {rate}"
+        );
         Exponential { rate }
     }
 
@@ -57,7 +60,10 @@ pub struct UniformRange {
 impl UniformRange {
     /// Creates a uniform distribution on `[lo, hi)`. Requires `lo <= hi`.
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(lo <= hi && lo.is_finite() && hi.is_finite(), "bad range [{lo}, {hi})");
+        assert!(
+            lo <= hi && lo.is_finite() && hi.is_finite(),
+            "bad range [{lo}, {hi})"
+        );
         UniformRange { lo, hi }
     }
 

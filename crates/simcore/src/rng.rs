@@ -69,7 +69,8 @@ impl Rng {
     pub fn fork(&self, stream: u64) -> Rng {
         // Mix the *current* state with the stream id so forks taken at
         // different points of the parent's life differ.
-        let mut sm = self.s[0] ^ self.s[2].rotate_left(17) ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut sm =
+            self.s[0] ^ self.s[2].rotate_left(17) ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let s = [
             splitmix64(&mut sm),
             splitmix64(&mut sm),
@@ -274,7 +275,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely to be identity");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "astronomically unlikely to be identity"
+        );
     }
 
     #[test]

@@ -200,7 +200,9 @@ mod tests {
 
     #[test]
     fn merge_matches_sequential() {
-        let data: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.7).sin() * 10.0 + 3.0).collect();
+        let data: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.7).sin() * 10.0 + 3.0)
+            .collect();
         let mut whole = OnlineStats::new();
         for &x in &data {
             whole.push(x);
@@ -266,6 +268,10 @@ mod tests {
             s.push(1e9 + (i % 2) as f64);
         }
         // Sample variance of a balanced 0/1 split is n/4/(n-1) ≈ 0.25003.
-        assert!((s.variance() - 0.25).abs() < 1e-4, "variance {}", s.variance());
+        assert!(
+            (s.variance() - 0.25).abs() < 1e-4,
+            "variance {}",
+            s.variance()
+        );
     }
 }

@@ -188,10 +188,9 @@ fn waterfill(spare: f64, _now: SimTime, streams: &mut [Stream], candidates: &[us
     }
     let mut given = 0.0;
     for &(i, h) in &headrooms {
-        let extra = h.min(level.max(0.0)).min(h);
-        // Saturated streams (h <= their share) take exactly h; the rest
-        // take the final level.
-        let extra = if h <= level { h } else { extra };
+        // Saturated streams (h <= level) take exactly their headroom;
+        // the rest take the common water level.
+        let extra = h.min(level);
         let s = &mut streams[i];
         s.set_rate(s.rate() + extra);
         given += extra;
@@ -357,5 +356,57 @@ mod tests {
     fn scheduler_names_are_stable() {
         assert_eq!(SchedulerKind::Eftf.name(), "eftf");
         assert_eq!(SchedulerKind::NoWorkahead.name(), "none");
+    }
+
+    mod waterfill_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Conservation and cap-respect of the waterfill under random
+            /// headrooms: everything handed out is accounted for
+            /// (`given + idle == spare`), nobody exceeds their receive
+            /// cap, and the fill is exact — `given == min(spare, Σ h_i)`.
+            #[test]
+            fn waterfill_conserves_and_respects_caps(
+                spare in 0.0f64..200.0,
+                caps in proptest::collection::vec(0.0f64..50.0, 1..12),
+            ) {
+                let mut streams: Vec<Stream> = caps
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &h)| mk(i as u64, 300.0, 1e9, 3.0 + h))
+                    .collect();
+                // Start from the minimum flow, as `allocate` does.
+                for s in &mut streams {
+                    s.set_rate(s.view_rate);
+                }
+                let candidates: Vec<usize> = (0..streams.len()).collect();
+                let given = waterfill(spare, NOW, &mut streams, &candidates);
+                let total_headroom: f64 = caps.iter().sum();
+
+                // Conservation: the distributed total matches the per-
+                // stream rate increases, and given + idle == spare.
+                let distributed: f64 =
+                    streams.iter().map(|s| s.rate() - s.view_rate).sum();
+                prop_assert!((distributed - given).abs() < 1e-9);
+                let idle = spare - given;
+                prop_assert!(idle >= -1e-9, "gave out more than spare");
+                prop_assert!(
+                    (given - spare.min(total_headroom)).abs() < 1e-6,
+                    "inexact fill: given {given}, spare {spare}, \
+                     headroom {total_headroom}"
+                );
+                for (s, &h) in streams.iter().zip(&caps) {
+                    prop_assert!(
+                        s.rate() <= 3.0 + h + 1e-9,
+                        "receive cap violated: {} > {}",
+                        s.rate(),
+                        3.0 + h
+                    );
+                    prop_assert!(s.rate() >= 3.0 - 1e-12, "min flow violated");
+                }
+            }
+        }
     }
 }

@@ -135,6 +135,31 @@ impl ServerEngine {
         self.online
     }
 
+    /// Sum of the view rates of all admitted streams — the minimum-flow
+    /// commitment that [`ServerEngine::can_admit`] guards. Exposed for the
+    /// differential oracle to cross-check against its own ledger.
+    #[cfg(feature = "differential")]
+    pub fn committed_mbps(&self) -> f64 {
+        self.committed_mbps
+    }
+
+    /// Test-only fault injection: silently perturbs one stream's allocated
+    /// rate *without* reallocating or invalidating scheduled wakes —
+    /// exactly the signature of an allocator bug. Returns `false` if the
+    /// stream is not on this server. Used to prove the differential oracle
+    /// catches misallocations; never call outside oracle self-tests.
+    #[cfg(feature = "differential")]
+    pub fn inject_rate_error(&mut self, id: StreamId, delta_mbps: f64) -> bool {
+        match self.streams.iter_mut().find(|s| s.id == id) {
+            Some(s) => {
+                let rate = (s.rate() + delta_mbps).max(0.0);
+                s.set_rate(rate);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Fails the server at `now`: integrates state, takes every active
     /// stream off it (their transmission state intact, for possible
     /// emergency migration by the controller), and marks it offline.
@@ -150,7 +175,10 @@ impl ServerEngine {
     /// Repairs the server at `now`: it comes back empty and admitting.
     pub fn repair(&mut self, now: SimTime) {
         self.advance_to(now);
-        assert!(self.streams.is_empty(), "offline servers cannot hold streams");
+        assert!(
+            self.streams.is_empty(),
+            "offline servers cannot hold streams"
+        );
         self.generation += 1;
         self.online = true;
     }
@@ -161,7 +189,11 @@ impl ServerEngine {
         let dt = now - self.clock;
         assert!(dt >= -EPS_SECS, "engine {} time went backwards", self.id);
         if dt <= 0.0 {
-            self.clock = now;
+            // A wake time computed by float arithmetic can land up to
+            // EPS_SECS before the current clock; hold the clock rather
+            // than stepping it backwards, so a subsequent advance to a
+            // legitimate time never sees a widened negative dt.
+            self.clock = self.clock.max(now);
             return;
         }
         // Fraction of this interval inside the measurement window. Rates
@@ -199,7 +231,10 @@ impl ServerEngine {
     /// Removes and returns every finished stream. Call after
     /// `advance_to(now)` at a wake; follow with [`ServerEngine::reschedule`].
     pub fn reap_finished(&mut self, now: SimTime) -> Vec<Stream> {
-        debug_assert!((now - self.clock).abs() <= EPS_SECS, "reap before advancing");
+        debug_assert!(
+            (now - self.clock).abs() <= EPS_SECS,
+            "reap before advancing"
+        );
         let mut finished = Vec::new();
         let mut i = 0;
         while i < self.streams.len() {
@@ -253,7 +288,10 @@ impl ServerEngine {
     /// returns the time of the next intrinsic event (stream completion or
     /// buffer fill), if any.
     pub fn reschedule(&mut self, now: SimTime) -> Option<SimTime> {
-        debug_assert!((now - self.clock).abs() <= EPS_SECS, "reschedule before advancing");
+        debug_assert!(
+            (now - self.clock).abs() <= EPS_SECS,
+            "reschedule before advancing"
+        );
         self.generation += 1;
         allocate(self.scheduler, self.capacity_mbps, now, &mut self.streams);
         self.next_event_after(now).map(|(t, _)| t)
@@ -399,16 +437,36 @@ mod tests {
         // Both get min-flow 3; spare 94 goes to stream 1 first, capped at
         // receive 30 → rate 30, growth 27, headroom 27 → full at 1 s.
         // Stream 2 receives the remainder: min(94-27, 27) → rate 30 too.
-        let r1 = e.streams().iter().find(|s| s.id == StreamId(1)).unwrap().rate();
-        let r2 = e.streams().iter().find(|s| s.id == StreamId(2)).unwrap().rate();
+        let r1 = e
+            .streams()
+            .iter()
+            .find(|s| s.id == StreamId(1))
+            .unwrap()
+            .rate();
+        let r2 = e
+            .streams()
+            .iter()
+            .find(|s| s.id == StreamId(2))
+            .unwrap()
+            .rate();
         assert_eq!(r1, 30.0);
         assert_eq!(r2, 30.0);
         assert!((wake.as_secs() - 1.0).abs() < 1e-9);
         e.advance_to(wake);
         e.reap_finished(wake);
         e.reschedule(wake);
-        let r1 = e.streams().iter().find(|s| s.id == StreamId(1)).unwrap().rate();
-        let r2 = e.streams().iter().find(|s| s.id == StreamId(2)).unwrap().rate();
+        let r1 = e
+            .streams()
+            .iter()
+            .find(|s| s.id == StreamId(1))
+            .unwrap()
+            .rate();
+        let r2 = e
+            .streams()
+            .iter()
+            .find(|s| s.id == StreamId(2))
+            .unwrap()
+            .rate();
         assert_eq!(r1, 3.0, "full buffer drops to view rate");
         assert_eq!(r2, 30.0, "later stream keeps its workahead");
         e.check_invariants();
@@ -524,7 +582,10 @@ mod tests {
         e.reschedule(w);
         let s = &e.streams()[0];
         assert_eq!(s.rate(), 0.0, "paused + full buffer → no feed");
-        assert!(e.next_event_after(w).is_none(), "nothing can happen until resume");
+        assert!(
+            e.next_event_after(w).is_none(),
+            "nothing can happen until resume"
+        );
         e.check_invariants();
     }
 
@@ -557,10 +618,67 @@ mod tests {
         let t2 = SimTime::from_secs(5.0);
         e.repair(t2);
         assert!(e.is_online());
-        assert!(e.generation() > g_down, "repair must invalidate stale wakes");
+        assert!(
+            e.generation() > g_down,
+            "repair must invalidate stale wakes"
+        );
         assert!(e.can_admit(3.0));
         e.admit(mk_stream(2, 300.0, 0.0, t2), t2);
         assert_eq!(e.active_count(), 1);
+        e.check_invariants();
+    }
+
+    #[test]
+    fn sub_eps_stale_wake_does_not_rewind_clock() {
+        let mut e = engine();
+        let now = SimTime::ZERO;
+        e.admit(mk_stream(1, 3000.0, 1e9, now), now);
+        let t = SimTime::from_secs(10.0);
+        e.advance_to(t);
+        assert_eq!(e.clock(), t);
+        // A wake computed by float arithmetic can land up to EPS_SECS
+        // before the clock; the clamp must hold the clock, not rewind it.
+        let stale = SimTime::from_secs(10.0 - 0.5e-9);
+        e.advance_to(stale);
+        assert_eq!(e.clock(), t, "clock stepped backwards on a stale wake");
+        // Repeating the stale advance must not widen the gap either.
+        e.advance_to(stale);
+        assert_eq!(e.clock(), t);
+        // A later legitimate advance proceeds normally.
+        let later = SimTime::from_secs(11.0);
+        e.advance_to(later);
+        assert_eq!(e.clock(), later);
+        e.check_invariants();
+    }
+
+    #[test]
+    fn failed_server_remove_does_not_double_decrement() {
+        // A stream "removed" from a failed server (e.g. a migration whose
+        // source crashed mid-flight) must not decrement committed_mbps a
+        // second time: `fail` already zeroed the commitment ledger.
+        let mut e = engine();
+        let now = SimTime::ZERO;
+        e.admit(mk_stream(1, 300.0, 30.0, now), now);
+        e.admit(mk_stream(2, 300.0, 30.0, now), now);
+        let t = SimTime::from_secs(1.0);
+        let taken = e.fail(t);
+        assert_eq!(taken.len(), 2);
+        assert!(
+            e.remove_stream(StreamId(1), t).is_none(),
+            "failed server holds no streams"
+        );
+        // can_admit must stay false (offline), and the ledger must not have
+        // gone negative, which would admit 6 streams after repair.
+        assert!(!e.can_admit(3.0));
+        e.repair(t);
+        let mut admitted = 0;
+        for i in 10..60 {
+            if e.can_admit(3.0) {
+                e.admit(mk_stream(i, 30.0, 0.0, t), t);
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 33, "capacity 100 / view 3 = 33 slots");
         e.check_invariants();
     }
 
@@ -575,7 +693,9 @@ mod tests {
         let mut t = now;
         let mut total_reaped = 0.0;
         for _ in 0..500 {
-            let Some(next) = e.next_event_after(t) else { break };
+            let Some(next) = e.next_event_after(t) else {
+                break;
+            };
             t = next.0;
             e.advance_to(t);
             for s in e.reap_finished(t) {

@@ -188,7 +188,11 @@ impl Stream {
     /// not changed since the last `advance_to`).
     #[inline]
     fn played_by(&self, now: SimTime) -> f64 {
-        let extra = if self.paused { 0.0 } else { now - self.last_update };
+        let extra = if self.paused {
+            0.0
+        } else {
+            now - self.last_update
+        };
         (self.played_secs + extra.max(0.0)).min(self.length_secs())
     }
 
@@ -233,13 +237,19 @@ impl Stream {
     /// The caller must have advanced the stream to `now` and must re-run
     /// the allocator afterwards.
     pub fn pause(&mut self, now: SimTime) {
-        debug_assert!((now - self.last_update).abs() <= EPS_SECS, "pause on stale state");
+        debug_assert!(
+            (now - self.last_update).abs() <= EPS_SECS,
+            "pause on stale state"
+        );
         self.paused = true;
     }
 
     /// Resumes playback (see [`Stream::pause`]).
     pub fn resume(&mut self, now: SimTime) {
-        debug_assert!((now - self.last_update).abs() <= EPS_SECS, "resume on stale state");
+        debug_assert!(
+            (now - self.last_update).abs() <= EPS_SECS,
+            "resume on stale state"
+        );
         self.paused = false;
     }
 
@@ -251,7 +261,9 @@ impl Stream {
         let dt = now - self.last_update;
         debug_assert!(dt >= -EPS_SECS, "time went backwards: {dt}");
         if dt <= 0.0 {
-            self.last_update = now;
+            // Same clamp as `ServerEngine::advance_to`: a sub-EPS stale
+            // timestamp must not rewind the integration anchor.
+            self.last_update = self.last_update.max(now);
             return 0.0;
         }
         let delta = (self.rate * dt).min(self.remaining_mb());

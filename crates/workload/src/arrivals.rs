@@ -9,11 +9,7 @@ use serde::{Deserialize, Serialize};
 /// where the expectation weights each video by its request probability.
 ///
 /// `popularity[i]` is the probability that a request asks for video `i`.
-pub fn calibrated_rate(
-    total_bandwidth_mbps: f64,
-    catalog: &Catalog,
-    popularity: &[f64],
-) -> f64 {
+pub fn calibrated_rate(total_bandwidth_mbps: f64, catalog: &Catalog, popularity: &[f64]) -> f64 {
     assert_eq!(popularity.len(), catalog.len());
     let mean_size: f64 = catalog
         .videos()

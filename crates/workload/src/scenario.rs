@@ -193,7 +193,10 @@ mod tests {
         let mut rng = Rng::new(1);
         let catalog = s.catalog(&mut rng);
         let per_server_load = catalog.total_size_mb() * s.avg_copies / s.n_servers as f64;
-        let disk = s.cluster().server(sct_cluster::ServerId(0)).disk_capacity_mb;
+        let disk = s
+            .cluster()
+            .server(sct_cluster::ServerId(0))
+            .disk_capacity_mb;
         assert!(
             per_server_load < disk * 0.5,
             "placement should be bandwidth-bound: {per_server_load} vs {disk}"
@@ -206,7 +209,10 @@ mod tests {
         let mut rng = Rng::new(2);
         let catalog = l.catalog(&mut rng);
         let per_server_load = catalog.total_size_mb() * l.avg_copies / l.n_servers as f64;
-        let disk = l.cluster().server(sct_cluster::ServerId(0)).disk_capacity_mb;
+        let disk = l
+            .cluster()
+            .server(sct_cluster::ServerId(0))
+            .disk_capacity_mb;
         assert!(per_server_load < disk, "{per_server_load} vs {disk}");
     }
 
@@ -218,9 +224,7 @@ mod tests {
             assert_eq!(v.n_servers, n);
             assert!((v.total_bandwidth_mbps() - base.total_bandwidth_mbps()).abs() < 1e-9);
             assert!(
-                (v.server_disk_gb * n as f64
-                    - base.server_disk_gb * base.n_servers as f64)
-                    .abs()
+                (v.server_disk_gb * n as f64 - base.server_disk_gb * base.n_servers as f64).abs()
                     < 1e-9
             );
         }
@@ -233,9 +237,7 @@ mod tests {
         let bw = spec.heterogeneous_cluster(HeterogeneityKind::Bandwidth, 0.5, &mut rng);
         assert!((bw.total_bandwidth_mbps() - spec.total_bandwidth_mbps()).abs() < 1e-6);
         let st = spec.heterogeneous_cluster(HeterogeneityKind::Storage, 0.5, &mut rng);
-        assert!(
-            (st.total_disk_mb() - spec.cluster().total_disk_mb()).abs() < 1e-3
-        );
+        assert!((st.total_disk_mb() - spec.cluster().total_disk_mb()).abs() < 1e-3);
     }
 
     #[test]

@@ -22,7 +22,10 @@ fn main() {
         spec.client_receive_cap_mbps,
     );
     println!("even placement, no migration, θ = 0.5, 3 × 24 h per point\n");
-    println!("{:>8}  {:>12}  {:>10}  {:>12}", "staging", "utilization", "rejected", "avg stage MB");
+    println!(
+        "{:>8}  {:>12}  {:>10}  {:>12}",
+        "staging", "utilization", "rejected", "avg stage MB"
+    );
 
     for fraction in [0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 1.0] {
         let config = SimConfig::builder(spec.clone())
@@ -36,8 +39,8 @@ fn main() {
         let rejected: u64 = outcomes.iter().map(|o| o.stats.rejected).sum();
         let arrivals: u64 = outcomes.iter().map(|o| o.stats.arrivals).sum();
         // Staging capacity in megabytes for operator intuition.
-        let avg_clip_mb = (spec.video_length_secs.0 + spec.video_length_secs.1) / 2.0
-            * spec.view_rate_mbps;
+        let avg_clip_mb =
+            (spec.video_length_secs.0 + spec.video_length_secs.1) / 2.0 * spec.view_rate_mbps;
         let staging_mbytes = fraction * avg_clip_mb / 8.0;
         println!(
             "{:>7.0}%  {:>12.4}  {:>9.2}%  {:>12.1}",

@@ -14,16 +14,18 @@
 //! cargo run --release --example feature_film_service
 //! ```
 
-use semi_continuous_vod::prelude::*;
 use semi_continuous_vod::analysis::Table;
+use semi_continuous_vod::prelude::*;
 
 fn main() {
     let spec = SystemSpec::large_paper();
     let thetas = [-1.0, -0.5, 0.0, 0.5, 1.0];
     let policies = [Policy::P1, Policy::P4, Policy::P8];
 
-    println!("Large system — {} servers × {} Mb/s, {} films",
-        spec.n_servers, spec.server_bandwidth_mbps, spec.n_videos);
+    println!(
+        "Large system — {} servers × {} Mb/s, {} films",
+        spec.n_servers, spec.server_bandwidth_mbps, spec.n_videos
+    );
     println!("3 trials × 24 simulated hours per cell; offered load 100 %\n");
 
     let mut table = Table::new(vec![

@@ -52,7 +52,10 @@ fn main() {
     );
 
     let (u0, d0) = run_point(&spec, None);
-    println!("{:>9.0}%  {:>11.4} {:>10.3}  {:>11.4} {:>10.3}", 0.0, u0, d0, u0, d0);
+    println!(
+        "{:>9.0}%  {:>11.4} {:>10.3}  {:>11.4} {:>10.3}",
+        0.0, u0, d0, u0, d0
+    );
     for spread in [0.2, 0.4, 0.6, 0.8] {
         let (ub, db) = run_point(&spec, Some((HeterogeneityKind::Bandwidth, spread)));
         let (us, ds) = run_point(&spec, Some((HeterogeneityKind::Storage, spread)));

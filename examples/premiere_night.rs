@@ -27,11 +27,7 @@ struct Row {
     mean_wait: f64,
 }
 
-fn run(
-    label: &'static str,
-    waitlist: Option<WaitlistSpec>,
-    replication: bool,
-) -> Row {
+fn run(label: &'static str, waitlist: Option<WaitlistSpec>, replication: bool) -> Row {
     let mut b = SimConfig::builder(SystemSpec::small_paper())
         .theta(-1.5)
         .staging_fraction(0.2)
@@ -59,7 +55,11 @@ fn main() {
     println!("Small system, θ = -1.5 (one blockbuster dominates), 24 h\n");
     let rows = [
         run("drop on rejection", None, false),
-        run("waitlist 5 min", Some(WaitlistSpec::new(300.0, 10_000)), false),
+        run(
+            "waitlist 5 min",
+            Some(WaitlistSpec::new(300.0, 10_000)),
+            false,
+        ),
         run(
             "waitlist + batching",
             Some(WaitlistSpec::batching(300.0, 10_000)),

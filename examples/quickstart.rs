@@ -26,13 +26,25 @@ fn main() {
 
     println!("semi-continuous transmission, Small system, policy P4 (θ = 0.271)");
     println!("----------------------------------------------------------------");
-    println!("simulated                {:>10.1} h (after 1 h warm-up)", outcome.measured_hours);
+    println!(
+        "simulated                {:>10.1} h (after 1 h warm-up)",
+        outcome.measured_hours
+    );
     println!("requests arrived         {:>10}", outcome.stats.arrivals);
-    println!("accepted directly        {:>10}", outcome.stats.accepted_direct);
-    println!("accepted via migration   {:>10}", outcome.stats.accepted_via_migration);
+    println!(
+        "accepted directly        {:>10}",
+        outcome.stats.accepted_direct
+    );
+    println!(
+        "accepted via migration   {:>10}",
+        outcome.stats.accepted_via_migration
+    );
     println!("rejected                 {:>10}", outcome.stats.rejected);
     println!("streams completed        {:>10}", outcome.completions);
-    println!("acceptance ratio         {:>10.4}", outcome.acceptance_ratio());
+    println!(
+        "acceptance ratio         {:>10.4}",
+        outcome.acceptance_ratio()
+    );
     println!("bandwidth utilization    {:>10.4}", outcome.utilization);
     println!();
     println!("per-server utilization:");

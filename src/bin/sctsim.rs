@@ -143,11 +143,7 @@ fn cmd_run(args: &Args) {
         "utilization = {:.4} ± {:.4}   acceptance = {:.4}   migrations = {}",
         summary.mean,
         summary.ci95,
-        outcomes
-            .iter()
-            .map(|o| o.acceptance_ratio())
-            .sum::<f64>()
-            / outcomes.len() as f64,
+        outcomes.iter().map(|o| o.acceptance_ratio()).sum::<f64>() / outcomes.len() as f64,
         outcomes
             .iter()
             .map(|o| o.stats.accepted_via_migration)

@@ -57,7 +57,7 @@ pub mod prelude {
     pub use sct_core::experiments;
     pub use sct_core::policies::Policy;
     pub use sct_core::runner::{run_trials, TrialPlan};
-    pub use sct_core::simulation::{Simulation, SimOutcome};
+    pub use sct_core::simulation::{SimOutcome, Simulation};
     pub use sct_media::{Catalog, ClientProfile, Video, VideoId};
     pub use sct_simcore::{Rng, SimTime};
     pub use sct_transmission::SchedulerKind;

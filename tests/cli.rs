@@ -15,12 +15,17 @@ fn erlang_subcommand_prints_analytics() {
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("SVBR"));
-    assert!(text.contains("0.873156"), "expected utilization for k=33: {text}");
+    assert!(
+        text.contains("0.873156"),
+        "expected utilization for k=33: {text}"
+    );
 }
 
 #[test]
 fn scenario_round_trips_through_run() {
-    let out = sctsim(&["scenario", "--system", "tiny", "--policy", "P4", "--theta", "0.5"]);
+    let out = sctsim(&[
+        "scenario", "--system", "tiny", "--policy", "P4", "--theta", "0.5",
+    ]);
     assert!(out.status.success());
     let config_json = String::from_utf8(out.stdout).unwrap();
     assert!(config_json.contains("\"theta\": 0.5"));
@@ -40,7 +45,11 @@ fn scenario_round_trips_through_run() {
         "--out",
         out_path.to_str().unwrap(),
     ]);
-    assert!(run.status.success(), "{}", String::from_utf8_lossy(&run.stderr));
+    assert!(
+        run.status.success(),
+        "{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
     let outcome = std::fs::read_to_string(&out_path).unwrap();
     assert!(outcome.contains("utilization"));
 }
@@ -53,12 +62,17 @@ fn run_is_deterministic_across_invocations() {
     let a = sctsim(&args);
     let b = sctsim(&args);
     assert!(a.status.success() && b.status.success());
-    assert_eq!(a.stdout, b.stdout, "same seed must print identical outcomes");
+    assert_eq!(
+        a.stdout, b.stdout,
+        "same seed must print identical outcomes"
+    );
 }
 
 #[test]
 fn trace_emits_valid_json() {
-    let out = sctsim(&["trace", "--system", "tiny", "--hours", "0.2", "--theta", "0.0"]);
+    let out = sctsim(&[
+        "trace", "--system", "tiny", "--hours", "0.2", "--theta", "0.0",
+    ]);
     assert!(out.status.success());
     let json = String::from_utf8(out.stdout).unwrap();
     let trace = sct_workload::Trace::from_json(json.trim()).expect("valid trace JSON");

@@ -4,6 +4,7 @@
 use proptest::prelude::*;
 use sct_admission::{Admission, AssignmentPolicy, Controller, MigrationPolicy, VictimSelection};
 use sct_cluster::{ReplicaMap, ServerId};
+use sct_core::oracle::audit_engines;
 use sct_media::{ClientProfile, VideoId};
 use sct_simcore::{Rng, SimTime};
 use sct_transmission::{SchedulerKind, ServerEngine, Stream, StreamId};
@@ -30,10 +31,7 @@ fn scenario() -> impl Strategy<Value = Scenario> {
         n_videos.prop_flat_map(move |nv| {
             (
                 prop::collection::vec(1u8..(1 << n_servers) as u8, nv..=nv),
-                prop::collection::vec(
-                    (0.0f64..40.0, 0..nv, 60.0f64..900.0),
-                    1..80,
-                ),
+                prop::collection::vec((0.0f64..40.0, 0..nv, 60.0f64..900.0), 1..80),
                 prop::bool::ANY,
                 0u32..3,
                 0usize..4,
@@ -138,7 +136,12 @@ proptest! {
                 e.advance_to(arrival);
                 e.reschedule(arrival);
             }
-            // Invariants after every decision.
+            // Invariants after every decision — the oracle's auditor
+            // (ledger vs stream sum, capacity, min-flow, staging bounds)
+            // plus the controller-level placement rules below.
+            if let Err(d) = audit_engines(sc.seed, arrival, &engines) {
+                prop_assert!(false, "{}", d);
+            }
             controller.stats.check();
             for e in &engines {
                 e.check_invariants();

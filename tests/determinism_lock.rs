@@ -72,12 +72,11 @@ fn tiny_system_outcome_is_locked() {
     // Cross-run invariant content checks (robust to intentional metric
     // additions, sensitive to behavioural changes).
     assert_eq!(a.stats.arrivals, a.stats.accepted() + a.stats.rejected);
-    let total_util: f64 = a
-        .per_server_utilization
-        .iter()
-        .sum::<f64>();
-    assert!((total_util / 3.0 - a.utilization).abs() < 1e-12,
-        "homogeneous servers: mean per-server utilization equals the total");
+    let total_util: f64 = a.per_server_utilization.iter().sum::<f64>();
+    assert!(
+        (total_util / 3.0 - a.utilization).abs() < 1e-12,
+        "homogeneous servers: mean per-server utilization equals the total"
+    );
 }
 
 /// Identical configs built through different code paths (builder vs JSON

@@ -120,8 +120,8 @@ fn kitchen_sink_composition() {
         let arrivals: u64 = out.per_video_arrivals.iter().map(|&x| x as u64).sum();
         assert_eq!(arrivals, out.stats.arrivals);
         // Sampled windows average to the headline utilization.
-        let mean: f64 = out.window_utilization.iter().sum::<f64>()
-            / out.window_utilization.len() as f64;
+        let mean: f64 =
+            out.window_utilization.iter().sum::<f64>() / out.window_utilization.len() as f64;
         assert!((mean - out.utilization).abs() < 1e-9);
     }
 }

@@ -65,7 +65,10 @@ fn migration_with_handoff_latency_is_safe() {
             .seed(3)
             .build(),
     );
-    assert!(out.stats.accepted_via_migration > 0, "migration never fired");
+    assert!(
+        out.stats.accepted_via_migration > 0,
+        "migration never fired"
+    );
 }
 
 /// Heterogeneous clusters hold invariants for both kinds and several
@@ -152,5 +155,8 @@ fn horizon_shorter_than_videos() {
             .build(),
     );
     assert_eq!(out.completions, 0, "nothing can finish in half an hour");
-    assert!(out.utilization > 0.0, "partial transmission must be counted");
+    assert!(
+        out.utilization > 0.0,
+        "partial transmission must be counted"
+    );
 }

@@ -15,6 +15,7 @@
 
 use proptest::prelude::*;
 use sct_cluster::ServerId;
+use sct_core::oracle::audit_engines;
 use sct_media::{ClientProfile, VideoId};
 use sct_simcore::SimTime;
 use sct_transmission::{SchedulerKind, ServerEngine, Stream, StreamId};
@@ -70,6 +71,11 @@ fn run_single_server(
             accepted += 1;
         } else {
             engine.reschedule(arrival);
+        }
+        // The oracle's invariant auditor after every decision: commitment
+        // ledger, capacity bound, minimum flow, staging bounds.
+        if let Err(d) = audit_engines(0, arrival, std::slice::from_ref(&engine)) {
+            panic!("{d}");
         }
     }
     accepted

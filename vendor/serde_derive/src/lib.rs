@@ -1,0 +1,413 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the real
+//! serde/serde_derive (and their syn/quote dependency tree) cannot be
+//! fetched. This crate hand-parses the item token stream with nothing but
+//! the compiler-provided `proc_macro` API and emits impls of the vendored
+//! `serde` crate's value-model traits (`Serialize::to_value` /
+//! `Deserialize::from_value`).
+//!
+//! Supported shapes — the full set used by this workspace:
+//! * structs with named fields,
+//! * tuple structs (newtype structs serialize transparently, like serde),
+//! * unit structs,
+//! * enums with unit / newtype / tuple / struct variants, encoded in
+//!   serde's externally-tagged JSON layout (`"Variant"`,
+//!   `{"Variant": ...}`).
+//!
+//! Not supported (not needed here): generics, `#[serde(...)]` attributes,
+//! unions.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields: just the arity.
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Consumes leading attributes (`#[...]` / `#![...]`) from `iter`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1;
+                // Optional `!` for inner attributes.
+                if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+                    if p.as_char() == '!' {
+                        i += 1;
+                    }
+                }
+                // The `[...]` group.
+                if let Some(TokenTree::Group(_)) = tokens.get(i) {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Splits the tokens of a fields group on top-level commas, where "top
+/// level" accounts for `<...>` nesting (delimited groups are already atomic
+/// in a token stream).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parses a named-fields body (`{ a: T, b: U }`) into field names.
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Vec<String> {
+    split_top_level_commas(group_tokens)
+        .into_iter()
+        .filter_map(|field_tokens| {
+            let mut i = skip_attrs(&field_tokens, 0);
+            i = skip_vis(&field_tokens, i);
+            match field_tokens.get(i) {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected item name, got {other}"),
+    };
+    i += 1;
+    // Reject generics outright: nothing in this workspace derives on a
+    // generic type, and silently producing broken impls would be worse.
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive (vendored): generic types are not supported ({name})");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Named(parse_named_fields(&body))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Tuple(split_top_level_commas(&body).len())
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde derive: unsupported struct body for {name}: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    g.stream().into_iter().collect::<Vec<_>>()
+                }
+                other => panic!("serde derive: expected enum body for {name}, got {other:?}"),
+            };
+            let mut variants = Vec::new();
+            let mut j = 0usize;
+            while j < body.len() {
+                j = skip_attrs(&body, j);
+                let Some(TokenTree::Ident(id)) = body.get(j) else {
+                    break;
+                };
+                let vname = id.to_string();
+                j += 1;
+                let fields = match body.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        j += 1;
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        Fields::Named(parse_named_fields(&inner))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        j += 1;
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        Fields::Tuple(split_top_level_commas(&inner).len())
+                    }
+                    _ => Fields::Unit,
+                };
+                // Skip the trailing comma, if any.
+                if let Some(TokenTree::Punct(p)) = body.get(j) {
+                    if p.as_char() == ',' {
+                        j += 1;
+                    }
+                }
+                variants.push(Variant { name: vname, fields });
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde derive: cannot derive on `{other}` items"),
+    }
+}
+
+fn serialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "({:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))",
+                                f
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let entries: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", entries.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Map(vec![({vn:?}.to_string(), \
+                             ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let vals: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Serialize::to_value(f{k})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(vec![({vn:?}.to_string(), \
+                                 ::serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let binds = fs.join(", ");
+                            let vals: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![({vn:?}\
+                                 .to_string(), ::serde::Value::Map(vec![{}]))]),",
+                                vals.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ match self {{ {} }} }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn named_field_reads(type_label: &str, fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(::serde::map_field(__m, {f:?}, \
+                 {type_label:?})?)?,"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn deserialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("Ok({name})"),
+                Fields::Named(fs) => format!(
+                    "let __m = __v.as_map().ok_or_else(|| ::serde::DeError::expected(\
+                     \"map\", {name:?}))?;\nOk({name} {{\n{}\n}})",
+                    named_field_reads(name, fs)
+                ),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let reads: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?"))
+                        .collect();
+                    format!(
+                        "let __s = __v.as_seq().ok_or_else(|| ::serde::DeError::expected(\
+                         \"sequence\", {name:?}))?;\n\
+                         if __s.len() != {n} {{ return Err(::serde::DeError::expected(\
+                         \"{n}-element sequence\", {name:?})); }}\n\
+                         Ok({name}({}))",
+                        reads.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 {body}\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("{:?} => Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "{vn:?} => Ok({name}::{vn}(::serde::Deserialize::from_value(\
+                             __inner)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let reads: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::from_value(&__s[{k}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                 let __s = __inner.as_seq().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"sequence\", {vn:?}))?;\n\
+                                 if __s.len() != {n} {{ return Err(::serde::DeError::expected(\
+                                 \"{n}-element sequence\", {vn:?})); }}\n\
+                                 Ok({name}::{vn}({}))\n}},",
+                                reads.join(", ")
+                            ))
+                        }
+                        Fields::Named(fs) => Some(format!(
+                            "{vn:?} => {{\n\
+                             let __m = __inner.as_map().ok_or_else(|| \
+                             ::serde::DeError::expected(\"map\", {vn:?}))?;\n\
+                             Ok({name}::{vn} {{\n{}\n}})\n}},",
+                            named_field_reads(vn, fs)
+                        )),
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {}\n\
+                 __other => Err(::serde::DeError::unknown_variant(__other, {name:?})),\n\
+                 }},\n\
+                 ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__m[0];\n\
+                 match __tag.as_str() {{\n\
+                 {}\n\
+                 __other => Err(::serde::DeError::unknown_variant(__other, {name:?})),\n\
+                 }}\n\
+                 }},\n\
+                 _ => Err(::serde::DeError::expected(\"variant string or single-key map\", \
+                 {name:?})),\n\
+                 }}\n}}\n}}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    serialize_impl(&item)
+        .parse()
+        .expect("serde derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    deserialize_impl(&item)
+        .parse()
+        .expect("serde derive: generated Deserialize impl must parse")
+}
