@@ -66,6 +66,19 @@ impl Admission {
 /// `(freed holder, (victim 1, its destination), (victim 2, its destination))`.
 type ChainPlan = (ServerId, (StreamId, ServerId), (StreamId, ServerId));
 
+/// Everything one [`Controller::evacuate`] pass did after a server
+/// failure.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Evacuation {
+    /// Servers that received streams (the caller must re-arm their
+    /// wakes), in first-touch order.
+    pub touched: Vec<ServerId>,
+    /// Streams re-homed: `(stream, new server)`, in evacuation order.
+    pub relocated: Vec<(StreamId, ServerId)>,
+    /// Streams whose viewers lost service, in evacuation order.
+    pub dropped: Vec<StreamId>,
+}
+
 /// The admission-control half of the distribution controller. Owns the
 /// policies and counters; the server engines and replica map are owned by
 /// the simulation and passed in per call.
@@ -269,7 +282,7 @@ impl Controller {
     /// budget — survival is not a scheduling optimisation.
     ///
     /// Returns the servers that received streams (the caller must re-arm
-    /// their wakes).
+    /// their wakes) plus the per-stream fate of every evacuee.
     pub fn evacuate(
         &mut self,
         streams: Vec<Stream>,
@@ -277,8 +290,8 @@ impl Controller {
         engines: &mut [ServerEngine],
         map: &ReplicaMap,
         now: SimTime,
-    ) -> Vec<ServerId> {
-        let mut touched = Vec::new();
+    ) -> Evacuation {
+        let mut out = Evacuation::default();
         for stream in streams {
             if stream.is_copy() || stream.is_finished() {
                 // Aborted copies are the ReplicationManager's business; a
@@ -302,19 +315,22 @@ impl Controller {
             match target {
                 Some(t) => {
                     let mut s = stream;
+                    let id = s.id;
                     s.record_hop();
                     engines[t.index()].admit(s, now);
                     self.stats.relocated_on_failure += 1;
-                    if !touched.contains(&t) {
-                        touched.push(t);
+                    out.relocated.push((id, t));
+                    if !out.touched.contains(&t) {
+                        out.touched.push(t);
                     }
                 }
                 None => {
                     self.stats.dropped_on_failure += 1;
+                    out.dropped.push(stream.id);
                 }
             }
         }
-        touched
+        out
     }
 
     /// Differential-testing hook: the eligible direct-placement set the
@@ -596,10 +612,12 @@ mod tests {
         // Stale handle to the migrated victim on the dead server: no-op.
         assert!(engines[0].remove_stream(victim, t_fail).is_none());
 
-        let touched = c.evacuate(taken, ServerId(0), &mut engines, &map, t_fail);
+        let evac = c.evacuate(taken, ServerId(0), &mut engines, &map, t_fail);
         // The v1 streams relocate into s1's three free slots; the v0
         // arrival has no other holder and is dropped.
-        assert_eq!(touched, vec![ServerId(1)]);
+        assert_eq!(evac.touched, vec![ServerId(1)]);
+        assert_eq!(evac.relocated.len(), 3);
+        assert_eq!(evac.dropped.len(), 1);
         assert_eq!(c.stats.relocated_on_failure, 3);
         assert_eq!(c.stats.dropped_on_failure, 1);
         assert_eq!(engines[1].active_count(), 4);
@@ -775,8 +793,10 @@ mod tests {
         let taken = engines[0].fail(t);
         assert_eq!(taken.len(), 3);
         let mut c = Controller::paper_single_hop(); // latency 1 s
-        let touched = c.evacuate(taken, ServerId(0), &mut engines, &map, t);
-        assert_eq!(touched, vec![ServerId(1)]);
+        let evac = c.evacuate(taken, ServerId(0), &mut engines, &map, t);
+        assert_eq!(evac.touched, vec![ServerId(1)]);
+        assert_eq!(evac.relocated, vec![(StreamId(1), ServerId(1))]);
+        assert_eq!(evac.dropped, vec![StreamId(2), StreamId(3)]);
         // EFTF concentrated all spare bandwidth on stream 1 (earliest
         // projected finish by id tie-break), so only it staged data;
         // streams 2 (empty buffer) and 3 (0-capacity buffer) cannot mask
@@ -795,8 +815,9 @@ mod tests {
         let t = SimTime::from_secs(5.0);
         let taken = engines[0].fail(t);
         let mut c = Controller::paper_no_migration();
-        let touched = c.evacuate(taken, ServerId(0), &mut engines, &map, t);
-        assert!(touched.is_empty());
+        let evac = c.evacuate(taken, ServerId(0), &mut engines, &map, t);
+        assert!(evac.touched.is_empty());
+        assert_eq!(evac.dropped, vec![StreamId(1)]);
         assert_eq!(c.stats.dropped_on_failure, 1);
         assert_eq!(engines[1].active_count(), 0);
     }
@@ -813,8 +834,8 @@ mod tests {
         let t = SimTime::from_secs(10.0);
         let taken = engines[0].fail(t);
         let mut c = Controller::paper_single_hop();
-        let touched = c.evacuate(taken, ServerId(0), &mut engines, &map, t);
-        assert!(touched.is_empty());
+        let evac = c.evacuate(taken, ServerId(0), &mut engines, &map, t);
+        assert!(evac.touched.is_empty());
         assert_eq!(c.stats.dropped_on_failure, 1);
         assert_eq!(engines[1].active_count(), 4);
     }

@@ -35,10 +35,10 @@ pub mod replication;
 pub mod stats;
 pub mod waitlist;
 
-pub use controller::{Admission, Controller};
+pub use controller::{Admission, Controller, Evacuation};
 pub use policy::{AssignmentPolicy, MigrationPolicy, VictimSelection};
 pub use replication::{
     CopyLaunch, CopySource, ReplicationManager, ReplicationSpec, ReplicationStats,
 };
 pub use stats::AdmissionStats;
-pub use waitlist::{Waitlist, WaitlistSpec, WaitlistStats};
+pub use waitlist::{ServeOutcome, ServedWaiter, Waitlist, WaitlistSpec, WaitlistStats};

@@ -85,6 +85,8 @@ pub enum CopyLaunch {
     FromServer {
         /// The data server transmitting the copy.
         source: ServerId,
+        /// The copy stream's id (matches the eventual reaped stream).
+        stream: StreamId,
     },
     /// A tertiary-storage copy; the simulation must schedule completion
     /// (`token`) after `done_in_secs`.
@@ -223,7 +225,7 @@ impl ReplicationManager {
                     target,
                     size_mb,
                 });
-                CopyLaunch::FromServer { source }
+                CopyLaunch::FromServer { source, stream: id }
             }
             CopySource::Tertiary => {
                 let id = StreamId(*next_stream_id);
@@ -323,9 +325,10 @@ mod tests {
         let launch = mgr
             .maybe_replicate(video, size, &mut next_id, &mut engines, &map, &cluster, now)
             .expect("copy should start");
-        let CopyLaunch::FromServer { source } = launch else {
+        let CopyLaunch::FromServer { source, stream } = launch else {
             panic!("expected a cluster-sourced copy");
         };
+        assert_eq!(stream, StreamId(1000));
         assert_eq!(mgr.in_flight().len(), 1);
         assert_eq!(next_id, 1001);
         let e = &mut engines[source.index()];
@@ -477,7 +480,7 @@ mod tests {
                 SimTime::ZERO,
             )
             .unwrap();
-        let CopyLaunch::FromServer { source } = launch else {
+        let CopyLaunch::FromServer { source, .. } = launch else {
             panic!("expected cluster-sourced copy");
         };
         assert_eq!(mgr.on_server_failed(source), 1);

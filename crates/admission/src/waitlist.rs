@@ -105,6 +105,32 @@ impl WaitlistStats {
     }
 }
 
+/// One request served out of the queue (for event reporting).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServedWaiter {
+    /// The stream id the viewer now plays under.
+    pub id: StreamId,
+    /// The video served.
+    pub video: VideoId,
+    /// The server hosting the (possibly shared) stream.
+    pub server: ServerId,
+    /// `true` when the viewer joined an existing multicast batch instead
+    /// of occupying a slot of its own.
+    pub batched: bool,
+    /// Queueing delay actually experienced, seconds.
+    pub waited_secs: f64,
+}
+
+/// Everything one [`Waitlist::try_serve`] pass did.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeOutcome {
+    /// Servers whose schedules changed (the caller must re-arm their wake
+    /// events), in first-touch order.
+    pub touched: Vec<ServerId>,
+    /// The requests served, in service order.
+    pub served: Vec<ServedWaiter>,
+}
+
 /// FIFO wait queue with patience bounds.
 #[derive(Clone, Debug)]
 pub struct Waitlist {
@@ -182,16 +208,17 @@ impl Waitlist {
     }
 
     /// Attempts to place queued requests (in arrival order) on servers
-    /// with free slots. Returns the served streams' host servers (for wake
-    /// re-arming). Waiters whose videos are still saturated stay queued —
-    /// no head-of-line blocking across videos.
+    /// with free slots. Returns the servers whose schedules changed (for
+    /// wake re-arming) plus a record per served request. Waiters whose
+    /// videos are still saturated stay queued — no head-of-line blocking
+    /// across videos.
     pub fn try_serve(
         &mut self,
         engines: &mut [ServerEngine],
         map: &ReplicaMap,
         now: SimTime,
-    ) -> Vec<ServerId> {
-        let mut touched: Vec<ServerId> = Vec::new();
+    ) -> ServeOutcome {
+        let mut out = ServeOutcome::default();
         let mut remaining: VecDeque<Waiter> = VecDeque::with_capacity(self.queue.len());
         while let Some(w) = self.queue.pop_front() {
             debug_assert!(w.expires > now, "expired waiter not purged");
@@ -209,8 +236,15 @@ impl Waitlist {
                     self.stats.served += 1;
                     self.stats.served_wait_secs += now - w.arrived;
                     self.stats.served_mb += w.size_mb;
-                    if !touched.contains(&server) {
-                        touched.push(server);
+                    out.served.push(ServedWaiter {
+                        id: w.id,
+                        video: w.video,
+                        server,
+                        batched: false,
+                        waited_secs: now - w.arrived,
+                    });
+                    if !out.touched.contains(&server) {
+                        out.touched.push(server);
                     }
                     if self.spec.multicast_batching {
                         // Everyone else waiting for this video joins the
@@ -218,12 +252,20 @@ impl Waitlist {
                         // additional server resources.
                         let video = w.video;
                         let before = self.queue.len();
+                        let served = &mut out.served;
                         self.queue.retain(|other| {
                             if other.video == video {
                                 self.stats.served += 1;
                                 self.stats.batched += 1;
                                 self.stats.served_wait_secs += now - other.arrived;
                                 self.stats.served_mb += other.size_mb;
+                                served.push(ServedWaiter {
+                                    id: other.id,
+                                    video: other.video,
+                                    server,
+                                    batched: true,
+                                    waited_secs: now - other.arrived,
+                                });
                                 false
                             } else {
                                 true
@@ -236,7 +278,7 @@ impl Waitlist {
             }
         }
         self.queue = remaining;
-        touched
+        out
     }
 }
 
@@ -281,7 +323,7 @@ mod tests {
             .expect("queue has room");
         assert_eq!(expires, SimTime::from_secs(300.0));
         // Nothing free yet.
-        assert!(wl.try_serve(&mut engines, &map, t0).is_empty());
+        assert!(wl.try_serve(&mut engines, &map, t0).touched.is_empty());
         assert_eq!(wl.len(), 1);
         // First stream finishes (30 Mb at up to 30 Mb/s → quickly; walk to
         // its completion).
@@ -289,8 +331,12 @@ mod tests {
         engines[0].advance_to(done);
         engines[0].reap_finished(done);
         engines[0].reschedule(done);
-        let touched = wl.try_serve(&mut engines, &map, done);
-        assert_eq!(touched, vec![ServerId(0)]);
+        let outcome = wl.try_serve(&mut engines, &map, done);
+        assert_eq!(outcome.touched, vec![ServerId(0)]);
+        assert_eq!(outcome.served.len(), 1);
+        assert_eq!(outcome.served[0].id, StreamId(3));
+        assert!(!outcome.served[0].batched);
+        assert!((outcome.served[0].waited_secs - (done - t0)).abs() < 1e-9);
         assert!(wl.is_empty());
         assert_eq!(wl.stats.served, 1);
         assert!((wl.stats.mean_served_wait_secs() - (done - t0)).abs() < 1e-9);
@@ -319,8 +365,8 @@ mod tests {
         let mut wl = Waitlist::new(WaitlistSpec::new(300.0, 10));
         wl.enqueue(StreamId(3), VideoId(0), 90.0, VIEW, client(), t0); // stuck
         wl.enqueue(StreamId(4), VideoId(1), 90.0, VIEW, client(), t0); // s1 can take it
-        let touched = wl.try_serve(&mut engines, &map, t0);
-        assert_eq!(touched, vec![ServerId(1)]);
+        let outcome = wl.try_serve(&mut engines, &map, t0);
+        assert_eq!(outcome.touched, vec![ServerId(1)]);
         assert_eq!(wl.len(), 1, "v0 waiter stays queued");
         assert_eq!(wl.stats.served, 1);
     }
@@ -369,11 +415,18 @@ mod tests {
         engines[0].advance_to(t1);
         engines[0].remove_stream(StreamId(1), t1);
         engines[0].reschedule(t1);
-        let touched = wl.try_serve(&mut engines, &map, t1);
-        assert_eq!(touched, vec![ServerId(0)]);
+        let outcome = wl.try_serve(&mut engines, &map, t1);
+        assert_eq!(outcome.touched, vec![ServerId(0)]);
         assert!(wl.is_empty(), "the whole cohort shares the one stream");
         assert_eq!(wl.stats.served, 5);
         assert_eq!(wl.stats.batched, 4);
+        assert_eq!(outcome.served.len(), 5);
+        assert_eq!(
+            outcome.served.iter().filter(|s| s.batched).count(),
+            4,
+            "one slot-holder, four batch joiners"
+        );
+        assert!(outcome.served.iter().all(|s| s.server == ServerId(0)));
         // Only one actual stream occupies the server.
         assert_eq!(engines[0].active_count(), 2);
     }

@@ -13,6 +13,10 @@
 //! * [`report`] — plain-text/markdown table rendering for the harness.
 //! * [`svg`] — dependency-free SVG line charts of any [`Series`], so the
 //!   harness emits viewable figures, not just tables.
+//! * [`trace`] — reader for the JSONL event traces the simulator exports
+//!   (`sctsim --trace`), parsing the wire format generically so analyses
+//!   can count, filter, and reconcile events without depending on the
+//!   core's event enum.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,9 +26,11 @@ pub mod fairness;
 pub mod report;
 pub mod series;
 pub mod svg;
+pub mod trace;
 
 pub use erlang::{erlang_b, expected_utilization_vs_svbr};
 pub use fairness::jain_index;
 pub use report::Table;
 pub use series::{Curve, Series};
 pub use svg::{render_series, SvgOptions};
+pub use trace::{Trace, TraceEvent};

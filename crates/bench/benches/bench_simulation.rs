@@ -4,8 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sct_core::config::SimConfig;
+use sct_core::events::{JsonlTraceProbe, Probe, SimEvent};
 use sct_core::policies::Policy;
 use sct_core::simulation::Simulation;
+use sct_simcore::SimTime;
 use sct_workload::SystemSpec;
 use std::hint::black_box;
 
@@ -53,5 +55,50 @@ fn bench_policy_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_trials, bench_policy_cost);
+fn bench_probe_overhead(c: &mut Criterion) {
+    // The event-sourced core narrates every occurrence to its probes. The
+    // built-in metrics probe is always attached, so `bare` is the
+    // baseline; `counting` adds a trivial extra observer (dispatch cost);
+    // `jsonl` adds full trace serialisation to disk.
+    struct CountingProbe(u64);
+    impl Probe for CountingProbe {
+        fn on_event(&mut self, _now: SimTime, _event: &SimEvent) {
+            self.0 += 1;
+        }
+    }
+    let mut group = c.benchmark_group("probe_overhead_small_2h");
+    group.sample_size(10);
+    let cfg = SimConfig::builder(SystemSpec::small_paper())
+        .policy(Policy::P4)
+        .theta(0.271)
+        .duration_hours(2.0)
+        .warmup_hours(0.0)
+        .seed(3)
+        .build();
+    group.bench_function("bare", |b| b.iter(|| black_box(Simulation::run(&cfg))));
+    group.bench_function("counting", |b| {
+        b.iter(|| {
+            let mut probe = CountingProbe(0);
+            black_box(Simulation::run_with_probes(&cfg, &mut [&mut probe]));
+            black_box(probe.0)
+        })
+    });
+    let path = std::env::temp_dir().join("sct-bench-trace.jsonl");
+    group.bench_function("jsonl", |b| {
+        b.iter(|| {
+            let mut probe = JsonlTraceProbe::create(&path).expect("temp file");
+            black_box(Simulation::run_with_probes(&cfg, &mut [&mut probe]));
+            black_box(probe.finish().expect("trace flushes"))
+        })
+    });
+    let _ = std::fs::remove_file(&path);
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trials,
+    bench_policy_cost,
+    bench_probe_overhead
+);
 criterion_main!(benches);

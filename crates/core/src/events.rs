@@ -1,0 +1,443 @@
+//! Typed simulation events and the probe (observer) layer.
+//!
+//! The event loop in [`crate::simulation`] narrates everything observable
+//! that happens during a trial as a stream of [`SimEvent`] records. A
+//! [`Probe`] subscribes to that stream: the built-in [`MetricsProbe`]
+//! folds it into the counters that [`crate::simulation::SimOutcome`]
+//! reports, and [`JsonlTraceProbe`] exports it as a replayable JSONL
+//! trace (one `{"t": seconds, "event": {...}}` object per line,
+//! externally-tagged variant encoding) for post-hoc analysis with the
+//! `sct-analysis` trace reader.
+//!
+//! Probes observe; they never steer. The simulation's behaviour is
+//! bit-identical with any set of probes attached, including none.
+
+use sct_simcore::SimTime;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+
+/// How an accepted request obtained its slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmitPath {
+    /// A replica holder had a free slot.
+    Direct,
+    /// A single victim migration freed the slot (DRM).
+    Migrated,
+    /// A two-step migration chain freed the slot.
+    Chained,
+}
+
+/// One observable simulation occurrence, stamped by the loop with the
+/// simulation time at which it happened.
+///
+/// Ids are raw integers (stream id, video index, server index) so the
+/// record is self-contained on the wire; the JSONL encoding is the
+/// externally-tagged form `{"Admitted": {...}}`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SimEvent {
+    /// A request was accepted and its stream started.
+    Admitted {
+        /// The new stream's id.
+        stream: u64,
+        /// Requested video index.
+        video: u32,
+        /// Server transmitting the stream.
+        server: u16,
+        /// How the slot was obtained.
+        path: AdmitPath,
+    },
+    /// A request was turned away (it may still enter the waitlist).
+    Rejected {
+        /// The id the stream would have carried.
+        stream: u64,
+        /// Requested video index.
+        video: u32,
+    },
+    /// A viewer stream finished transmission.
+    Completed {
+        /// The finished stream.
+        stream: u64,
+        /// Server it finished on.
+        server: u16,
+    },
+    /// An active stream moved between servers (DRM victim hand-off or
+    /// emergency evacuation).
+    Migrated {
+        /// The relocated stream.
+        stream: u64,
+        /// Previous host server.
+        from: u16,
+        /// New host server.
+        to: u16,
+        /// `true` when the move was a failure evacuation rather than an
+        /// admission-time DRM hand-off.
+        emergency: bool,
+    },
+    /// A server failed; its streams were evacuated or dropped.
+    ServerDown {
+        /// The failed server.
+        server: u16,
+        /// Streams re-homed on other servers.
+        relocated: u32,
+        /// Streams whose viewers lost service.
+        dropped: u32,
+    },
+    /// A failed server came back online (empty).
+    ServerUp {
+        /// The repaired server.
+        server: u16,
+    },
+    /// A viewer paused playback.
+    Paused {
+        /// The paused stream.
+        stream: u64,
+        /// Server currently hosting it.
+        server: u16,
+    },
+    /// A paused viewer resumed playback.
+    Resumed {
+        /// The resumed stream.
+        stream: u64,
+        /// Server currently hosting it.
+        server: u16,
+    },
+    /// A dynamic-replication copy started.
+    CopyStarted {
+        /// The copy stream's id (also the completion token).
+        copy: u64,
+        /// Video being replicated.
+        video: u32,
+        /// `true` for tertiary-sourced copies (no data-server bandwidth).
+        tertiary: bool,
+    },
+    /// A replication copy finished.
+    CopyDone {
+        /// The copy stream's id.
+        copy: u64,
+        /// `true` if the replica was installed (`false` when the copy was
+        /// aborted by a failure before completion).
+        installed: bool,
+    },
+    /// A rejected request entered the wait queue.
+    WaitlistQueued {
+        /// The waiting request's stream id.
+        stream: u64,
+        /// Requested video index.
+        video: u32,
+    },
+    /// A queued request was finally served.
+    WaitlistServed {
+        /// The served request's stream id.
+        stream: u64,
+        /// Requested video index.
+        video: u32,
+        /// Server that took the stream.
+        server: u16,
+        /// `true` when the viewer joined an existing multicast batch.
+        batched: bool,
+        /// How long the viewer waited, seconds.
+        waited_secs: f64,
+    },
+    /// Waiters ran out of patience and left the queue.
+    WaitlistExpired {
+        /// How many gave up at this instant.
+        count: u32,
+    },
+    /// One windowed-utilization sample (time-series analysis).
+    WindowSample {
+        /// Zero-based window index since the warm-up.
+        index: u32,
+        /// Utilization of the window just closed.
+        utilization: f64,
+    },
+}
+
+impl SimEvent {
+    /// The variant name as it appears on the wire (the JSONL tag).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimEvent::Admitted { .. } => "Admitted",
+            SimEvent::Rejected { .. } => "Rejected",
+            SimEvent::Completed { .. } => "Completed",
+            SimEvent::Migrated { .. } => "Migrated",
+            SimEvent::ServerDown { .. } => "ServerDown",
+            SimEvent::ServerUp { .. } => "ServerUp",
+            SimEvent::Paused { .. } => "Paused",
+            SimEvent::Resumed { .. } => "Resumed",
+            SimEvent::CopyStarted { .. } => "CopyStarted",
+            SimEvent::CopyDone { .. } => "CopyDone",
+            SimEvent::WaitlistQueued { .. } => "WaitlistQueued",
+            SimEvent::WaitlistServed { .. } => "WaitlistServed",
+            SimEvent::WaitlistExpired { .. } => "WaitlistExpired",
+            SimEvent::WindowSample { .. } => "WindowSample",
+        }
+    }
+}
+
+/// An observer of the simulation's event stream.
+///
+/// Probes receive every [`SimEvent`] in simulation-time order, stamped
+/// with its time. They must not assume anything about wall-clock
+/// interleaving and cannot influence the run.
+pub trait Probe {
+    /// Called once per event, in order.
+    fn on_event(&mut self, now: SimTime, event: &SimEvent);
+}
+
+/// Fans one event out to every attached probe, in order.
+pub(crate) fn emit(probes: &mut [&mut dyn Probe], now: SimTime, event: &SimEvent) {
+    for p in probes.iter_mut() {
+        p.on_event(now, event);
+    }
+}
+
+/// The accounting probe: folds the event stream into the event-driven
+/// counters of [`crate::simulation::SimOutcome`].
+///
+/// (Quantities that are integrals of engine state — utilization, goodput,
+/// per-server megabits — are computed by the epilogue from the engines
+/// themselves; they are not events.)
+#[derive(Clone, Debug)]
+pub struct MetricsProbe {
+    /// Viewer streams that finished transmission.
+    pub completions: u64,
+    /// Server failures observed.
+    pub server_failures: u64,
+    /// Pauses applied to live streams.
+    pub pauses_applied: u64,
+    /// Windowed-utilization samples, in window order.
+    pub window_utilization: Vec<f64>,
+    /// Arrivals per video (empty unless per-video tracking is on).
+    pub per_video_arrivals: Vec<u32>,
+    /// Rejections per video (empty unless per-video tracking is on).
+    pub per_video_rejections: Vec<u32>,
+}
+
+impl MetricsProbe {
+    /// Creates the probe; `n_videos > 0` with `track_per_video` sizes the
+    /// per-video counters, otherwise they stay empty.
+    pub fn new(n_videos: usize, track_per_video: bool) -> Self {
+        let (pv_a, pv_r) = if track_per_video {
+            (vec![0u32; n_videos], vec![0u32; n_videos])
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        MetricsProbe {
+            completions: 0,
+            server_failures: 0,
+            pauses_applied: 0,
+            window_utilization: Vec::new(),
+            per_video_arrivals: pv_a,
+            per_video_rejections: pv_r,
+        }
+    }
+
+    fn count_arrival(&mut self, video: u32) {
+        if !self.per_video_arrivals.is_empty() {
+            self.per_video_arrivals[video as usize] += 1;
+        }
+    }
+}
+
+impl Probe for MetricsProbe {
+    fn on_event(&mut self, _now: SimTime, event: &SimEvent) {
+        match *event {
+            SimEvent::Admitted { video, .. } => self.count_arrival(video),
+            SimEvent::Rejected { video, .. } => {
+                self.count_arrival(video);
+                if !self.per_video_rejections.is_empty() {
+                    self.per_video_rejections[video as usize] += 1;
+                }
+            }
+            SimEvent::Completed { .. } => self.completions += 1,
+            SimEvent::ServerDown { .. } => self.server_failures += 1,
+            SimEvent::Paused { .. } => self.pauses_applied += 1,
+            SimEvent::WindowSample { utilization, .. } => {
+                self.window_utilization.push(utilization);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Streams the event record to a file as JSON Lines: one
+/// `{"t": <secs>, "event": {"<Kind>": {...}}}` object per line.
+///
+/// I/O errors are deferred: the probe keeps a sticky first error and
+/// [`JsonlTraceProbe::finish`] surfaces it, so the simulation loop stays
+/// infallible.
+pub struct JsonlTraceProbe {
+    out: std::io::BufWriter<std::fs::File>,
+    lines: u64,
+    error: Option<std::io::Error>,
+}
+
+impl JsonlTraceProbe {
+    /// Creates (truncating) the trace file at `path`.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        Ok(JsonlTraceProbe {
+            out: std::io::BufWriter::new(std::fs::File::create(path)?),
+            lines: 0,
+            error: None,
+        })
+    }
+
+    /// Flushes the writer and returns the number of lines written, or the
+    /// first I/O error encountered while streaming.
+    pub fn finish(mut self) -> std::io::Result<u64> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.lines)
+    }
+}
+
+impl Probe for JsonlTraceProbe {
+    fn on_event(&mut self, now: SimTime, event: &SimEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let body = serde_json::to_string(event).expect("SimEvent serialises");
+        // f64 Display is shortest-exact and never exponential: valid JSON.
+        let line = format!("{{\"t\":{},\"event\":{}}}\n", now.as_secs(), body);
+        if let Err(e) = self.out.write_all(line.as_bytes()) {
+            self.error = Some(e);
+        } else {
+            self.lines += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_probe_folds_counters() {
+        let mut m = MetricsProbe::new(3, true);
+        let t = SimTime::ZERO;
+        m.on_event(
+            t,
+            &SimEvent::Admitted {
+                stream: 0,
+                video: 1,
+                server: 0,
+                path: AdmitPath::Direct,
+            },
+        );
+        m.on_event(
+            t,
+            &SimEvent::Rejected {
+                stream: 1,
+                video: 1,
+            },
+        );
+        m.on_event(
+            t,
+            &SimEvent::Completed {
+                stream: 0,
+                server: 0,
+            },
+        );
+        m.on_event(
+            t,
+            &SimEvent::ServerDown {
+                server: 2,
+                relocated: 0,
+                dropped: 1,
+            },
+        );
+        m.on_event(
+            t,
+            &SimEvent::Paused {
+                stream: 5,
+                server: 1,
+            },
+        );
+        m.on_event(
+            t,
+            &SimEvent::WindowSample {
+                index: 0,
+                utilization: 0.5,
+            },
+        );
+        assert_eq!(m.per_video_arrivals, vec![0, 2, 0]);
+        assert_eq!(m.per_video_rejections, vec![0, 1, 0]);
+        assert_eq!(m.completions, 1);
+        assert_eq!(m.server_failures, 1);
+        assert_eq!(m.pauses_applied, 1);
+        assert_eq!(m.window_utilization, vec![0.5]);
+    }
+
+    #[test]
+    fn metrics_probe_without_tracking_keeps_empty_vectors() {
+        let mut m = MetricsProbe::new(3, false);
+        m.on_event(
+            SimTime::ZERO,
+            &SimEvent::Rejected {
+                stream: 0,
+                video: 2,
+            },
+        );
+        assert!(m.per_video_arrivals.is_empty());
+        assert!(m.per_video_rejections.is_empty());
+    }
+
+    #[test]
+    fn sim_event_round_trips_through_json() {
+        let events = [
+            SimEvent::Admitted {
+                stream: 7,
+                video: 3,
+                server: 1,
+                path: AdmitPath::Chained,
+            },
+            SimEvent::Migrated {
+                stream: 2,
+                from: 0,
+                to: 1,
+                emergency: true,
+            },
+            SimEvent::WindowSample {
+                index: 4,
+                utilization: 0.8734561234,
+            },
+            SimEvent::WaitlistServed {
+                stream: 9,
+                video: 0,
+                server: 2,
+                batched: false,
+                waited_secs: 12.5,
+            },
+        ];
+        for ev in &events {
+            let json = serde_json::to_string(ev).unwrap();
+            assert!(json.contains(ev.kind()), "{json}");
+            let back: SimEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, ev);
+        }
+    }
+
+    #[test]
+    fn jsonl_probe_writes_one_line_per_event() {
+        let dir = std::env::temp_dir().join("sct-events-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("probe.jsonl");
+        let mut probe = JsonlTraceProbe::create(&path).unwrap();
+        probe.on_event(SimTime::from_secs(1.25), &SimEvent::ServerUp { server: 3 });
+        probe.on_event(
+            SimTime::from_secs(2.5),
+            &SimEvent::WaitlistExpired { count: 2 },
+        );
+        assert_eq!(probe.finish().unwrap(), 2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"t\":1.25,\"event\":{\"ServerUp\":{\"server\":3}}}"
+        );
+        assert!(lines[1].starts_with("{\"t\":2.5,"));
+    }
+}

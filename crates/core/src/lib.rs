@@ -11,6 +11,9 @@
 //! * [`simulation`] — the discrete-event loop: Poisson arrivals →
 //!   admission control (with DRM) → per-server EFTF transmission engines →
 //!   utilization accounting.
+//! * [`events`] — the typed [`events::SimEvent`] record stream the loop
+//!   narrates, the [`events::Probe`] observer trait, and the built-in
+//!   probes (metrics accumulation, JSONL trace export).
 //! * [`runner`] — deterministic parallel multi-trial execution.
 //! * [`experiments`] — one function per paper table/figure (and per
 //!   tech-report extension), producing [`sct_analysis::Series`]/tables.
@@ -19,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod events;
 pub mod experiments;
 #[cfg(feature = "differential")]
 pub mod oracle;
@@ -27,6 +31,7 @@ pub mod runner;
 pub mod simulation;
 
 pub use config::{SimConfig, SimConfigBuilder, StagingSpec};
+pub use events::{AdmitPath, JsonlTraceProbe, MetricsProbe, Probe, SimEvent};
 pub use policies::Policy;
 pub use runner::{run_trials, utilization_summary, TrialPlan};
 pub use simulation::{SimOutcome, Simulation};

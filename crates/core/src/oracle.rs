@@ -64,6 +64,12 @@ pub enum TraceOp {
     Fail(ServerId),
     /// A failed server comes back online, empty.
     Repair(ServerId),
+    /// The viewer of the stream admitted by arrival number `.0` pauses
+    /// playback (stream ids equal arrival indices). Pausing a stream that
+    /// finished, was dropped, or was never admitted is a client-side no-op.
+    Pause(StreamId),
+    /// The same viewer resumes playback.
+    Resume(StreamId),
 }
 
 /// A self-contained random scenario: cluster shape, policies, and a
@@ -151,6 +157,26 @@ impl OracleScenario {
             let t_repair = t_fail + rng.range_f64(10.0, 200.0);
             trace.push((SimTime::from_secs(t_fail), TraceOp::Fail(victim)));
             trace.push((SimTime::from_secs(t_repair), TraceOp::Repair(victim)));
+            trace.sort_by_key(|a| a.0);
+        }
+
+        // Sometimes viewers pause and resume mid-trace: the reference's
+        // `paused` flag freezes playback while the engines drop the
+        // stream's rate to zero, and both must agree on the data volumes
+        // either way. Targets are arrival indices; a pause landing before
+        // its arrival (or on a rejected request) is a no-op on both sides.
+        if rng.chance(0.5) {
+            let k = rng.range_usize(1, 4);
+            let mut targets = rng.sample_indices(n_arrivals, k);
+            targets.sort_unstable();
+            for idx in targets {
+                let t_pause = rng.range_f64(0.0, t.max(1.0));
+                let t_resume = t_pause + rng.range_f64(5.0, 120.0);
+                let sid = StreamId(idx as u64);
+                trace.push((SimTime::from_secs(t_pause), TraceOp::Pause(sid)));
+                trace.push((SimTime::from_secs(t_resume), TraceOp::Resume(sid)));
+            }
+            // Stable by time, so same-instant ops keep their push order.
             trace.sort_by_key(|a| a.0);
         }
 
@@ -714,6 +740,9 @@ pub struct OracleOutcome {
     pub rejected: u64,
     /// Streams that finished transmission during the replay.
     pub completions: u64,
+    /// Pause/resume operations that landed on a live stream (no-op
+    /// pauses against finished or rejected streams are not counted).
+    pub pauses_applied: u64,
     /// Cross-checks performed (one per event boundary).
     pub checks: u64,
 }
@@ -990,7 +1019,9 @@ pub fn run_differential_with_fault(
             TraceOp::Fail(server) => {
                 let taken = engines[server.index()].fail(now);
                 let taken_ids: Vec<StreamId> = taken.iter().map(|s| s.id).collect();
-                let touched = controller.evacuate(taken, *server, &mut engines, &map, now);
+                let touched = controller
+                    .evacuate(taken, *server, &mut engines, &map, now)
+                    .touched;
                 reference.online[server.index()] = false;
                 // Mirror each victim's fate by observing where it landed.
                 for vid in taken_ids {
@@ -1040,6 +1071,57 @@ pub fn run_differential_with_fault(
             TraceOp::Repair(server) => {
                 engines[server.index()].repair(now);
                 reference.online[server.index()] = true;
+                out.checks += 1;
+                cross_check(seed, now, &engines, &reference)?;
+            }
+            TraceOp::Pause(stream) | TraceOp::Resume(stream) => {
+                let paused = matches!(op, TraceOp::Pause(_));
+                let sid = *stream;
+                let mut engine_loc = None;
+                for e in engines.iter_mut() {
+                    if e.set_paused(sid, paused, now) {
+                        engine_loc = Some(e.id());
+                        break;
+                    }
+                }
+                match (engine_loc, reference.find(sid)) {
+                    (Some(server), Some(ri)) => {
+                        if reference.streams[ri].server != server.index() {
+                            diverge!(
+                                seed,
+                                now,
+                                Some(sid),
+                                Some(server),
+                                DivergenceKind::StreamSet,
+                                "paused stream lives on server {} per the reference",
+                                reference.streams[ri].server
+                            );
+                        }
+                        reference.streams[ri].paused = paused;
+                        engines[server.index()].reschedule(now);
+                        reference.reallocate(server.index());
+                        out.pauses_applied += 1;
+                    }
+                    // Finished, dropped, or never admitted: nothing to do
+                    // on either side.
+                    (None, None) => {}
+                    (Some(server), None) => diverge!(
+                        seed,
+                        now,
+                        Some(sid),
+                        Some(server),
+                        DivergenceKind::StreamSet,
+                        "engine holds a stream unknown to the reference"
+                    ),
+                    (None, Some(_)) => diverge!(
+                        seed,
+                        now,
+                        Some(sid),
+                        None,
+                        DivergenceKind::StreamSet,
+                        "reference holds a stream the engines lost"
+                    ),
+                }
                 out.checks += 1;
                 cross_check(seed, now, &engines, &reference)?;
             }

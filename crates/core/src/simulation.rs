@@ -5,10 +5,19 @@
 //! ```text
 //! RequestGenerator ──arrival──▶ Controller ──admit──▶ ServerEngine (×N)
 //!        ▲                          │                      │
-//!        └── next arrival           └── DRM между holders  └── wake events
+//!        └── next arrival           └── DRM among holders  └── wake events
 //! ```
 //!
-//! Two event kinds flow through a single time-ordered queue:
+//! The loop is event-sourced: a `SimWorld` pops queue entries and
+//! dispatches each `Event` variant to its own handler method. Handlers
+//! mutate world state and *narrate* what happened as typed [`SimEvent`]
+//! records delivered to every attached [`Probe`]. All `SimOutcome`
+//! accounting of discrete occurrences lives in the built-in
+//! [`MetricsProbe`]; quantities that are integrals of engine state
+//! (utilization, goodput) are computed by the epilogue from the engines
+//! themselves.
+//!
+//! Two event kinds dominate the queue:
 //!
 //! * **Arrival** — the next Poisson request. Handling it may admit a
 //!   stream (possibly migrating a victim), then schedules the following
@@ -17,20 +26,25 @@
 //!   changes on its own: a stream completes or a staging buffer fills.
 //!   Each server keeps a generation counter; wakes scheduled before the
 //!   server's last reallocation are stale and ignored, so the queue never
-//!   needs deletions.
+//!   needs deletions. The `WakeScheduler` owns this idiom — it is the
+//!   only place a wake is ever (re-)armed.
 //!
 //! Between events every stream's `sent` grows linearly at its allocated
 //! rate, so engines integrate state exactly (no time-stepping error).
 
 use crate::config::SimConfig;
+use crate::events::{emit, AdmitPath, MetricsProbe, Probe, SimEvent};
 use sct_admission::{
-    AdmissionStats, Controller, ReplicationManager, ReplicationStats, Waitlist, WaitlistStats,
+    Admission, AdmissionStats, Controller, CopyLaunch, ReplicationManager, ReplicationStats,
+    Waitlist, WaitlistStats,
 };
-use sct_cluster::{ClusterSpec, ServerId};
+use sct_cluster::{ClusterSpec, ReplicaMap, ServerId};
+use sct_media::{Catalog, ClientProfile};
 use sct_simcore::{EventQueue, Exponential, Rng, SimTime, ZipfLike};
 use sct_transmission::{ServerEngine, Stream, StreamId};
 use sct_workload::{calibrated_rate, RequestGenerator};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Event payloads for the global queue.
 #[derive(Clone, Copy, Debug)]
@@ -104,20 +118,93 @@ impl SimOutcome {
     }
 }
 
-/// Runs trials described by [`SimConfig`].
-pub struct Simulation;
+/// The one place wake events are armed. Owns the global queue and the
+/// horizon, and encapsulates the advance/reschedule/generation/push
+/// idiom that every handler needs after touching an engine's schedule.
+struct WakeScheduler {
+    queue: EventQueue<Event>,
+    end: SimTime,
+}
 
-impl Simulation {
-    /// Runs one complete trial. Deterministic in `config` (including the
-    /// seed).
-    pub fn run(config: &SimConfig) -> SimOutcome {
+impl WakeScheduler {
+    /// Enqueues `ev` at `t` unless it falls past the horizon.
+    fn push_at(&mut self, t: SimTime, ev: Event) {
+        if t <= self.end {
+            self.queue.push(t, ev);
+        }
+    }
+
+    /// Re-arms `engine`'s wake after its schedule changed: optionally
+    /// integrate to `now` first, recompute the next self-transition, and
+    /// enqueue a generation-stamped wake for it. `check` runs the
+    /// engine's invariant audit afterwards (debug configs).
+    fn rearm(&mut self, engine: &mut ServerEngine, now: SimTime, advance: bool, check: bool) {
+        if advance {
+            engine.advance_to(now);
+        }
+        if let Some(wake) = engine.reschedule(now) {
+            if wake <= self.end {
+                self.queue.push(
+                    wake,
+                    Event::Wake {
+                        server: engine.id().0,
+                        generation: engine.generation(),
+                    },
+                );
+            }
+        }
+        if check {
+            engine.check_invariants();
+        }
+    }
+}
+
+/// All mutable state of one trial. Built by [`SimWorld::new`], driven by
+/// [`SimWorld::run_loop`], reduced to a [`SimOutcome`] by
+/// [`SimWorld::finish`].
+struct SimWorld<'a> {
+    config: &'a SimConfig,
+    catalog: Catalog,
+    cluster: ClusterSpec,
+    replica_map: ReplicaMap,
+    total_copies: u64,
+    replication: Option<ReplicationManager>,
+    waitlist: Option<Waitlist>,
+    generator: RequestGenerator,
+    client: ClientProfile,
+    view_rate: f64,
+    engines: Vec<ServerEngine>,
+    controller: Controller,
+    sched: WakeScheduler,
+    admission_rng: Rng,
+    failure_rng: Rng,
+    failure_dists: Option<(Exponential, Exponential)>,
+    pause_rng: Rng,
+    /// Pause/resume location hints: stream id → last known server.
+    /// Maintained only when interactivity is configured (nothing reads it
+    /// otherwise); entries are pruned when their stream completes or is
+    /// dropped, so the map is bounded by the streams concurrently in the
+    /// engines, not by total arrivals.
+    loc_hint: HashMap<u64, u16>,
+    next_stream_id: u64,
+    events_processed: u64,
+    last_time: SimTime,
+    last_sample_mb: f64,
+    sample_index: u32,
+}
+
+impl<'a> SimWorld<'a> {
+    /// Builds the world: catalog, cluster, placement, engines, policies,
+    /// and the initial event queue (first arrival, failure phases, first
+    /// sample tick).
+    fn new(config: &'a SimConfig) -> Self {
         // Independent randomness streams so that, e.g., changing the
         // placement cannot perturb the arrival sequence.
         let root = Rng::new(config.seed);
         let mut catalog_rng = root.fork(1);
         let mut placement_rng = root.fork(2);
         let mut cluster_rng = root.fork(3);
-        let mut admission_rng = root.fork(4);
+        let admission_rng = root.fork(4);
 
         let catalog = config.system.catalog(&mut catalog_rng);
         let cluster: ClusterSpec = match config.heterogeneity {
@@ -129,16 +216,16 @@ impl Simulation {
             }
         };
         let popularity = ZipfLike::new(catalog.len(), config.theta);
-        let mut replica_map =
+        let replica_map =
             config
                 .placement
                 .place(&catalog, &cluster, popularity.probs(), &mut placement_rng);
         let total_copies = replica_map.total_copies();
-        let mut replication = config.replication.map(ReplicationManager::new);
-        let mut waitlist = config.waitlist.map(Waitlist::new);
+        let replication = config.replication.map(ReplicationManager::new);
+        let waitlist = config.waitlist.map(Waitlist::new);
 
         let rate = calibrated_rate(cluster.total_bandwidth_mbps(), &catalog, popularity.probs());
-        let mut generator = match config.diurnal {
+        let generator = match config.diurnal {
             None => RequestGenerator::new(rate, &popularity, &root),
             Some(d) => RequestGenerator::new_diurnal(
                 rate,
@@ -152,7 +239,7 @@ impl Simulation {
         let client = config.client_profile(catalog.avg_size_mb());
         let view_rate = config.system.view_rate_mbps;
 
-        let mut engines: Vec<ServerEngine> = cluster
+        let engines: Vec<ServerEngine> = cluster
             .ids()
             .map(|id| {
                 let mut e =
@@ -161,13 +248,13 @@ impl Simulation {
                 e
             })
             .collect();
-        let mut controller = Controller::new(config.assignment, config.migration);
+        let controller = Controller::new(config.assignment, config.migration);
 
-        let end = config.duration;
-        let mut queue: EventQueue<Event> = EventQueue::with_capacity(1024);
-        if generator.peek_time() <= end {
-            queue.push(generator.peek_time(), Event::Arrival);
-        }
+        let mut sched = WakeScheduler {
+            queue: EventQueue::with_capacity(1024),
+            end: config.duration,
+        };
+        sched.push_at(generator.peek_time(), Event::Arrival);
 
         // Failure process: each server alternates exponential up/down
         // phases, seeded independently of everything else.
@@ -181,408 +268,571 @@ impl Simulation {
         if let Some((up_time, _)) = &failure_dists {
             for s in 0..engines.len() as u16 {
                 let t = SimTime::ZERO + up_time.sample(&mut failure_rng);
-                if t <= end {
-                    queue.push(t, Event::ServerDown(s));
-                }
+                sched.push_at(t, Event::ServerDown(s));
             }
         }
-        let mut server_failures: u64 = 0;
 
         // Interactivity: pause decisions are drawn at admission from an
         // independent stream; pause/resume events carry the stream id and
-        // are resolved against a location hint (streams move on migration
-        // and vanish on completion, so a stale hint falls back to a scan).
-        let mut pause_rng = root.fork(6);
-        let mut pauses_applied: u64 = 0;
-        let mut loc_hint: std::collections::HashMap<u64, u16> = std::collections::HashMap::new();
-
-        let mut next_stream_id: u64 = 0;
-        let mut completions: u64 = 0;
-        let mut events_processed: u64 = 0;
-        let mut last_time = SimTime::ZERO;
+        // are resolved against the location-hint map (streams move on
+        // migration and vanish on completion, so a stale hint falls back
+        // to a scan).
+        let pause_rng = root.fork(6);
 
         // Windowed-utilization sampling starts after the warm-up.
-        let mut window_utilization: Vec<f64> = Vec::new();
-        let mut last_sample_mb = 0.0f64;
         if let Some(dt) = config.sample_interval_secs {
-            let first = config.warmup + dt;
-            if first <= end {
-                queue.push(first, Event::Sample);
-            }
+            sched.push_at(config.warmup + dt, Event::Sample);
         }
 
-        // Per-video accounting (cheap: two u32 per catalog entry).
-        let (mut pv_arrivals, mut pv_rejections) = if config.track_per_video {
-            (vec![0u32; catalog.len()], vec![0u32; catalog.len()])
-        } else {
-            (Vec::new(), Vec::new())
-        };
+        SimWorld {
+            config,
+            catalog,
+            cluster,
+            replica_map,
+            total_copies,
+            replication,
+            waitlist,
+            generator,
+            client,
+            view_rate,
+            engines,
+            controller,
+            sched,
+            admission_rng,
+            failure_rng,
+            failure_dists,
+            pause_rng,
+            loc_hint: HashMap::new(),
+            next_stream_id: 0,
+            events_processed: 0,
+            last_time: SimTime::ZERO,
+            last_sample_mb: 0.0,
+            sample_index: 0,
+        }
+    }
 
-        while let Some(entry) = queue.pop() {
+    /// Pops and dispatches events until the queue drains. Staleness of
+    /// wakes is decided here, before the event counts as processed.
+    fn run_loop(&mut self, probes: &mut [&mut dyn Probe]) {
+        while let Some(entry) = self.sched.queue.pop() {
             let now = entry.time;
-            debug_assert!(now >= last_time, "event order violated");
-            last_time = now;
+            debug_assert!(now >= self.last_time, "event order violated");
+            self.last_time = now;
+            if let Event::Wake { server, generation } = entry.payload {
+                if generation != self.engines[server as usize].generation() {
+                    continue; // superseded by a later reallocation
+                }
+            }
+            self.events_processed += 1;
             match entry.payload {
-                Event::Arrival => {
-                    events_processed += 1;
-                    let req = generator.next_request();
-                    debug_assert!(req.at == now);
-                    let video = catalog.video(req.video);
-                    let stream = Stream::new(
-                        StreamId(next_stream_id),
-                        req.video,
-                        video.size_mb(),
-                        view_rate,
-                        client,
+                Event::Arrival => self.on_arrival(now, probes),
+                Event::Wake { server, .. } => self.on_wake(now, server, probes),
+                Event::ServerDown(server) => self.on_server_down(now, server, probes),
+                Event::ServerUp(server) => self.on_server_up(now, server, probes),
+                Event::CopyDone(id) => self.on_copy_done(now, id, probes),
+                Event::WaitlistExpiry => self.on_waitlist_expiry(now, probes),
+                Event::Sample => self.on_sample(now, probes),
+                Event::PauseStream(id) => self.on_pause_resume(now, id, true, probes),
+                Event::ResumeStream(id) => self.on_pause_resume(now, id, false, probes),
+            }
+        }
+    }
+
+    /// One Poisson arrival: admission decision (direct / DRM / chain /
+    /// reject), waitlist and replication fallbacks for rejections, pause
+    /// scheduling for acceptances, wake re-arming, next arrival.
+    fn on_arrival(&mut self, now: SimTime, probes: &mut [&mut dyn Probe]) {
+        let req = self.generator.next_request();
+        debug_assert!(req.at == now);
+        let video = self.catalog.video(req.video);
+        let stream = Stream::new(
+            StreamId(self.next_stream_id),
+            req.video,
+            video.size_mb(),
+            self.view_rate,
+            self.client,
+            now,
+        );
+        self.next_stream_id += 1;
+        let length_secs = video.size_mb() / self.view_rate;
+        let stream_id = self.next_stream_id - 1;
+        let size_mb = video.size_mb();
+        let (admission, touched) = self.controller.admit(
+            stream,
+            &mut self.engines,
+            &self.replica_map,
+            now,
+            &mut self.admission_rng,
+        );
+        let track_hints = self.config.interactivity.is_some();
+        let vid = req.video.index() as u32;
+        match admission {
+            Admission::Direct { server } => {
+                if track_hints {
+                    self.loc_hint.insert(stream_id, server.0);
+                }
+                emit(
+                    probes,
+                    now,
+                    &SimEvent::Admitted {
+                        stream: stream_id,
+                        video: vid,
+                        server: server.0,
+                        path: AdmitPath::Direct,
+                    },
+                );
+            }
+            Admission::WithMigration { server, victim, to } => {
+                if track_hints {
+                    self.loc_hint.insert(stream_id, server.0);
+                    self.loc_hint.insert(victim.0, to.0);
+                }
+                emit(
+                    probes,
+                    now,
+                    &SimEvent::Admitted {
+                        stream: stream_id,
+                        video: vid,
+                        server: server.0,
+                        path: AdmitPath::Migrated,
+                    },
+                );
+                emit(
+                    probes,
+                    now,
+                    &SimEvent::Migrated {
+                        stream: victim.0,
+                        from: server.0,
+                        to: to.0,
+                        emergency: false,
+                    },
+                );
+            }
+            Admission::WithChain {
+                server,
+                first,
+                second,
+            } => {
+                if track_hints {
+                    self.loc_hint.insert(stream_id, server.0);
+                    self.loc_hint.insert(first.0 .0, first.1 .0);
+                    self.loc_hint.insert(second.0 .0, second.1 .0);
+                }
+                emit(
+                    probes,
+                    now,
+                    &SimEvent::Admitted {
+                        stream: stream_id,
+                        video: vid,
+                        server: server.0,
+                        path: AdmitPath::Chained,
+                    },
+                );
+                emit(
+                    probes,
+                    now,
+                    &SimEvent::Migrated {
+                        stream: first.0 .0,
+                        from: server.0,
+                        to: first.1 .0,
+                        emergency: false,
+                    },
+                );
+                emit(
+                    probes,
+                    now,
+                    &SimEvent::Migrated {
+                        stream: second.0 .0,
+                        from: first.1 .0,
+                        to: second.1 .0,
+                        emergency: false,
+                    },
+                );
+            }
+            Admission::Rejected => {
+                emit(
+                    probes,
+                    now,
+                    &SimEvent::Rejected {
+                        stream: stream_id,
+                        video: vid,
+                    },
+                );
+            }
+        }
+        if !admission.accepted() {
+            if let Some(wl) = self.waitlist.as_mut() {
+                if let Some(expires) = wl.enqueue(
+                    StreamId(stream_id),
+                    req.video,
+                    size_mb,
+                    self.view_rate,
+                    self.client,
+                    now,
+                ) {
+                    self.sched.push_at(expires, Event::WaitlistExpiry);
+                    emit(
+                        probes,
                         now,
+                        &SimEvent::WaitlistQueued {
+                            stream: stream_id,
+                            video: vid,
+                        },
                     );
-                    next_stream_id += 1;
-                    if config.track_per_video {
-                        pv_arrivals[req.video.index()] += 1;
-                    }
-                    let length_secs = video.size_mb() / view_rate;
-                    let stream_id = next_stream_id - 1;
-                    let (admission, touched) = controller.admit(
-                        stream,
-                        &mut engines,
-                        &replica_map,
-                        now,
-                        &mut admission_rng,
-                    );
-                    match admission {
-                        sct_admission::Admission::Direct { server } => {
-                            loc_hint.insert(stream_id, server.0);
-                        }
-                        sct_admission::Admission::WithMigration { server, victim, to } => {
-                            loc_hint.insert(stream_id, server.0);
-                            loc_hint.insert(victim.0, to.0);
-                        }
-                        sct_admission::Admission::WithChain {
-                            server,
-                            first,
-                            second,
-                        } => {
-                            loc_hint.insert(stream_id, server.0);
-                            loc_hint.insert(first.0 .0, first.1 .0);
-                            loc_hint.insert(second.0 .0, second.1 .0);
-                        }
-                        sct_admission::Admission::Rejected => {}
-                    }
-                    if !admission.accepted() && config.track_per_video {
-                        pv_rejections[req.video.index()] += 1;
-                    }
-                    if !admission.accepted() {
-                        if let Some(wl) = waitlist.as_mut() {
-                            if let Some(expires) = wl.enqueue(
-                                StreamId(stream_id),
-                                req.video,
-                                video.size_mb(),
-                                view_rate,
-                                client,
-                                now,
-                            ) {
-                                if expires <= end {
-                                    queue.push(expires, Event::WaitlistExpiry);
-                                }
-                            }
-                        }
-                        if let Some(mgr) = replication.as_mut() {
-                            match mgr.maybe_replicate(
-                                req.video,
-                                video.size_mb(),
-                                &mut next_stream_id,
-                                &mut engines,
-                                &replica_map,
-                                &cluster,
-                                now,
-                            ) {
-                                Some(sct_admission::CopyLaunch::FromServer { source }) => {
-                                    let e = &mut engines[source.index()];
-                                    if let Some(wake) = e.reschedule(now) {
-                                        if wake <= end {
-                                            queue.push(
-                                                wake,
-                                                Event::Wake {
-                                                    server: source.0,
-                                                    generation: e.generation(),
-                                                },
-                                            );
-                                        }
-                                    }
-                                }
-                                Some(sct_admission::CopyLaunch::FromTertiary {
-                                    token,
-                                    done_in_secs,
-                                }) => {
-                                    let t = now + done_in_secs;
-                                    if t <= end {
-                                        queue.push(t, Event::CopyDone(token.0));
-                                    }
-                                    // Copies still in flight at the end of
-                                    // the run simply never materialise.
-                                }
-                                None => {}
-                            }
-                        }
-                    }
-                    if admission.accepted() {
-                        if let Some(ps) = config.interactivity {
-                            if pause_rng.chance(ps.probability) {
-                                let at = now + pause_rng.range_f64(0.0, length_secs);
-                                let dur = pause_rng.range_f64(ps.min_pause_secs, ps.max_pause_secs);
-                                if at <= end {
-                                    queue.push(at, Event::PauseStream(stream_id));
-                                    let resume = at + dur;
-                                    if resume <= end {
-                                        queue.push(resume, Event::ResumeStream(stream_id));
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    for sid in touched {
-                        let e = &mut engines[sid.index()];
-                        e.advance_to(now);
-                        if let Some(wake) = e.reschedule(now) {
-                            if wake <= end {
-                                queue.push(
-                                    wake,
-                                    Event::Wake {
-                                        server: sid.0,
-                                        generation: e.generation(),
-                                    },
-                                );
-                            }
-                        }
-                        if config.check_invariants {
-                            e.check_invariants();
-                        }
-                    }
-                    if generator.peek_time() <= end {
-                        queue.push(generator.peek_time(), Event::Arrival);
-                    }
                 }
-                Event::Wake { server, generation } => {
-                    let e = &mut engines[server as usize];
-                    if generation != e.generation() {
-                        continue; // superseded by a later reallocation
+            }
+            if let Some(mgr) = self.replication.as_mut() {
+                match mgr.maybe_replicate(
+                    req.video,
+                    size_mb,
+                    &mut self.next_stream_id,
+                    &mut self.engines,
+                    &self.replica_map,
+                    &self.cluster,
+                    now,
+                ) {
+                    Some(CopyLaunch::FromServer { source, stream }) => {
+                        self.sched
+                            .rearm(&mut self.engines[source.index()], now, false, false);
+                        emit(
+                            probes,
+                            now,
+                            &SimEvent::CopyStarted {
+                                copy: stream.0,
+                                video: vid,
+                                tertiary: false,
+                            },
+                        );
                     }
-                    events_processed += 1;
-                    e.advance_to(now);
-                    let mut slots_freed = false;
-                    for done in e.reap_finished(now) {
-                        slots_freed = true;
-                        if done.is_copy() {
-                            if let Some(mgr) = replication.as_mut() {
-                                mgr.on_copy_finished(done.id, &mut replica_map);
-                            }
-                        } else {
-                            completions += 1;
-                        }
+                    Some(CopyLaunch::FromTertiary {
+                        token,
+                        done_in_secs,
+                    }) => {
+                        // Copies still in flight at the end of the run
+                        // simply never materialise.
+                        self.sched
+                            .push_at(now + done_in_secs, Event::CopyDone(token.0));
+                        emit(
+                            probes,
+                            now,
+                            &SimEvent::CopyStarted {
+                                copy: token.0,
+                                video: vid,
+                                tertiary: true,
+                            },
+                        );
                     }
-                    if slots_freed {
-                        if let Some(wl) = waitlist.as_mut() {
-                            wl.expire(now);
-                            for sid in wl.try_serve(&mut engines, &replica_map, now) {
-                                let se = &mut engines[sid.index()];
-                                if let Some(wake) = se.reschedule(now) {
-                                    if wake <= end {
-                                        queue.push(
-                                            wake,
-                                            Event::Wake {
-                                                server: sid.0,
-                                                generation: se.generation(),
-                                            },
-                                        );
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    let e = &mut engines[server as usize];
-                    if let Some(wake) = e.reschedule(now) {
-                        if wake <= end {
-                            queue.push(
-                                wake,
-                                Event::Wake {
-                                    server,
-                                    generation: e.generation(),
-                                },
-                            );
-                        }
-                    }
-                    if config.check_invariants {
-                        e.check_invariants();
-                    }
+                    None => {}
                 }
-                Event::ServerDown(server) => {
-                    events_processed += 1;
-                    server_failures += 1;
-                    let taken = engines[server as usize].fail(now);
-                    if let Some(mgr) = replication.as_mut() {
-                        mgr.on_server_failed(ServerId(server));
-                    }
-                    let touched = controller.evacuate(
-                        taken,
-                        ServerId(server),
-                        &mut engines,
-                        &replica_map,
-                        now,
-                    );
-                    for sid in touched {
-                        let e = &mut engines[sid.index()];
-                        e.advance_to(now);
-                        if let Some(wake) = e.reschedule(now) {
-                            if wake <= end {
-                                queue.push(
-                                    wake,
-                                    Event::Wake {
-                                        server: sid.0,
-                                        generation: e.generation(),
-                                    },
-                                );
-                            }
-                        }
-                        if config.check_invariants {
-                            e.check_invariants();
-                        }
-                    }
-                    let repair = failure_dists
-                        .as_ref()
-                        .expect("failure event without a failure model")
-                        .1
-                        .sample(&mut failure_rng);
-                    let t = now + repair;
-                    if t <= end {
-                        queue.push(t, Event::ServerUp(server));
-                    }
-                }
-                Event::ServerUp(server) => {
-                    events_processed += 1;
-                    engines[server as usize].repair(now);
-                    if let Some(wl) = waitlist.as_mut() {
-                        wl.expire(now);
-                        for sid in wl.try_serve(&mut engines, &replica_map, now) {
-                            let se = &mut engines[sid.index()];
-                            if let Some(wake) = se.reschedule(now) {
-                                if wake <= end {
-                                    queue.push(
-                                        wake,
-                                        Event::Wake {
-                                            server: sid.0,
-                                            generation: se.generation(),
-                                        },
-                                    );
-                                }
-                            }
-                        }
-                    }
-                    let up_time = failure_dists
-                        .as_ref()
-                        .expect("repair event without a failure model")
-                        .0
-                        .sample(&mut failure_rng);
-                    let t = now + up_time;
-                    if t <= end {
-                        queue.push(t, Event::ServerDown(server));
-                    }
-                }
-                Event::CopyDone(id) => {
-                    events_processed += 1;
-                    if let Some(mgr) = replication.as_mut() {
-                        // May be None if the target failed mid-copy.
-                        mgr.on_copy_finished(StreamId(id), &mut replica_map);
-                    }
-                }
-                Event::WaitlistExpiry => {
-                    events_processed += 1;
-                    if let Some(wl) = waitlist.as_mut() {
-                        wl.expire(now);
-                    }
-                }
-                Event::Sample => {
-                    events_processed += 1;
-                    let dt = config
-                        .sample_interval_secs
-                        .expect("sample event without sampling enabled");
-                    for e in engines.iter_mut() {
-                        e.advance_to(now);
-                    }
-                    let total: f64 = engines.iter().map(|e| e.measured_mb()).sum();
-                    window_utilization
-                        .push((total - last_sample_mb) / (cluster.total_bandwidth_mbps() * dt));
-                    last_sample_mb = total;
-                    let next = now + dt;
-                    if next <= end {
-                        queue.push(next, Event::Sample);
-                    }
-                }
-                Event::PauseStream(id) | Event::ResumeStream(id) => {
-                    events_processed += 1;
-                    let paused = matches!(entry.payload, Event::PauseStream(_));
-                    let sid = sct_transmission::StreamId(id);
-                    // Try the location hint first, then scan (the stream
-                    // may have migrated since the hint was written).
-                    let mut found = None;
-                    if let Some(&hint) = loc_hint.get(&id) {
-                        if engines[hint as usize].set_paused(sid, paused, now) {
-                            found = Some(hint);
-                        }
-                    }
-                    if found.is_none() {
-                        for e in engines.iter_mut() {
-                            let eid = e.id().0;
-                            if e.set_paused(sid, paused, now) {
-                                loc_hint.insert(id, eid);
-                                found = Some(eid);
-                                break;
-                            }
-                        }
-                    }
-                    if let Some(server) = found {
-                        if paused {
-                            pauses_applied += 1;
-                        }
-                        let e = &mut engines[server as usize];
-                        if let Some(wake) = e.reschedule(now) {
-                            if wake <= end {
-                                queue.push(
-                                    wake,
-                                    Event::Wake {
-                                        server,
-                                        generation: e.generation(),
-                                    },
-                                );
-                            }
-                        }
-                        if config.check_invariants {
-                            e.check_invariants();
-                        }
-                    } else {
-                        // Stream finished (or was dropped) before the
-                        // pause point — a client-side no-op.
-                        loc_hint.remove(&id);
+            }
+        }
+        if admission.accepted() {
+            if let Some(ps) = self.config.interactivity {
+                if self.pause_rng.chance(ps.probability) {
+                    let at = now + self.pause_rng.range_f64(0.0, length_secs);
+                    let dur = self
+                        .pause_rng
+                        .range_f64(ps.min_pause_secs, ps.max_pause_secs);
+                    if at <= self.sched.end {
+                        self.sched.push_at(at, Event::PauseStream(stream_id));
+                        self.sched.push_at(at + dur, Event::ResumeStream(stream_id));
                     }
                 }
             }
         }
+        for sid in touched {
+            self.sched.rearm(
+                &mut self.engines[sid.index()],
+                now,
+                true,
+                self.config.check_invariants,
+            );
+        }
+        self.sched
+            .push_at(self.generator.peek_time(), Event::Arrival);
+    }
 
-        // Integrate the tail of every engine up to the horizon.
-        for e in &mut engines {
+    /// A live wake: integrate the server, reap finished streams, feed the
+    /// waitlist with any freed slots, and re-arm.
+    fn on_wake(&mut self, now: SimTime, server: u16, probes: &mut [&mut dyn Probe]) {
+        let e = &mut self.engines[server as usize];
+        e.advance_to(now);
+        let mut slots_freed = false;
+        for done in e.reap_finished(now) {
+            slots_freed = true;
+            if done.is_copy() {
+                let installed = self
+                    .replication
+                    .as_mut()
+                    .and_then(|mgr| mgr.on_copy_finished(done.id, &mut self.replica_map))
+                    .is_some();
+                emit(
+                    probes,
+                    now,
+                    &SimEvent::CopyDone {
+                        copy: done.id.0,
+                        installed,
+                    },
+                );
+            } else {
+                self.loc_hint.remove(&done.id.0);
+                emit(
+                    probes,
+                    now,
+                    &SimEvent::Completed {
+                        stream: done.id.0,
+                        server,
+                    },
+                );
+            }
+        }
+        if slots_freed {
+            self.serve_from_waitlist(now, probes);
+        }
+        self.sched.rearm(
+            &mut self.engines[server as usize],
+            now,
+            false,
+            self.config.check_invariants,
+        );
+    }
+
+    /// Expires impatient waiters, then retries the queue against freed
+    /// slots, re-arming every server that took a stream. Shared by the
+    /// wake and repair paths.
+    fn serve_from_waitlist(&mut self, now: SimTime, probes: &mut [&mut dyn Probe]) {
+        let Some(wl) = self.waitlist.as_mut() else {
+            return;
+        };
+        let expired = wl.expire(now);
+        if expired > 0 {
+            emit(
+                probes,
+                now,
+                &SimEvent::WaitlistExpired {
+                    count: expired as u32,
+                },
+            );
+        }
+        let outcome = wl.try_serve(&mut self.engines, &self.replica_map, now);
+        for w in &outcome.served {
+            emit(
+                probes,
+                now,
+                &SimEvent::WaitlistServed {
+                    stream: w.id.0,
+                    video: w.video.index() as u32,
+                    server: w.server.0,
+                    batched: w.batched,
+                    waited_secs: w.waited_secs,
+                },
+            );
+        }
+        for sid in outcome.touched {
+            self.sched
+                .rearm(&mut self.engines[sid.index()], now, false, false);
+        }
+    }
+
+    /// A server fails: abort its copies, evacuate what DRM can save, drop
+    /// the rest, and schedule the repair.
+    fn on_server_down(&mut self, now: SimTime, server: u16, probes: &mut [&mut dyn Probe]) {
+        let taken = self.engines[server as usize].fail(now);
+        if let Some(mgr) = self.replication.as_mut() {
+            mgr.on_server_failed(ServerId(server));
+        }
+        let evac = self.controller.evacuate(
+            taken,
+            ServerId(server),
+            &mut self.engines,
+            &self.replica_map,
+            now,
+        );
+        emit(
+            probes,
+            now,
+            &SimEvent::ServerDown {
+                server,
+                relocated: evac.relocated.len() as u32,
+                dropped: evac.dropped.len() as u32,
+            },
+        );
+        for &(stream, to) in &evac.relocated {
+            emit(
+                probes,
+                now,
+                &SimEvent::Migrated {
+                    stream: stream.0,
+                    from: server,
+                    to: to.0,
+                    emergency: true,
+                },
+            );
+        }
+        for stream in &evac.dropped {
+            self.loc_hint.remove(&stream.0);
+        }
+        for sid in evac.touched {
+            self.sched.rearm(
+                &mut self.engines[sid.index()],
+                now,
+                true,
+                self.config.check_invariants,
+            );
+        }
+        let repair = self
+            .failure_dists
+            .as_ref()
+            .expect("failure event without a failure model")
+            .1
+            .sample(&mut self.failure_rng);
+        self.sched.push_at(now + repair, Event::ServerUp(server));
+    }
+
+    /// A failed server returns (empty): give the waitlist first claim on
+    /// the fresh capacity and schedule the next failure.
+    fn on_server_up(&mut self, now: SimTime, server: u16, probes: &mut [&mut dyn Probe]) {
+        self.engines[server as usize].repair(now);
+        emit(probes, now, &SimEvent::ServerUp { server });
+        self.serve_from_waitlist(now, probes);
+        let up_time = self
+            .failure_dists
+            .as_ref()
+            .expect("repair event without a failure model")
+            .0
+            .sample(&mut self.failure_rng);
+        self.sched.push_at(now + up_time, Event::ServerDown(server));
+    }
+
+    /// A tertiary-sourced copy completes (the target may have failed
+    /// mid-copy, in which case nothing installs).
+    fn on_copy_done(&mut self, now: SimTime, id: u64, probes: &mut [&mut dyn Probe]) {
+        if let Some(mgr) = self.replication.as_mut() {
+            let installed = mgr
+                .on_copy_finished(StreamId(id), &mut self.replica_map)
+                .is_some();
+            emit(
+                probes,
+                now,
+                &SimEvent::CopyDone {
+                    copy: id,
+                    installed,
+                },
+            );
+        }
+    }
+
+    /// A waiter's patience deadline: purge the expired prefix.
+    fn on_waitlist_expiry(&mut self, now: SimTime, probes: &mut [&mut dyn Probe]) {
+        if let Some(wl) = self.waitlist.as_mut() {
+            let expired = wl.expire(now);
+            if expired > 0 {
+                emit(
+                    probes,
+                    now,
+                    &SimEvent::WaitlistExpired {
+                        count: expired as u32,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Periodic utilization sample: integrate everyone, difference the
+    /// measured megabits against the previous tick.
+    fn on_sample(&mut self, now: SimTime, probes: &mut [&mut dyn Probe]) {
+        let dt = self
+            .config
+            .sample_interval_secs
+            .expect("sample event without sampling enabled");
+        for e in self.engines.iter_mut() {
+            e.advance_to(now);
+        }
+        let total: f64 = self.engines.iter().map(|e| e.measured_mb()).sum();
+        let utilization =
+            (total - self.last_sample_mb) / (self.cluster.total_bandwidth_mbps() * dt);
+        emit(
+            probes,
+            now,
+            &SimEvent::WindowSample {
+                index: self.sample_index,
+                utilization,
+            },
+        );
+        self.sample_index += 1;
+        self.last_sample_mb = total;
+        self.sched.push_at(now + dt, Event::Sample);
+    }
+
+    /// A pause or resume lands: resolve the stream via the location hint
+    /// (falling back to a scan — it may have migrated), apply, re-arm.
+    fn on_pause_resume(
+        &mut self,
+        now: SimTime,
+        id: u64,
+        paused: bool,
+        probes: &mut [&mut dyn Probe],
+    ) {
+        let sid = StreamId(id);
+        let mut found = None;
+        if let Some(&hint) = self.loc_hint.get(&id) {
+            if self.engines[hint as usize].set_paused(sid, paused, now) {
+                found = Some(hint);
+            }
+        }
+        if found.is_none() {
+            for e in self.engines.iter_mut() {
+                let eid = e.id().0;
+                if e.set_paused(sid, paused, now) {
+                    self.loc_hint.insert(id, eid);
+                    found = Some(eid);
+                    break;
+                }
+            }
+        }
+        if let Some(server) = found {
+            emit(
+                probes,
+                now,
+                &if paused {
+                    SimEvent::Paused { stream: id, server }
+                } else {
+                    SimEvent::Resumed { stream: id, server }
+                },
+            );
+            self.sched.rearm(
+                &mut self.engines[server as usize],
+                now,
+                false,
+                self.config.check_invariants,
+            );
+        } else {
+            // Stream finished (or was dropped) before the pause point — a
+            // client-side no-op.
+            self.loc_hint.remove(&id);
+        }
+    }
+
+    /// Integrates the tail of every engine to the horizon and reduces the
+    /// world plus the accumulated metrics to a [`SimOutcome`].
+    fn finish(mut self, metrics: MetricsProbe) -> SimOutcome {
+        let end = self.sched.end;
+        for e in &mut self.engines {
             e.advance_to(end);
-            if config.check_invariants {
+            if self.config.check_invariants {
                 e.check_invariants();
             }
         }
 
-        let measured_secs = end - config.warmup;
-        let per_server_utilization: Vec<f64> = engines
+        let measured_secs = end - self.config.warmup;
+        let per_server_utilization: Vec<f64> = self
+            .engines
             .iter()
             .map(|e| e.measured_mb() / (e.capacity_mbps() * measured_secs))
             .collect();
-        let total_sent: f64 = engines.iter().map(|e| e.measured_mb()).sum();
-        let utilization = total_sent / (cluster.total_bandwidth_mbps() * measured_secs);
-        controller.stats.check();
+        let total_sent: f64 = self.engines.iter().map(|e| e.measured_mb()).sum();
+        let utilization = total_sent / (self.cluster.total_bandwidth_mbps() * measured_secs);
+        self.controller.stats.check();
 
         // Goodput nets out replication traffic that consumed *server*
         // bandwidth: completed cluster-sourced copies plus the transmitted
@@ -592,15 +842,19 @@ impl Simulation {
         // window — a negligible conservative bias for the durations we run.
         // Waitlist reconciliation: a request served from the queue was
         // counted as rejected at arrival; it ended up accepted.
-        let wl_stats = waitlist.as_ref().map(|w| w.stats).unwrap_or_default();
-        controller.stats.rejected -= wl_stats.served;
-        controller.stats.accepted_direct += wl_stats.served;
-        controller.stats.accepted_mb += wl_stats.served_mb;
-        controller.stats.check();
+        let wl_stats = self.waitlist.as_ref().map(|w| w.stats).unwrap_or_default();
+        self.controller.stats.rejected -= wl_stats.served;
+        self.controller.stats.accepted_direct += wl_stats.served;
+        self.controller.stats.accepted_mb += wl_stats.served_mb;
+        self.controller.stats.check();
 
-        let rep_stats = replication.as_ref().map(|m| m.stats).unwrap_or_default();
+        let rep_stats = self
+            .replication
+            .as_ref()
+            .map(|m| m.stats)
+            .unwrap_or_default();
         let mut copy_mb = rep_stats.cluster_copy_mb;
-        for e in &engines {
+        for e in &self.engines {
             copy_mb += e
                 .streams()
                 .iter()
@@ -608,25 +862,55 @@ impl Simulation {
                 .map(|s| s.sent_mb())
                 .sum::<f64>();
         }
-        let goodput = utilization - copy_mb / (cluster.total_bandwidth_mbps() * measured_secs);
+        let goodput = utilization - copy_mb / (self.cluster.total_bandwidth_mbps() * measured_secs);
 
         SimOutcome {
             utilization,
             per_server_utilization,
-            stats: controller.stats,
-            completions,
-            events_processed,
+            stats: self.controller.stats,
+            completions: metrics.completions,
+            events_processed: self.events_processed,
             measured_hours: measured_secs / 3600.0,
-            total_copies,
-            server_failures,
-            pauses_applied,
+            total_copies: self.total_copies,
+            server_failures: metrics.server_failures,
+            pauses_applied: metrics.pauses_applied,
             replication: rep_stats,
             waitlist: wl_stats,
             goodput: goodput.max(0.0),
-            window_utilization,
-            per_video_arrivals: pv_arrivals,
-            per_video_rejections: pv_rejections,
+            window_utilization: metrics.window_utilization,
+            per_video_arrivals: metrics.per_video_arrivals,
+            per_video_rejections: metrics.per_video_rejections,
         }
+    }
+}
+
+/// Runs trials described by [`SimConfig`].
+pub struct Simulation;
+
+impl Simulation {
+    /// Runs one complete trial. Deterministic in `config` (including the
+    /// seed).
+    pub fn run(config: &SimConfig) -> SimOutcome {
+        Self::run_with_probes(config, &mut [])
+    }
+
+    /// Runs one trial with extra [`Probe`] observers attached alongside
+    /// the built-in metrics probe. Probes see every
+    /// [`SimEvent`] in simulation-time order and
+    /// cannot perturb the run: the returned outcome is bit-identical to
+    /// [`Simulation::run`] on the same config.
+    pub fn run_with_probes(config: &SimConfig, extra: &mut [&mut dyn Probe]) -> SimOutcome {
+        let mut world = SimWorld::new(config);
+        let mut metrics = MetricsProbe::new(world.catalog.len(), config.track_per_video);
+        {
+            let mut hub: Vec<&mut dyn Probe> = Vec::with_capacity(1 + extra.len());
+            hub.push(&mut metrics);
+            for p in extra.iter_mut() {
+                hub.push(&mut **p);
+            }
+            world.run_loop(&mut hub);
+        }
+        world.finish(metrics)
     }
 }
 
@@ -673,6 +957,91 @@ mod tests {
         let a = Simulation::run(&quick_config(1));
         let b = Simulation::run(&quick_config(2));
         assert_ne!(a.stats.arrivals, b.stats.arrivals);
+    }
+
+    #[test]
+    fn probes_do_not_perturb_the_run() {
+        // An attached observer must be invisible to the simulation: same
+        // seed, same outcome, with or without extra probes.
+        struct CountingProbe(u64);
+        impl Probe for CountingProbe {
+            fn on_event(&mut self, _now: SimTime, _event: &crate::events::SimEvent) {
+                self.0 += 1;
+            }
+        }
+        let cfg = SimConfig::builder(SystemSpec::tiny_test())
+            .duration_hours(3.0)
+            .warmup_hours(0.25)
+            .interactivity(0.5, 30.0, 300.0)
+            .waitlist(120.0, 20)
+            .seed(42)
+            .build();
+        let plain = Simulation::run(&cfg);
+        let mut probe = CountingProbe(0);
+        let observed = Simulation::run_with_probes(&cfg, &mut [&mut probe]);
+        assert_eq!(plain, observed);
+        assert!(
+            probe.0 > plain.stats.arrivals,
+            "every arrival produces at least one event"
+        );
+    }
+
+    #[test]
+    fn loc_hint_stays_bounded_with_interactivity() {
+        // The hint map must track only streams that still exist in some
+        // engine (live or finished-but-unreaped), not every admission the
+        // trial ever made.
+        let cfg = SimConfig::builder(SystemSpec::tiny_test())
+            .duration_hours(6.0)
+            .warmup_hours(0.25)
+            .interactivity(0.8, 30.0, 300.0)
+            .seed(97)
+            .check_invariants(true)
+            .build();
+        let mut world = SimWorld::new(&cfg);
+        let mut metrics = MetricsProbe::new(world.catalog.len(), cfg.track_per_video);
+        {
+            let mut hub: Vec<&mut dyn Probe> = vec![&mut metrics];
+            world.run_loop(&mut hub);
+        }
+        let in_engines: std::collections::HashSet<u64> = world
+            .engines
+            .iter()
+            .flat_map(|e| e.streams().iter().map(|s| s.id.0))
+            .collect();
+        assert!(
+            world.controller.stats.arrivals > 200,
+            "need a long trial for the bound to mean anything: {}",
+            world.controller.stats.arrivals
+        );
+        assert!(
+            world.loc_hint.len() <= in_engines.len(),
+            "hint map ({}) must not outgrow the resident stream set ({})",
+            world.loc_hint.len(),
+            in_engines.len()
+        );
+        for key in world.loc_hint.keys() {
+            assert!(
+                in_engines.contains(key),
+                "hint for stream {key} which no engine still holds"
+            );
+        }
+    }
+
+    #[test]
+    fn loc_hint_unused_without_interactivity() {
+        let cfg = quick_config(42);
+        let mut world = SimWorld::new(&cfg);
+        let mut metrics = MetricsProbe::new(world.catalog.len(), cfg.track_per_video);
+        {
+            let mut hub: Vec<&mut dyn Probe> = vec![&mut metrics];
+            world.run_loop(&mut hub);
+        }
+        assert!(
+            world.loc_hint.is_empty(),
+            "no interactivity: the hint map must never be populated"
+        );
+        assert!(world.controller.stats.arrivals > 50);
     }
 
     #[test]

@@ -14,6 +14,8 @@ use semi_continuous_vod::analysis::erlang::{erlang_b, expected_utilization_vs_sv
 use semi_continuous_vod::core::config::SimConfig;
 use semi_continuous_vod::core::policies::Policy;
 use semi_continuous_vod::core::runner::{run_trials, utilization_summary, TrialPlan};
+use semi_continuous_vod::core::simulation::Simulation;
+use semi_continuous_vod::core::JsonlTraceProbe;
 use semi_continuous_vod::simcore::{Rng, SimTime, ZipfLike};
 use semi_continuous_vod::workload::{calibrated_rate, SystemSpec, Trace};
 use std::process::exit;
@@ -22,6 +24,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  sctsim run [--config FILE | --system small|large|tiny] [--policy P1..P8]\n\
          \x20          [--theta T] [--hours H] [--warmup H] [--trials N] [--seed S] [--out FILE]\n\
+         \x20          [--trace FILE]  (export a JSONL event trace; forces a single trial)\n\
          \x20 sctsim scenario --system small|large|tiny [--policy P..] [--theta T]\n\
          \x20 sctsim erlang --svbr K [--view-rate MBPS]\n\
          \x20 sctsim trace --system small|large|tiny [--theta T] [--hours H] [--seed S]"
@@ -130,7 +133,27 @@ fn cmd_run(args: &Args) {
     let config = build_config(args);
     let trials = args.get_f64("trials").unwrap_or(1.0) as u32;
     let seed = args.get_f64("seed").unwrap_or(0.0) as u64;
-    let outcomes = run_trials(&config, TrialPlan::new(trials.max(1), seed));
+    let outcomes = match args.get("trace") {
+        // A trace narrates exactly one trial: run trial 0 of the plan with
+        // a JSONL probe attached (the probe cannot perturb the outcome, so
+        // this matches `--trials 1` bit for bit).
+        Some(path) => {
+            let mut probe = JsonlTraceProbe::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot create {path}: {e}");
+                exit(1)
+            });
+            let mut cfg = config.clone();
+            cfg.seed = TrialPlan::new(1, seed).seed(0);
+            let outcome = Simulation::run_with_probes(&cfg, &mut [&mut probe]);
+            let lines = probe.finish().unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                exit(1)
+            });
+            eprintln!("traced {lines} events to {path}");
+            vec![outcome]
+        }
+        None => run_trials(&config, TrialPlan::new(trials.max(1), seed)),
+    };
     let summary = utilization_summary(&outcomes);
     eprintln!(
         "system={} theta={} trials={} hours={:.1}",

@@ -54,6 +54,7 @@ pub mod prelude {
     pub use sct_analysis::report::Table;
     pub use sct_cluster::placement::PlacementStrategy;
     pub use sct_core::config::{FailureSpec, PauseSpec, SimConfig, SimConfigBuilder, StagingSpec};
+    pub use sct_core::events::{AdmitPath, JsonlTraceProbe, MetricsProbe, Probe, SimEvent};
     pub use sct_core::experiments;
     pub use sct_core::policies::Policy;
     pub use sct_core::runner::{run_trials, TrialPlan};

@@ -80,6 +80,35 @@ fn trace_emits_valid_json() {
 }
 
 #[test]
+fn run_trace_exports_parseable_jsonl_without_perturbing_the_outcome() {
+    let dir = std::env::temp_dir().join("sctsim-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("events.jsonl");
+    let base = [
+        "run", "--system", "tiny", "--hours", "1", "--trials", "1", "--seed", "5",
+    ];
+    let plain = sctsim(&base);
+    let mut traced_args: Vec<&str> = base.to_vec();
+    traced_args.extend(["--trace", trace_path.to_str().unwrap()]);
+    let traced = sctsim(&traced_args);
+    assert!(
+        plain.status.success() && traced.status.success(),
+        "{}",
+        String::from_utf8_lossy(&traced.stderr)
+    );
+    // The probe must be invisible: identical outcome JSON on stdout.
+    assert_eq!(plain.stdout, traced.stdout);
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let trace = sct_analysis::Trace::parse(&text).expect("valid JSONL trace");
+    assert!(!trace.is_empty());
+    let stderr = String::from_utf8(traced.stderr).unwrap();
+    assert!(
+        stderr.contains(&format!("traced {} events", trace.len())),
+        "{stderr}"
+    );
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let out = sctsim(&["frobnicate"]);
     assert!(!out.status.success());

@@ -13,7 +13,7 @@ use sct_core::oracle::{
 };
 use sct_media::{ClientProfile, VideoId};
 use sct_simcore::SimTime;
-use sct_transmission::SchedulerKind;
+use sct_transmission::{SchedulerKind, StreamId};
 
 /// The acceptance bar from the issue: at least 100 random scenarios, all
 /// four scheduler kinds, migration both on and off, zero divergences.
@@ -22,14 +22,24 @@ fn random_scenarios_produce_zero_divergences() {
     let mut combo_seen = [false; 8];
     let mut arrivals = 0u64;
     let mut accepted = 0u64;
+    let mut pause_scenarios = 0u64;
+    let mut pauses_applied = 0u64;
     for seed in 0..104u64 {
         let sc = OracleScenario::generate(seed);
         let combo = (seed % 4) as usize * 2 + usize::from(sc.migration_on);
         combo_seen[combo] = true;
+        if sc
+            .trace
+            .iter()
+            .any(|(_, op)| matches!(op, TraceOp::Pause(_)))
+        {
+            pause_scenarios += 1;
+        }
         match run_differential(&sc) {
             Ok(out) => {
                 arrivals += out.arrivals;
                 accepted += out.accepted_direct + out.accepted_via_migration;
+                pauses_applied += out.pauses_applied;
             }
             Err(d) => panic!("{d}"),
         }
@@ -40,6 +50,69 @@ fn random_scenarios_produce_zero_divergences() {
     );
     // The generator would be vacuous if nothing were ever admitted.
     assert!(accepted > 0 && arrivals >= 104 * 10);
+    // ... or if the interactivity path were never exercised: a healthy
+    // share of scenarios must schedule pauses, and some of those must
+    // land on live streams (not just no-op against finished ones).
+    assert!(
+        pause_scenarios >= 104 / 4,
+        "only {pause_scenarios}/104 scenarios contained a pause"
+    );
+    assert!(
+        pauses_applied > 0,
+        "no pause ever landed on a live stream across the matrix"
+    );
+}
+
+/// Pause/resume semantics pinned down on a hand-built trace: a paused
+/// viewer stops playing (and, with no staging, stops receiving), so the
+/// stream's service time stretches by the pause; the reference and the
+/// engines must agree on every intermediate volume.
+#[test]
+fn pinned_pause_resume_scenario_passes_the_oracle() {
+    for scheduler in SchedulerKind::ALL {
+        let sc = OracleScenario {
+            seed: 0x9A05E,
+            n_servers: 2,
+            slots_per_server: 3,
+            view_rate: 3.0,
+            scheduler,
+            migration_on: false,
+            client: ClientProfile::no_staging(30.0),
+            holders: vec![vec![ServerId(0)], vec![ServerId(0), ServerId(1)]],
+            trace: vec![
+                (
+                    SimTime::ZERO,
+                    TraceOp::Arrival {
+                        video: VideoId(0),
+                        size_mb: 300.0,
+                    },
+                ),
+                (
+                    SimTime::from_secs(5.0),
+                    TraceOp::Arrival {
+                        video: VideoId(1),
+                        size_mb: 120.0,
+                    },
+                ),
+                // Stream 0 pauses mid-play and resumes a minute later.
+                (SimTime::from_secs(20.0), TraceOp::Pause(StreamId(0))),
+                // Stream 1 finishes at t = 45; this pause is a no-op.
+                (SimTime::from_secs(50.0), TraceOp::Pause(StreamId(1))),
+                (SimTime::from_secs(60.0), TraceOp::Resume(StreamId(1))),
+                // A never-admitted id is a no-op too.
+                (SimTime::from_secs(70.0), TraceOp::Pause(StreamId(99))),
+                (SimTime::from_secs(80.0), TraceOp::Resume(StreamId(0))),
+            ],
+        };
+        let out = run_differential(&sc).unwrap_or_else(|d| panic!("{scheduler:?}: {d}"));
+        assert_eq!(out.arrivals, 2, "{scheduler:?}");
+        assert_eq!(out.accepted_direct, 2, "{scheduler:?}");
+        assert_eq!(out.completions, 2, "{scheduler:?}");
+        assert_eq!(
+            out.pauses_applied, 2,
+            "{scheduler:?}: exactly stream 0's pause and resume land"
+        );
+    }
 }
 
 /// The shrunken `controller_props` regression scenario (seed bd871fc3 in

@@ -1,0 +1,105 @@
+//! Golden fixed-seed `SimOutcome` snapshots.
+//!
+//! These fixtures were generated from the pre-refactor event loop
+//! (`UPDATE_GOLDEN=1 cargo test --test golden_outcomes`) and lock the
+//! simulation's observable behaviour bit-for-bit: every float in
+//! `SimOutcome` must round-trip exactly (the vendored serde_json always
+//! uses shortest-exact float formatting). Any change to event ordering,
+//! RNG draw order, or the per-engine integration step sequence shows up
+//! here as a diff, not as a silent drift.
+//!
+//! The four configs cover both paper systems, migration on and off, and
+//! between them exercise every event kind the loop handles: failures,
+//! pause/resume, replication copies, waitlist service, and window
+//! sampling.
+
+use semi_continuous_vod::prelude::*;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+fn check_golden(name: &str, config: &SimConfig) {
+    let outcome = Simulation::run(config);
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let json = serde_json::to_string_pretty(&outcome).expect("outcome serialises");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, json + "\n").unwrap();
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    let expected: SimOutcome = serde_json::from_str(text.trim()).expect("fixture parses");
+    assert_eq!(
+        outcome, expected,
+        "{name}: SimOutcome diverged from the golden fixture; if the change \
+         is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// Small system, no migration, with window sampling and per-video
+/// counters — the paper's baseline configuration.
+#[test]
+fn golden_small_no_migration() {
+    let cfg = SimConfig::builder(SystemSpec::small_paper())
+        .duration_hours(3.0)
+        .warmup_hours(0.5)
+        .sample_interval_secs(900.0)
+        .track_per_video(true)
+        .seed(1001)
+        .build();
+    check_golden("small_no_migration", &cfg);
+}
+
+/// Small system with DRM plus the interactivity and waitlist extensions —
+/// exercises pause/resume events and waitlist reconciliation.
+#[test]
+fn golden_small_migration_interactive() {
+    let cfg = SimConfig::builder(SystemSpec::small_paper())
+        .theta(0.0)
+        .migration(MigrationPolicy::single_hop())
+        .interactivity(0.3, 60.0, 600.0)
+        .waitlist(120.0, 50)
+        .seed(1002)
+        .duration_hours(3.0)
+        .warmup_hours(0.5)
+        .build();
+    check_golden("small_migration_interactive", &cfg);
+}
+
+/// Large system, no migration, skewed demand with tertiary-sourced
+/// dynamic replication — exercises CopyDone scheduling.
+#[test]
+fn golden_large_no_migration_replication() {
+    let cfg = SimConfig::builder(SystemSpec::large_paper())
+        .theta(-0.5)
+        .replication(ReplicationSpec::default_paper_scale())
+        .seed(1003)
+        .duration_hours(2.0)
+        .warmup_hours(0.5)
+        .build();
+    check_golden("large_no_migration_replication", &cfg);
+}
+
+/// Large system with DRM under a failure/repair process — exercises
+/// ServerDown/ServerUp and emergency evacuation.
+#[test]
+fn golden_large_migration_failures() {
+    let cfg = SimConfig::builder(SystemSpec::large_paper())
+        .migration(MigrationPolicy::single_hop())
+        .failures(4.0, 0.5)
+        .seed(1004)
+        .duration_hours(2.0)
+        .warmup_hours(0.5)
+        .build();
+    check_golden("large_migration_failures", &cfg);
+}
