@@ -11,6 +11,9 @@
 //! * [`series`] — experiment output as (x, curves) series of trial
 //!   summaries, serialisable and alignable with the paper's figures.
 //! * [`report`] — plain-text/markdown table rendering for the harness.
+//! * [`snapshot`] — the serialisable [`snapshot::MetricsSnapshot`] schema
+//!   the core's telemetry registry exports (`sctsim run --metrics`), with
+//!   markdown and SVG-dashboard renderers (`sctsim report`).
 //! * [`svg`] — dependency-free SVG line charts of any [`Series`], so the
 //!   harness emits viewable figures, not just tables.
 //! * [`trace`] — reader for the JSONL event traces the simulator exports
@@ -25,6 +28,7 @@ pub mod erlang;
 pub mod fairness;
 pub mod report;
 pub mod series;
+pub mod snapshot;
 pub mod svg;
 pub mod trace;
 
@@ -32,5 +36,8 @@ pub use erlang::{erlang_b, expected_utilization_vs_svbr};
 pub use fairness::jain_index;
 pub use report::Table;
 pub use series::{Curve, Series};
+pub use snapshot::{
+    BucketSnapshot, CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsSnapshot,
+};
 pub use svg::{render_series, SvgOptions};
 pub use trace::{Trace, TraceEvent};

@@ -192,4 +192,51 @@ mod tests {
         let missing_event = r#"{"t":1}"#;
         assert!(Trace::parse(missing_event).unwrap_err().contains("`event`"));
     }
+
+    #[test]
+    fn rejects_malformed_event_tags_naming_the_line() {
+        // An `event` that is neither a single-entry map nor a tag string
+        // cannot be an externally-tagged variant.
+        for bad in [
+            r#"{"t":10,"event":[1,2]}"#,
+            r#"{"t":10,"event":7}"#,
+            r#"{"t":10,"event":{"A":1,"B":2}}"#,
+            r#"{"t":10,"event":null}"#,
+        ] {
+            let text = format!("{SAMPLE}{bad}\n");
+            let err = Trace::parse(&text).unwrap_err();
+            assert!(err.contains("line 4"), "{bad}: {err}");
+            assert!(err.contains("malformed `event`"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_monotonic_timestamps_mid_file() {
+        // A regression sandwiched between valid lines must name exactly
+        // the offending line, and the good prefix must not leak out.
+        let text = concat!(
+            r#"{"t":1,"event":{"ServerUp":{"server":0}}}"#,
+            "\n",
+            r#"{"t":8,"event":{"ServerUp":{"server":1}}}"#,
+            "\n",
+            r#"{"t":7.999,"event":{"ServerUp":{"server":2}}}"#,
+            "\n",
+            r#"{"t":9,"event":{"ServerUp":{"server":3}}}"#,
+            "\n",
+        );
+        let err = Trace::parse(text).unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+        assert!(err.contains("time went backwards"), "{err}");
+        assert!(err.contains("7.999"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_truncated_final_line() {
+        // A trace cut off mid-write (crash before the buffered line
+        // completed) fails cleanly, naming the last line.
+        let text = format!("{SAMPLE}{}", r#"{"t":9.5,"event":{"Adm"#);
+        let err = Trace::parse(&text).unwrap_err();
+        assert!(err.contains("line 4"), "{err}");
+        assert!(err.contains("invalid JSON"), "{err}");
+    }
 }

@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sct_core::config::SimConfig;
 use sct_core::events::{JsonlTraceProbe, Probe, SimEvent};
+use sct_core::metrics::TelemetryProbe;
 use sct_core::policies::Policy;
 use sct_core::simulation::Simulation;
 use sct_simcore::SimTime;
@@ -59,7 +60,8 @@ fn bench_probe_overhead(c: &mut Criterion) {
     // The event-sourced core narrates every occurrence to its probes. The
     // built-in metrics probe is always attached, so `bare` is the
     // baseline; `counting` adds a trivial extra observer (dispatch cost);
-    // `jsonl` adds full trace serialisation to disk.
+    // `telemetry` adds the full gauge/histogram registry (per-event-boundary
+    // state observation); `jsonl` adds full trace serialisation to disk.
     struct CountingProbe(u64);
     impl Probe for CountingProbe {
         fn on_event(&mut self, _now: SimTime, _event: &SimEvent) {
@@ -81,6 +83,13 @@ fn bench_probe_overhead(c: &mut Criterion) {
             let mut probe = CountingProbe(0);
             black_box(Simulation::run_with_probes(&cfg, &mut [&mut probe]));
             black_box(probe.0)
+        })
+    });
+    group.bench_function("telemetry", |b| {
+        b.iter(|| {
+            let mut probe = TelemetryProbe::new(&cfg);
+            black_box(Simulation::run_with_probes(&cfg, &mut [&mut probe]));
+            black_box(probe.finish())
         })
     });
     let path = std::env::temp_dir().join("sct-bench-trace.jsonl");

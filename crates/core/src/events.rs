@@ -182,6 +182,11 @@ impl SimEvent {
 pub trait Probe {
     /// Called once per event, in order.
     fn on_event(&mut self, now: SimTime, event: &SimEvent);
+
+    /// Called after each event's handler with a read-only view of world
+    /// state at the event boundary. Default: ignore (event-only probes
+    /// need no state).
+    fn on_state(&mut self, _now: SimTime, _view: &crate::metrics::StateView) {}
 }
 
 /// Fans one event out to every attached probe, in order.
@@ -290,6 +295,16 @@ impl JsonlTraceProbe {
         }
         self.out.flush()?;
         Ok(self.lines)
+    }
+}
+
+impl Drop for JsonlTraceProbe {
+    /// Flushes buffered lines so the trace on disk is complete even when
+    /// the probe is dropped without [`JsonlTraceProbe::finish`] (e.g. an
+    /// early return or panic unwinding past the caller). Errors here are
+    /// unreportable and dropped; call `finish` to observe them.
+    fn drop(&mut self) {
+        let _ = self.out.flush();
     }
 }
 
@@ -439,5 +454,30 @@ mod tests {
             "{\"t\":1.25,\"event\":{\"ServerUp\":{\"server\":3}}}"
         );
         assert!(lines[1].starts_with("{\"t\":2.5,"));
+    }
+
+    #[test]
+    fn jsonl_probe_dropped_without_finish_still_flushes() {
+        let dir = std::env::temp_dir().join("sct-events-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dropped.jsonl");
+        {
+            let mut probe = JsonlTraceProbe::create(&path).unwrap();
+            for i in 0..100 {
+                probe.on_event(
+                    SimTime::from_secs(i as f64),
+                    &SimEvent::ServerUp { server: i },
+                );
+            }
+            // No finish(): the Drop impl must flush the BufWriter.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let trace = sct_analysis::Trace::parse(&text).expect("dropped trace parses fully");
+        assert_eq!(trace.len(), 100);
+        assert_eq!(trace.count("ServerUp"), 100);
+        for (i, ev) in trace.events.iter().enumerate() {
+            assert_eq!(ev.t, i as f64);
+            assert_eq!(ev.num_field("server"), Some(i as f64));
+        }
     }
 }

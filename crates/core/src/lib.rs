@@ -14,6 +14,10 @@
 //! * [`events`] — the typed [`events::SimEvent`] record stream the loop
 //!   narrates, the [`events::Probe`] observer trait, and the built-in
 //!   probes (metrics accumulation, JSONL trace export).
+//! * [`metrics`] — the telemetry layer: mergeable log-bucketed
+//!   histograms, exact time-weighted gauges, the
+//!   [`metrics::TelemetryProbe`], and the [`metrics::MetricsRegistry`]
+//!   it exports.
 //! * [`runner`] — deterministic parallel multi-trial execution.
 //! * [`experiments`] — one function per paper table/figure (and per
 //!   tech-report extension), producing [`sct_analysis::Series`]/tables.
@@ -24,6 +28,7 @@
 pub mod config;
 pub mod events;
 pub mod experiments;
+pub mod metrics;
 #[cfg(feature = "differential")]
 pub mod oracle;
 pub mod policies;
@@ -32,6 +37,7 @@ pub mod simulation;
 
 pub use config::{SimConfig, SimConfigBuilder, StagingSpec};
 pub use events::{AdmitPath, JsonlTraceProbe, MetricsProbe, Probe, SimEvent};
+pub use metrics::{Histogram, MetricsRegistry, StateView, TelemetryProbe, TimeWeightedGauge};
 pub use policies::Policy;
 pub use runner::{run_trials, utilization_summary, TrialPlan};
 pub use simulation::{SimOutcome, Simulation};

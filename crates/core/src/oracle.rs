@@ -18,7 +18,12 @@
 //! * global data conservation (Σ transmitted == Σ reference deltas);
 //! * the minimum-flow guarantee (every unpaused stream ≥ `b_view`);
 //! * admission legality (a `Direct` must come from the eligible holder
-//!   set; a rejection implies that set was empty).
+//!   set; a rejection implies that set was empty);
+//! * replication-copy traces: a cluster-sourced copy is mirrored as a
+//!   reference stream at the copy rate, and its `CopyDone` must install
+//!   the replica that later admissions are checked against;
+//! * waitlist service: rejected viewers queue with bounded patience and
+//!   re-enter as fresh streams after departures, on a legal holder.
 //!
 //! The first divergence aborts the replay and is reported with a
 //! replayable **(seed, time, stream)** triple, so
@@ -29,8 +34,11 @@
 
 use std::fmt;
 
-use sct_admission::{Admission, AssignmentPolicy, Controller, MigrationPolicy};
-use sct_cluster::{ReplicaMap, ServerId};
+use sct_admission::{
+    Admission, AssignmentPolicy, Controller, CopyLaunch, CopySource, MigrationPolicy,
+    ReplicationManager, ReplicationSpec, Waitlist, WaitlistSpec,
+};
+use sct_cluster::{ClusterSpec, ReplicaMap, ServerId};
 use sct_media::{ClientProfile, VideoId};
 use sct_simcore::{Rng, SimTime};
 use sct_transmission::{SchedulerKind, ServerEngine, Stream, StreamId, EPS_MB};
@@ -70,6 +78,19 @@ pub enum TraceOp {
     Pause(StreamId),
     /// The same viewer resumes playback.
     Resume(StreamId),
+    /// Directs the replication manager to attempt a cluster-sourced copy
+    /// of `video` (`size_mb` megabits). A launch admits a real copy
+    /// stream into the source engine, which the reference mirrors at the
+    /// copy rate; `CopyDone` is observed via the engine reap path and
+    /// must install the replica in the shared map. A no-op when the
+    /// manager declines (no eligible target/source, cap, or cooldown) or
+    /// when the scenario has no replication spec.
+    StartCopy {
+        /// Video to replicate.
+        video: VideoId,
+        /// Object size in megabits.
+        size_mb: f64,
+    },
 }
 
 /// A self-contained random scenario: cluster shape, policies, and a
@@ -93,6 +114,13 @@ pub struct OracleScenario {
     pub client: ClientProfile,
     /// Holder set per video (index = video id).
     pub holders: Vec<Vec<ServerId>>,
+    /// Cluster-sourced dynamic replication, driven by
+    /// [`TraceOp::StartCopy`] directives ([`CopySource::Tertiary`] is
+    /// rejected — the reference only mirrors copies that consume real
+    /// engine bandwidth).
+    pub replication: Option<ReplicationSpec>,
+    /// Patience-bounded wait queue served after departures and repairs.
+    pub waitlist: Option<WaitlistSpec>,
     /// Time-ordered operations.
     pub trace: Vec<(SimTime, TraceOp)>,
 }
@@ -110,6 +138,10 @@ impl OracleScenario {
     fn generate_inner(seed: u64, rng: &mut Rng) -> OracleScenario {
         let scheduler = SchedulerKind::ALL[(seed % 4) as usize];
         let migration_on = (seed / 4).is_multiple_of(2);
+        // Bits 3 and 4 toggle the replication and waitlist extensions, so
+        // a contiguous seed range still covers every combination.
+        let replication_on = (seed / 8).is_multiple_of(2);
+        let waitlist_on = (seed / 16).is_multiple_of(2);
         let n_servers = rng.range_usize(2, 5);
         let slots_per_server = rng.range_usize(3, 7);
         let view_rate = 3.0;
@@ -150,8 +182,11 @@ impl OracleScenario {
             trace.push((SimTime::from_secs(t), TraceOp::Arrival { video, size_mb }));
         }
 
-        // Sometimes a failure + repair lands mid-trace.
-        if rng.chance(0.35) {
+        // Sometimes a failure + repair lands mid-trace. Skipped when the
+        // scenario also replicates: evacuating an in-flight copy stream
+        // would strand the manager's bookkeeping on the dead source,
+        // which is interplay the reference does not model.
+        if !replication_on && rng.chance(0.35) {
             let victim = ServerId(rng.below(n_servers) as u16);
             let t_fail = rng.range_f64(0.0, t.max(1.0));
             let t_repair = t_fail + rng.range_f64(10.0, 200.0);
@@ -180,6 +215,42 @@ impl OracleScenario {
             trace.sort_by_key(|a| a.0);
         }
 
+        // Replication scenarios sprinkle copy directives through the
+        // trace. The copy rate is two view slots, so a launch needs a
+        // holder with real spare capacity — plenty of directives are
+        // declined, which exercises the gating paths too.
+        let replication = replication_on.then_some(ReplicationSpec {
+            copy_rate_mbps: 2.0 * view_rate,
+            max_concurrent: 2,
+            cooldown_secs: 15.0,
+            source: CopySource::Cluster,
+        });
+        if replication.is_some() {
+            let k = rng.range_usize(1, 4);
+            for _ in 0..k {
+                let video = VideoId(rng.below(n_videos) as u32);
+                let size_mb = rng.range_f64(30.0, 240.0);
+                let t_copy = rng.range_f64(0.0, t.max(1.0));
+                trace.push((
+                    SimTime::from_secs(t_copy),
+                    TraceOp::StartCopy { video, size_mb },
+                ));
+            }
+            trace.sort_by_key(|a| a.0);
+        }
+
+        // Waitlist scenarios park rejected viewers in a patience-bounded
+        // queue; departures then re-admit them as fresh streams the
+        // reference must pick up mid-replay.
+        let waitlist = waitlist_on.then(|| {
+            let patience = rng.range_f64(30.0, 240.0);
+            if rng.chance(0.3) {
+                WaitlistSpec::batching(patience, 8)
+            } else {
+                WaitlistSpec::new(patience, 8)
+            }
+        });
+
         OracleScenario {
             seed,
             n_servers,
@@ -189,6 +260,8 @@ impl OracleScenario {
             migration_on,
             client,
             holders,
+            replication,
+            waitlist,
             trace,
         }
     }
@@ -738,11 +811,22 @@ pub struct OracleOutcome {
     pub accepted_via_migration: u64,
     /// Requests turned away.
     pub rejected: u64,
-    /// Streams that finished transmission during the replay.
+    /// Streams that finished transmission during the replay (viewer
+    /// streams only; finished copies count under `copies_completed`).
     pub completions: u64,
     /// Pause/resume operations that landed on a live stream (no-op
     /// pauses against finished or rejected streams are not counted).
     pub pauses_applied: u64,
+    /// Replica copies the manager actually launched.
+    pub copies_started: u64,
+    /// Copy streams that finished and installed their replica.
+    pub copies_completed: u64,
+    /// Rejected requests parked on the waitlist.
+    pub waitlisted: u64,
+    /// Waiters later admitted off the queue (batched viewers included).
+    pub waiters_served: u64,
+    /// Waiters dropped because their patience ran out.
+    pub waiters_expired: u64,
     /// Cross-checks performed (one per event boundary).
     pub checks: u64,
 }
@@ -778,19 +862,96 @@ pub fn run_differential_with_fault(
     let seed = scenario.seed;
     let view = scenario.view_rate;
     let capacity = scenario.slots_per_server as f64 * view;
+    if let Some(spec) = &scenario.replication {
+        assert_eq!(
+            spec.source,
+            CopySource::Cluster,
+            "the oracle only mirrors cluster-sourced copies (tertiary \
+             transfers consume no engine bandwidth to cross-check)"
+        );
+    }
     let mut engines: Vec<ServerEngine> = (0..scenario.n_servers as u16)
         .map(|i| ServerEngine::new(ServerId(i), capacity, scenario.scheduler))
         .collect();
-    let map = ReplicaMap::from_holders(scenario.n_servers, scenario.holders.clone());
+    let mut map = ReplicaMap::from_holders(scenario.n_servers, scenario.holders.clone());
+    // Only the disk ledger matters to replication targeting; make it a
+    // non-constraint so target choice stays purely load-driven.
+    let cluster_spec = ClusterSpec::homogeneous(scenario.n_servers, capacity, 1_000.0);
     let mut controller =
         Controller::new(AssignmentPolicy::LeastLoaded, scenario.migration_policy());
+    let mut replication = scenario.replication.map(ReplicationManager::new);
+    let mut waitlist = scenario.waitlist.map(Waitlist::new);
     let mut rng = Rng::new(seed).fork(0xD1FF);
     let mut reference = RefCluster::new(scenario.n_servers, capacity, scenario.scheduler);
     let mut out = OracleOutcome::default();
     let mut accepted_seen: u64 = 0;
     let mut next_id: u64 = 0;
+    // Copy streams live in their own id space so viewer stream ids keep
+    // equalling arrival indices (which pause targets rely on).
+    let mut copy_next_id: u64 = 1 << 32;
     // Armed once the faulty arrival is admitted: (stream, perturbation).
     let mut corruption: Option<(StreamId, f64)> = None;
+
+    // Serve the wait queue after a slot may have freed: expire the
+    // impatient first (`try_serve` asserts the queue holds no stale
+    // waiters), admit in FIFO order, and mirror every non-batched serve
+    // as a fresh reference stream — its parameters read back from the
+    // engine, so the mirror observes rather than re-derives.
+    macro_rules! serve_waitlist {
+        ($now:expr) => {
+            if let Some(wl) = waitlist.as_mut() {
+                out.waiters_expired += wl.expire($now) as u64;
+                let serve = wl.try_serve(&mut engines, &map, $now);
+                for w in &serve.served {
+                    out.waiters_served += 1;
+                    if !map.holds(w.server, w.video) {
+                        diverge!(
+                            seed,
+                            $now,
+                            Some(w.id),
+                            Some(w.server),
+                            DivergenceKind::Admission,
+                            "waiter served by a non-holder of its video"
+                        );
+                    }
+                    if !w.batched {
+                        let Some(s) = engines[w.server.index()]
+                            .streams()
+                            .iter()
+                            .find(|s| s.id == w.id)
+                        else {
+                            diverge!(
+                                seed,
+                                $now,
+                                Some(w.id),
+                                Some(w.server),
+                                DivergenceKind::StreamSet,
+                                "served waiter missing from its engine"
+                            );
+                        };
+                        reference.streams.push(RefStream {
+                            id: w.id,
+                            video: w.video,
+                            server: w.server.index(),
+                            size_mb: s.size_mb,
+                            view_rate: s.view_rate,
+                            sent_mb: 0.0,
+                            played_secs: 0.0,
+                            rate: 0.0,
+                            paused: false,
+                            client: s.client,
+                        });
+                    }
+                }
+                for sid in &serve.touched {
+                    let e = &mut engines[sid.index()];
+                    e.advance_to($now);
+                    e.reschedule($now);
+                    reference.reallocate(sid.index());
+                }
+            }
+        };
+    }
 
     // Drain engine events (completions / buffer-full reallocations) up to
     // `horizon`, keeping the reference in lock-step.
@@ -811,8 +972,30 @@ pub fn run_differential_with_fault(
                             e.advance_to(when);
                         }
                         let e = &mut engines[id.index()];
+                        let mut reaped = false;
                         for done in e.reap_finished(when) {
-                            out.completions += 1;
+                            reaped = true;
+                            if done.is_copy() {
+                                // CopyDone: the replica must be known to
+                                // the manager and lands in the shared map,
+                                // widening later admission candidate sets.
+                                out.copies_completed += 1;
+                                let known = replication
+                                    .as_mut()
+                                    .and_then(|m| m.on_copy_finished(done.id, &mut map));
+                                if known.is_none() {
+                                    diverge!(
+                                        seed,
+                                        when,
+                                        Some(done.id),
+                                        Some(id),
+                                        DivergenceKind::StreamSet,
+                                        "finished copy unknown to the replication manager"
+                                    );
+                                }
+                            } else {
+                                out.completions += 1;
+                            }
                             match reference.remove(done.id) {
                                 Some(r) if r.remaining_mb() <= ORACLE_TOL_MB + EPS_MB => {}
                                 Some(r) => diverge!(
@@ -836,8 +1019,14 @@ pub fn run_differential_with_fault(
                         }
                         e.reschedule(when);
                         reference.reallocate(id.index());
+                        if reaped {
+                            // A departure freed capacity somewhere.
+                            serve_waitlist!(when);
+                        }
                         if let Some((sid, delta)) = corruption {
-                            engines[id.index()].inject_rate_error(sid, delta);
+                            for e in engines.iter_mut() {
+                                e.inject_rate_error(sid, delta);
+                            }
                         }
                         out.checks += 1;
                         cross_check(seed, when, &engines, &reference)?;
@@ -986,6 +1175,17 @@ pub fn run_differential_with_fault(
                                 "rejected although {s} had a free slot"
                             );
                         }
+                        // A turned-away viewer queues up (bounced when the
+                        // queue is full); a later departure re-admits it.
+                        if let Some(wl) = waitlist.as_mut() {
+                            wl.expire(now);
+                            if wl
+                                .enqueue(id, *video, *size_mb, view, scenario.client, now)
+                                .is_some()
+                            {
+                                out.waitlisted += 1;
+                            }
+                        }
                     }
                 }
                 for sid in &touched {
@@ -1071,6 +1271,78 @@ pub fn run_differential_with_fault(
             TraceOp::Repair(server) => {
                 engines[server.index()].repair(now);
                 reference.online[server.index()] = true;
+                // The repaired server came back empty — room for waiters.
+                serve_waitlist!(now);
+                if let Some((sid, delta)) = corruption {
+                    for e in engines.iter_mut() {
+                        e.inject_rate_error(sid, delta);
+                    }
+                }
+                out.checks += 1;
+                cross_check(seed, now, &engines, &reference)?;
+            }
+            TraceOp::StartCopy { video, size_mb } => {
+                let launch = replication.as_mut().and_then(|m| {
+                    m.maybe_replicate(
+                        *video,
+                        *size_mb,
+                        &mut copy_next_id,
+                        &mut engines,
+                        &map,
+                        &cluster_spec,
+                        now,
+                    )
+                });
+                match launch {
+                    Some(CopyLaunch::FromServer { source, stream }) => {
+                        out.copies_started += 1;
+                        if !map.holds(source, *video) {
+                            diverge!(
+                                seed,
+                                now,
+                                Some(stream),
+                                Some(source),
+                                DivergenceKind::Admission,
+                                "copy sourced from a non-holder of its video"
+                            );
+                        }
+                        // Mirror the copy as a reference stream at the
+                        // copy rate: unbounded staging, receive cap equal
+                        // to the copy rate, so it rides the minimum flow
+                        // with no workahead — exactly the engine's
+                        // replica-copy semantics.
+                        let copy_rate = scenario
+                            .replication
+                            .expect("launch implies a replication spec")
+                            .copy_rate_mbps;
+                        reference.streams.push(RefStream {
+                            id: stream,
+                            video: *video,
+                            server: source.index(),
+                            size_mb: *size_mb,
+                            view_rate: copy_rate,
+                            sent_mb: 0.0,
+                            played_secs: 0.0,
+                            rate: 0.0,
+                            paused: false,
+                            client: ClientProfile::new(f64::INFINITY, copy_rate),
+                        });
+                        let e = &mut engines[source.index()];
+                        e.reschedule(now);
+                        reference.reallocate(source.index());
+                    }
+                    Some(CopyLaunch::FromTertiary { .. }) => {
+                        unreachable!("cluster-sourced spec asserted above")
+                    }
+                    // Declined (cap, cooldown, no target, or no source
+                    // with spare copy bandwidth) or replication disabled.
+                    None => {}
+                }
+                if let Some((sid, delta)) = corruption {
+                    for e in engines.iter_mut() {
+                        e.inject_rate_error(sid, delta);
+                    }
+                }
                 out.checks += 1;
                 cross_check(seed, now, &engines, &reference)?;
             }

@@ -335,6 +335,22 @@ impl<'a> SimWorld<'a> {
                 Event::PauseStream(id) => self.on_pause_resume(now, id, true, probes),
                 Event::ResumeStream(id) => self.on_pause_resume(now, id, false, probes),
             }
+            self.publish_state(now, probes);
+        }
+    }
+
+    /// Offers every probe a read-only view of world state at the event
+    /// boundary just processed. Rates only change inside handlers, so the
+    /// state between two published views is exactly linear — which is what
+    /// makes the telemetry gauges exact (see `crate::metrics`).
+    fn publish_state(&self, now: SimTime, probes: &mut [&mut dyn Probe]) {
+        let view = crate::metrics::StateView::new(
+            now,
+            &self.engines,
+            self.waitlist.as_ref().map_or(0, Waitlist::len),
+        );
+        for p in probes.iter_mut() {
+            p.on_state(now, &view);
         }
     }
 

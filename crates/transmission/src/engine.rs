@@ -136,9 +136,9 @@ impl ServerEngine {
     }
 
     /// Sum of the view rates of all admitted streams — the minimum-flow
-    /// commitment that [`ServerEngine::can_admit`] guards. Exposed for the
-    /// differential oracle to cross-check against its own ledger.
-    #[cfg(feature = "differential")]
+    /// commitment that [`ServerEngine::can_admit`] guards. Read by the
+    /// telemetry gauges and cross-checked by the differential oracle
+    /// against its own ledger.
     pub fn committed_mbps(&self) -> f64 {
         self.committed_mbps
     }

@@ -11,11 +11,12 @@
 //! All subcommands are deterministic given `--seed`.
 
 use semi_continuous_vod::analysis::erlang::{erlang_b, expected_utilization_vs_svbr};
+use semi_continuous_vod::analysis::MetricsSnapshot;
 use semi_continuous_vod::core::config::SimConfig;
 use semi_continuous_vod::core::policies::Policy;
 use semi_continuous_vod::core::runner::{run_trials, utilization_summary, TrialPlan};
 use semi_continuous_vod::core::simulation::Simulation;
-use semi_continuous_vod::core::JsonlTraceProbe;
+use semi_continuous_vod::core::{JsonlTraceProbe, MetricsRegistry, Probe, TelemetryProbe};
 use semi_continuous_vod::simcore::{Rng, SimTime, ZipfLike};
 use semi_continuous_vod::workload::{calibrated_rate, SystemSpec, Trace};
 use std::process::exit;
@@ -25,6 +26,8 @@ fn usage() -> ! {
         "usage:\n  sctsim run [--config FILE | --system small|large|tiny] [--policy P1..P8]\n\
          \x20          [--theta T] [--hours H] [--warmup H] [--trials N] [--seed S] [--out FILE]\n\
          \x20          [--trace FILE]  (export a JSONL event trace; forces a single trial)\n\
+         \x20          [--metrics FILE]  (export a telemetry snapshot, merged across trials)\n\
+         \x20 sctsim report FILE [--svg FILE]  (render a metrics snapshot as markdown + SVG)\n\
          \x20 sctsim scenario --system small|large|tiny [--policy P..] [--theta T]\n\
          \x20 sctsim erlang --svbr K [--view-rate MBPS]\n\
          \x20 sctsim trace --system small|large|tiny [--theta T] [--hours H] [--seed S]"
@@ -133,26 +136,70 @@ fn cmd_run(args: &Args) {
     let config = build_config(args);
     let trials = args.get_f64("trials").unwrap_or(1.0) as u32;
     let seed = args.get_f64("seed").unwrap_or(0.0) as u64;
-    let outcomes = match args.get("trace") {
-        // A trace narrates exactly one trial: run trial 0 of the plan with
-        // a JSONL probe attached (the probe cannot perturb the outcome, so
-        // this matches `--trials 1` bit for bit).
-        Some(path) => {
-            let mut probe = JsonlTraceProbe::create(path).unwrap_or_else(|e| {
+    let trace_path = args.get("trace");
+    let metrics_path = args.get("metrics");
+    let outcomes = if trace_path.is_some() || metrics_path.is_some() {
+        // Probes attached: run the plan's trials sequentially so each trial
+        // gets its own telemetry probe, then merge the registries (the
+        // merge is exact — see sct-core::metrics). Probes cannot perturb
+        // outcomes, so this matches `run_trials` on the same plan bit for
+        // bit. A trace narrates exactly one trial.
+        let n = if trace_path.is_some() {
+            1
+        } else {
+            trials.max(1)
+        };
+        let plan = TrialPlan::new(n, seed);
+        let mut trace_probe = trace_path.map(|path| {
+            JsonlTraceProbe::create(path).unwrap_or_else(|e| {
                 eprintln!("cannot create {path}: {e}");
                 exit(1)
-            });
+            })
+        });
+        let mut registry: Option<MetricsRegistry> = None;
+        let mut outs = Vec::with_capacity(n as usize);
+        for i in 0..n {
             let mut cfg = config.clone();
-            cfg.seed = TrialPlan::new(1, seed).seed(0);
-            let outcome = Simulation::run_with_probes(&cfg, &mut [&mut probe]);
+            cfg.seed = plan.seed(i);
+            let mut telemetry = metrics_path.map(|_| TelemetryProbe::new(&cfg));
+            let mut hub: Vec<&mut dyn Probe> = Vec::new();
+            if let Some(t) = telemetry.as_mut() {
+                hub.push(t);
+            }
+            if let Some(t) = trace_probe.as_mut() {
+                hub.push(t);
+            }
+            outs.push(Simulation::run_with_probes(&cfg, &mut hub));
+            if let Some(t) = telemetry {
+                let trial_registry = t.finish();
+                match registry.as_mut() {
+                    Some(r) => r.merge(trial_registry),
+                    None => registry = Some(trial_registry),
+                }
+            }
+        }
+        if let (Some(path), Some(probe)) = (trace_path, trace_probe) {
             let lines = probe.finish().unwrap_or_else(|e| {
                 eprintln!("cannot write {path}: {e}");
                 exit(1)
             });
             eprintln!("traced {lines} events to {path}");
-            vec![outcome]
         }
-        None => run_trials(&config, TrialPlan::new(trials.max(1), seed)),
+        if let (Some(path), Some(registry)) = (metrics_path, registry) {
+            let snapshot = registry.snapshot();
+            std::fs::write(path, snapshot.to_json() + "\n").unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                exit(1)
+            });
+            eprintln!(
+                "wrote metrics snapshot ({} trial{}) to {path}",
+                snapshot.trials,
+                if snapshot.trials == 1 { "" } else { "s" }
+            );
+        }
+        outs
+    } else {
+        run_trials(&config, TrialPlan::new(trials.max(1), seed))
     };
     let summary = utilization_summary(&outcomes);
     eprintln!(
@@ -182,6 +229,38 @@ fn cmd_run(args: &Args) {
             eprintln!("wrote {path}");
         }
         None => println!("{json}"),
+    }
+}
+
+fn cmd_report(file: &str, args: &Args) {
+    let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+        eprintln!("cannot read {file}: {e}");
+        exit(1)
+    });
+    let snapshot = MetricsSnapshot::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("{file}: {e}");
+        exit(1)
+    });
+    print!("{}", snapshot.to_markdown());
+    let svg_path = match args.get("svg") {
+        Some(p) => p.to_string(),
+        None => {
+            // m.json → m.svg (or append .svg when there is no extension).
+            let mut p = std::path::PathBuf::from(file);
+            p.set_extension("svg");
+            p.to_string_lossy().into_owned()
+        }
+    };
+    match snapshot.to_svg() {
+        Ok(svg) => {
+            std::fs::write(&svg_path, svg).unwrap_or_else(|e| {
+                eprintln!("cannot write {svg_path}: {e}");
+                exit(1)
+            });
+            eprintln!("wrote dashboard to {svg_path}");
+        }
+        // A snapshot without per-server gauges still renders as markdown.
+        Err(e) => eprintln!("skipping SVG dashboard: {e}"),
     }
 }
 
@@ -228,6 +307,15 @@ fn main() {
     let Some((cmd, rest)) = argv.split_first() else {
         usage()
     };
+    // `report` takes a positional snapshot file before its flags.
+    if cmd == "report" {
+        let Some((file, flags)) = rest.split_first() else {
+            eprintln!("report needs a snapshot file");
+            usage()
+        };
+        cmd_report(file, &Args::parse(flags));
+        return;
+    }
     let args = Args::parse(rest);
     match cmd.as_str() {
         "run" => cmd_run(&args),

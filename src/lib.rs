@@ -52,10 +52,14 @@ pub mod prelude {
         WaitlistSpec,
     };
     pub use sct_analysis::report::Table;
+    pub use sct_analysis::snapshot::MetricsSnapshot;
     pub use sct_cluster::placement::PlacementStrategy;
     pub use sct_core::config::{FailureSpec, PauseSpec, SimConfig, SimConfigBuilder, StagingSpec};
     pub use sct_core::events::{AdmitPath, JsonlTraceProbe, MetricsProbe, Probe, SimEvent};
     pub use sct_core::experiments;
+    pub use sct_core::metrics::{
+        Histogram, MetricsRegistry, StateView, TelemetryProbe, TimeWeightedGauge,
+    };
     pub use sct_core::policies::Policy;
     pub use sct_core::runner::{run_trials, TrialPlan};
     pub use sct_core::simulation::{SimOutcome, Simulation};

@@ -7,6 +7,7 @@
 //! minimum-flow guarantee, and global data conservation at every event
 //! boundary. A failure prints a replayable `(seed, time, stream)` triple.
 
+use sct_admission::{CopySource, ReplicationSpec, WaitlistSpec};
 use sct_cluster::ServerId;
 use sct_core::oracle::{
     run_differential, run_differential_with_fault, FaultInjection, OracleScenario, TraceOp,
@@ -24,6 +25,11 @@ fn random_scenarios_produce_zero_divergences() {
     let mut accepted = 0u64;
     let mut pause_scenarios = 0u64;
     let mut pauses_applied = 0u64;
+    let mut copy_scenarios = 0u64;
+    let mut copies_completed = 0u64;
+    let mut waitlist_scenarios = 0u64;
+    let mut waitlisted = 0u64;
+    let mut waiters_served = 0u64;
     for seed in 0..104u64 {
         let sc = OracleScenario::generate(seed);
         let combo = (seed % 4) as usize * 2 + usize::from(sc.migration_on);
@@ -35,11 +41,16 @@ fn random_scenarios_produce_zero_divergences() {
         {
             pause_scenarios += 1;
         }
+        copy_scenarios += u64::from(sc.replication.is_some());
+        waitlist_scenarios += u64::from(sc.waitlist.is_some());
         match run_differential(&sc) {
             Ok(out) => {
                 arrivals += out.arrivals;
                 accepted += out.accepted_direct + out.accepted_via_migration;
                 pauses_applied += out.pauses_applied;
+                copies_completed += out.copies_completed;
+                waitlisted += out.waitlisted;
+                waiters_served += out.waiters_served;
             }
             Err(d) => panic!("{d}"),
         }
@@ -61,6 +72,27 @@ fn random_scenarios_produce_zero_divergences() {
         pauses_applied > 0,
         "no pause ever landed on a live stream across the matrix"
     );
+    // The replication and waitlist extensions must be represented in the
+    // matrix AND actually fire somewhere: a copy has to complete (so the
+    // CopyDone → replica-map path is cross-checked), and some waiter has
+    // to be re-admitted off the queue mid-replay.
+    assert!(
+        copy_scenarios >= 104 / 4,
+        "only {copy_scenarios}/104 scenarios enabled replication"
+    );
+    assert!(
+        copies_completed > 0,
+        "no replica copy ever completed across the matrix"
+    );
+    assert!(
+        waitlist_scenarios >= 104 / 4,
+        "only {waitlist_scenarios}/104 scenarios enabled the waitlist"
+    );
+    assert!(
+        waitlisted > 0 && waiters_served > 0,
+        "the waitlist never served anyone across the matrix \
+         (queued {waitlisted}, served {waiters_served})"
+    );
 }
 
 /// Pause/resume semantics pinned down on a hand-built trace: a paused
@@ -79,6 +111,8 @@ fn pinned_pause_resume_scenario_passes_the_oracle() {
             migration_on: false,
             client: ClientProfile::no_staging(30.0),
             holders: vec![vec![ServerId(0)], vec![ServerId(0), ServerId(1)]],
+            replication: None,
+            waitlist: None,
             trace: vec![
                 (
                     SimTime::ZERO,
@@ -130,6 +164,8 @@ fn controller_props_regression_scenario_passes_the_oracle() {
         migration_on: false,
         client: ClientProfile::new(300.0, 30.0),
         holders: vec![vec![ServerId(0)], vec![ServerId(1)]],
+        replication: None,
+        waitlist: None,
         trace: vec![
             (
                 SimTime::ZERO,
@@ -200,6 +236,8 @@ fn theorem1_regression_scenario_passes_the_oracle() {
             migration_on: false,
             client: ClientProfile::unbounded(),
             holders: (0..reqs.len()).map(|_| vec![ServerId(0)]).collect(),
+            replication: None,
+            waitlist: None,
             trace,
         };
         let out = run_differential(&sc).unwrap_or_else(|d| panic!("{scheduler:?}: {d}"));
@@ -267,5 +305,131 @@ fn sub_tolerance_noise_is_not_reported() {
     };
     if let Err(d) = run_differential_with_fault(&sc, Some(fault)) {
         panic!("1 nMb/s of noise should stay under the tolerance: {d}");
+    }
+}
+
+/// Cluster-sourced replication pinned on a hand-built trace: a copy of
+/// video 0 streams from its sole holder to server 1 at 3 Mb/s (90 Mb →
+/// done at t = 30), the reference mirrors the transfer megabit for
+/// megabit, and once `CopyDone` installs the replica, an arrival that
+/// finds server 0 saturated must be admitted on server 1 — the oracle's
+/// own admission-legality check recomputes the eligible set from the
+/// *updated* map, so a dropped CopyDone would diverge immediately.
+#[test]
+fn pinned_replication_copy_scenario_passes_the_oracle() {
+    for scheduler in SchedulerKind::ALL {
+        let mut trace = vec![
+            (
+                SimTime::ZERO,
+                TraceOp::StartCopy {
+                    video: VideoId(0),
+                    size_mb: 90.0,
+                },
+            ),
+            // Rides alongside the copy on server 0; finishes at t = 25.
+            (
+                SimTime::from_secs(5.0),
+                TraceOp::Arrival {
+                    video: VideoId(0),
+                    size_mb: 60.0,
+                },
+            ),
+        ];
+        // Three 100-second clips saturate server 0's three slots...
+        for _ in 0..3 {
+            trace.push((
+                SimTime::from_secs(35.0),
+                TraceOp::Arrival {
+                    video: VideoId(0),
+                    size_mb: 300.0,
+                },
+            ));
+        }
+        // ... so this one can only land on the fresh replica.
+        trace.push((
+            SimTime::from_secs(40.0),
+            TraceOp::Arrival {
+                video: VideoId(0),
+                size_mb: 60.0,
+            },
+        ));
+        let sc = OracleScenario {
+            seed: 0xC0B1E5,
+            n_servers: 2,
+            slots_per_server: 3,
+            view_rate: 3.0,
+            scheduler,
+            migration_on: false,
+            client: ClientProfile::no_staging(30.0),
+            holders: vec![vec![ServerId(0)]],
+            replication: Some(ReplicationSpec {
+                copy_rate_mbps: 3.0,
+                max_concurrent: 1,
+                cooldown_secs: 5.0,
+                source: CopySource::Cluster,
+            }),
+            waitlist: None,
+            trace,
+        };
+        let out = run_differential(&sc).unwrap_or_else(|d| panic!("{scheduler:?}: {d}"));
+        assert_eq!(out.copies_started, 1, "{scheduler:?}");
+        assert_eq!(out.copies_completed, 1, "{scheduler:?}");
+        assert_eq!(out.arrivals, 5, "{scheduler:?}");
+        assert_eq!(
+            out.accepted_direct, 5,
+            "{scheduler:?}: the last arrival needs the new replica"
+        );
+        assert_eq!(out.rejected, 0, "{scheduler:?}");
+        assert_eq!(out.completions, 5, "{scheduler:?}");
+    }
+}
+
+/// Waitlist service pinned on a hand-built trace: one two-slot server,
+/// two 20-second clips admitted at t = 0, two more viewers rejected into
+/// the queue. When both streams depart at t = 20, `try_serve` re-admits
+/// both waiters as fresh streams the reference must pick up mid-replay
+/// (playback restarts at the serve time, not at arrival).
+#[test]
+fn pinned_waitlist_serve_scenario_passes_the_oracle() {
+    for scheduler in SchedulerKind::ALL {
+        let arrival = |t: f64, size_mb: f64| {
+            (
+                SimTime::from_secs(t),
+                TraceOp::Arrival {
+                    video: VideoId(0),
+                    size_mb,
+                },
+            )
+        };
+        let sc = OracleScenario {
+            seed: 0x3A17,
+            n_servers: 1,
+            slots_per_server: 2,
+            view_rate: 3.0,
+            scheduler,
+            migration_on: false,
+            client: ClientProfile::no_staging(30.0),
+            holders: vec![vec![ServerId(0)]],
+            replication: None,
+            waitlist: Some(WaitlistSpec::new(60.0, 4)),
+            trace: vec![
+                arrival(0.0, 60.0),
+                arrival(0.0, 60.0),
+                // Both slots taken: these two wait (patience until t+60).
+                arrival(1.0, 60.0),
+                arrival(2.0, 600.0),
+            ],
+        };
+        let out = run_differential(&sc).unwrap_or_else(|d| panic!("{scheduler:?}: {d}"));
+        assert_eq!(out.arrivals, 4, "{scheduler:?}");
+        assert_eq!(out.accepted_direct, 2, "{scheduler:?}");
+        assert_eq!(out.rejected, 2, "{scheduler:?}");
+        assert_eq!(out.waitlisted, 2, "{scheduler:?}");
+        assert_eq!(
+            out.waiters_served, 2,
+            "{scheduler:?}: both waiters fit once the first pair departs"
+        );
+        assert_eq!(out.waiters_expired, 0, "{scheduler:?}");
+        assert_eq!(out.completions, 4, "{scheduler:?}");
     }
 }

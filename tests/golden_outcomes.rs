@@ -24,6 +24,39 @@ fn golden_path(name: &str) -> PathBuf {
 
 fn check_golden(name: &str, config: &SimConfig) {
     let outcome = Simulation::run(config);
+
+    // Attaching the full telemetry probe must not perturb the run: the
+    // outcome stays bit-identical, and because the telemetry gauges
+    // integrate the same piecewise-linear quantities the epilogue measures,
+    // their time-weighted means reproduce the utilization figures exactly.
+    let mut telemetry = TelemetryProbe::new(config);
+    let with_probe = Simulation::run_with_probes(config, &mut [&mut telemetry]);
+    assert_eq!(
+        with_probe, outcome,
+        "{name}: attaching TelemetryProbe perturbed the outcome"
+    );
+    let registry = telemetry.finish();
+    let cluster = registry
+        .gauge("cluster_utilization")
+        .expect("cluster gauge present");
+    assert!(
+        (cluster.mean() - outcome.utilization).abs() < 1e-9,
+        "{name}: cluster gauge mean {} vs epilogue utilization {}",
+        cluster.mean(),
+        outcome.utilization
+    );
+    for (i, &per_server) in outcome.per_server_utilization.iter().enumerate() {
+        let gauge = registry
+            .gauge(&format!("server_utilization/{i}"))
+            .expect("per-server gauge present");
+        assert!(
+            (gauge.mean() - per_server).abs() < 1e-9,
+            "{name}: server {i} gauge mean {} vs epilogue {}",
+            gauge.mean(),
+            per_server
+        );
+    }
+
     let path = golden_path(name);
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         let json = serde_json::to_string_pretty(&outcome).expect("outcome serialises");
