@@ -64,7 +64,7 @@ impl Admission {
 
 /// A feasible two-step migration chain:
 /// `(freed holder, (victim 1, its destination), (victim 2, its destination))`.
-type ChainPlan = (ServerId, (StreamId, ServerId), (StreamId, ServerId));
+pub type ChainPlan = (ServerId, (StreamId, ServerId), (StreamId, ServerId));
 
 /// Everything one [`Controller::evacuate`] pass did after a server
 /// failure.
@@ -351,6 +351,22 @@ impl Controller {
             .copied()
             .filter(|&s| engines[s.index()].can_admit(view_rate))
             .collect()
+    }
+
+    /// Differential-testing hook: the two-step chain the deterministic
+    /// depth-2 search would commit to for `video` right now, if any.
+    /// Computed on the same observable state `admit` would see, so the
+    /// oracle asserts a `WithChain` outcome equals this plan exactly and
+    /// that a rejection under a chain-2 policy implies no plan existed.
+    #[cfg(feature = "differential")]
+    pub fn chain2_plan(
+        &self,
+        video: sct_media::VideoId,
+        engines: &[ServerEngine],
+        map: &ReplicaMap,
+        now: SimTime,
+    ) -> Option<ChainPlan> {
+        self.find_chain2(map.holders(video), engines, map, now)
     }
 
     /// Applies the assignment policy to the eligible holder set.

@@ -8,9 +8,9 @@
 //! tripping any single assertion.
 //!
 //! This module provides the classic antidote (see ns-2/ns-3 validation
-//! practice): a **deliberately naive reference simulator** that replays
-//! the same trace with *fixed-timestep* integration (Δt ≈ 10 ms) and an
-//! independently written allocator, plus an **invariant auditor** that
+//! practice): a **deliberately simple reference simulator** that replays
+//! the same trace with an independently written allocator and an
+//! independent integrator, plus an **invariant auditor** that
 //! cross-checks the two at every event boundary:
 //!
 //! * per-stream `sent_mb`, allocated rate, staging-buffer occupancy;
@@ -23,11 +23,31 @@
 //!   reference stream at the copy rate, and its `CopyDone` must install
 //!   the replica that later admissions are checked against;
 //! * waitlist service: rejected viewers queue with bounded patience and
-//!   re-enter as fresh streams after departures, on a legal holder.
+//!   re-enter as fresh streams after departures, on a legal holder —
+//!   optionally through the full admission path (migrations and chains
+//!   performed on a waiter's behalf are mirrored too);
+//! * two-step migration chains ([`Admission::WithChain`]): both hops are
+//!   checked against the deterministic plan the controller's depth-2
+//!   search must have found on the pre-admission state.
+//!
+//! Between trace events every per-stream rate is constant, so sent and
+//! played volumes are piecewise linear in time. The default
+//! [`RefStepper::Exact`] integrator exploits that: one closed-form slice
+//! per event boundary, sub-sliced at stream-finish and playout-end
+//! crossings found by solving the linear crossing time (see
+//! [`exact_slice`]). Replay cost is therefore O(#events), independent of
+//! simulated duration — hours-long drains cost a handful of slices. The
+//! original fixed-Δt integrator survives as [`RefStepper::Naive`] (and as
+//! the default under the `naive-stepper` feature) purely as a spot-check;
+//! the clamped per-slice updates are exact for any Δt, so the two must
+//! agree to float rounding, which the agreement tests assert.
 //!
 //! The first divergence aborts the replay and is reported with a
 //! replayable **(seed, time, stream)** triple, so
 //! `OracleScenario::generate(seed)` reproduces the failure exactly.
+//! [`shrink_divergence`] then delta-debugs the scenario's trace to a
+//! locally minimal reproduction, which is what the scenario fuzzer
+//! reports on failure.
 //!
 //! Only compiled with the `differential` feature (which also unlocks the
 //! introspection hooks in `sct-transmission` / `sct-admission`).
@@ -53,6 +73,81 @@ pub const ORACLE_TOL_MB: f64 = 1e-6;
 
 /// Divergence threshold for rate comparisons, in Mb/s.
 pub const ORACLE_TOL_MBPS: f64 = 1e-6;
+
+/// Playback-time epsilon (seconds): a playout-end boundary closer than
+/// this is treated as already reached by the crossing-time solver, so
+/// float residue left after landing exactly on a crossing cannot spawn
+/// further sub-slices.
+pub const EPS_SECS: f64 = 1e-9;
+
+// ---------------------------------------------------------------------------
+// The reference stepper
+// ---------------------------------------------------------------------------
+
+/// How the reference cluster integrates between event boundaries.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RefStepper {
+    /// One closed-form slice per event boundary, sub-sliced at
+    /// stream-finish and playout-end crossings solved from the linear
+    /// dynamics. Exact, and O(#events) regardless of simulated duration.
+    Exact,
+    /// Fixed-timestep spot-check integrator: O(duration / Δt).
+    Naive {
+        /// Integration step in seconds.
+        dt_secs: f64,
+    },
+}
+
+/// The stepper the oracle entry points use: [`RefStepper::Exact`], or the
+/// fixed-[`ORACLE_DT_SECS`] integrator when the crate is built with the
+/// `naive-stepper` feature.
+pub fn default_stepper() -> RefStepper {
+    if cfg!(feature = "naive-stepper") {
+        RefStepper::Naive {
+            dt_secs: ORACLE_DT_SECS,
+        }
+    } else {
+        RefStepper::Exact
+    }
+}
+
+/// Per-stream state the crossing-time solver needs. Between event
+/// boundaries `sent` grows linearly at `rate` until `remaining_mb`
+/// reaches zero, and playback consumes wall time one-for-one until
+/// `play_left_secs` reaches zero (unless paused).
+#[derive(Clone, Copy, Debug)]
+pub struct SliceState {
+    /// Allocated transmission rate, Mb/s.
+    pub rate: f64,
+    /// Megabits still to transmit.
+    pub remaining_mb: f64,
+    /// Whether playback is frozen.
+    pub paused: bool,
+    /// Seconds of playback left until the clip's playout end.
+    pub play_left_secs: f64,
+}
+
+/// The largest step `dt ≤ left` that crosses no stream-finish or
+/// playout-end boundary: the minimum over `left`, every transmitting
+/// stream's finish crossing `remaining_mb / rate`, and every playing
+/// stream's playout residue `play_left_secs`. Boundaries within
+/// [`EPS_MB`] / [`EPS_SECS`] of the current state count as already
+/// crossed, so each boundary binds at most once per integration — at
+/// most `2·n_streams + 1` slices per reference integration call.
+/// Capacity changes need no crossing term: they only happen at trace
+/// events, which bound `left` by construction.
+pub fn exact_slice(left: f64, streams: &[SliceState]) -> f64 {
+    let mut dt = left;
+    for s in streams {
+        if s.rate > 0.0 && s.remaining_mb > EPS_MB {
+            dt = dt.min(s.remaining_mb / s.rate);
+        }
+        if !s.paused && s.play_left_secs > EPS_SECS {
+            dt = dt.min(s.play_left_secs);
+        }
+    }
+    dt
+}
 
 // ---------------------------------------------------------------------------
 // Scenarios
@@ -110,6 +205,10 @@ pub struct OracleScenario {
     pub scheduler: SchedulerKind,
     /// Whether dynamic request migration is enabled.
     pub migration_on: bool,
+    /// Whether two-step migration chains are enabled (implies
+    /// `migration_on`; the policy becomes [`MigrationPolicy::chain2`] and
+    /// the waitlist, if any, serves through the full admission path).
+    pub chain2_on: bool,
     /// Client staging/receive profile shared by all viewers.
     pub client: ClientProfile,
     /// Holder set per video (index = video id).
@@ -142,10 +241,26 @@ impl OracleScenario {
         // a contiguous seed range still covers every combination.
         let replication_on = (seed / 8).is_multiple_of(2);
         let waitlist_on = (seed / 16).is_multiple_of(2);
-        let n_servers = rng.range_usize(2, 5);
+        // Bit 5 arms two-step chains (meaningful only with migration on,
+        // so chain-off seeds keep generating byte-identical scenarios);
+        // bit 6 appends an hours-long lone drain the exact stepper must
+        // cross in O(1) slices.
+        let chain2_on = migration_on && (seed / 32).is_multiple_of(2);
+        let long_drain = (seed / 64).is_multiple_of(2);
+        let n_servers = if chain2_on {
+            // The deterministic chain pressure wave needs three distinct
+            // servers (full → full → open).
+            rng.range_usize(3, 5)
+        } else {
+            rng.range_usize(2, 5)
+        };
         let slots_per_server = rng.range_usize(3, 7);
         let view_rate = 3.0;
-        let n_videos = rng.range_usize(2, 7);
+        let n_videos = if chain2_on {
+            rng.range_usize(3, 7)
+        } else {
+            rng.range_usize(2, 7)
+        };
 
         // Client profile: mix bounded, unbounded, and zero staging.
         let client = match rng.below(5) {
@@ -154,15 +269,33 @@ impl OracleScenario {
             _ => ClientProfile::new(rng.range_f64(30.0, 400.0), 30.0),
         };
 
-        // Non-empty holder set per video.
-        let holders: Vec<Vec<ServerId>> = (0..n_videos)
-            .map(|_| {
-                let k = rng.range_usize(1, n_servers + 1);
-                let mut picked = rng.sample_indices(n_servers, k);
-                picked.sort_unstable();
-                picked.into_iter().map(|i| ServerId(i as u16)).collect()
-            })
-            .collect();
+        // Non-empty holder set per video. Chain-2 scenarios use a ring
+        // instead: video 0 lives only on s0, video v ≥ 1 straddles the
+        // edge {s_{(v-1) mod n}, s_{v mod n}} — the topology where a
+        // depth-2 chain can free a slot that no single hop can.
+        let holders: Vec<Vec<ServerId>> = if chain2_on {
+            (0..n_videos)
+                .map(|v| {
+                    if v == 0 {
+                        vec![ServerId(0)]
+                    } else {
+                        vec![
+                            ServerId(((v - 1) % n_servers) as u16),
+                            ServerId((v % n_servers) as u16),
+                        ]
+                    }
+                })
+                .collect()
+        } else {
+            (0..n_videos)
+                .map(|_| {
+                    let k = rng.range_usize(1, n_servers + 1);
+                    let mut picked = rng.sample_indices(n_servers, k);
+                    picked.sort_unstable();
+                    picked.into_iter().map(|i| ServerId(i as u16)).collect()
+                })
+                .collect()
+        };
 
         // Arrivals with occasional zero gaps (the shrunken regression
         // scenarios showed simultaneous arrivals are where bugs hide).
@@ -251,6 +384,66 @@ impl OracleScenario {
             }
         });
 
+        // Chain-2 pressure wave, appended once the random prefix has
+        // provably drained (prefix streams last ≤ 200 s plus ≤ 120 s of
+        // pause and ≤ 240 s of waitlist patience; repairs land by
+        // t + 200). Two video-2 arrivals land one each on s1 and s2 by
+        // least-loaded tie-break, then 2·slots − 1 video-1 arrivals fill
+        // s0 and s1 exactly, leaving s2 the only server with room. A
+        // video-0 chaser then fails direct (s0 full) and single-hop
+        // (s1, the only other v1 holder, is full), so admission must
+        // chain: the v2 stream on s1 moves to s2, a v1 stream on s0
+        // moves into the freed s1 slot, and the chaser lands on s0.
+        // Later chasers find no v2 left on s1 and exercise the
+        // reject-implies-no-plan check (queueing when a waitlist runs).
+        if chain2_on {
+            let mut tw = t + 700.0;
+            for _ in 0..2 {
+                trace.push((
+                    SimTime::from_secs(tw),
+                    TraceOp::Arrival {
+                        video: VideoId(2),
+                        size_mb: rng.range_f64(3_000.0, 6_000.0),
+                    },
+                ));
+            }
+            for _ in 0..(2 * slots_per_server - 1) {
+                trace.push((
+                    SimTime::from_secs(tw),
+                    TraceOp::Arrival {
+                        video: VideoId(1),
+                        size_mb: rng.range_f64(3_000.0, 6_000.0),
+                    },
+                ));
+            }
+            for _ in 0..rng.range_usize(1, 4) {
+                tw += 2.0;
+                trace.push((
+                    SimTime::from_secs(tw),
+                    TraceOp::Arrival {
+                        video: VideoId(0),
+                        size_mb: rng.range_f64(3_000.0, 6_000.0),
+                    },
+                ));
+            }
+            t = tw;
+        }
+
+        // Hours-long lone drain: one final viewer whose clip plays for
+        // 2-4 simulated hours after everything else has wound down. The
+        // exact stepper crosses the whole tail in a handful of slices;
+        // the naive spot-check pays duration / Δt.
+        if long_drain {
+            let t_tail = t + 4_000.0;
+            trace.push((
+                SimTime::from_secs(t_tail),
+                TraceOp::Arrival {
+                    video: VideoId(0),
+                    size_mb: rng.range_f64(21_600.0, 43_200.0),
+                },
+            ));
+        }
+
         OracleScenario {
             seed,
             n_servers,
@@ -258,6 +451,7 @@ impl OracleScenario {
             view_rate,
             scheduler,
             migration_on,
+            chain2_on,
             client,
             holders,
             replication,
@@ -269,9 +463,14 @@ impl OracleScenario {
     /// The migration policy this scenario runs under.
     pub fn migration_policy(&self) -> MigrationPolicy {
         if self.migration_on {
+            let base = if self.chain2_on {
+                MigrationPolicy::chain2()
+            } else {
+                MigrationPolicy::single_hop()
+            };
             MigrationPolicy {
                 handoff_latency_secs: 0.0,
-                ..MigrationPolicy::single_hop()
+                ..base
             }
         } else {
             MigrationPolicy::disabled()
@@ -351,6 +550,13 @@ struct RefStream {
     view_rate: f64,
     sent_mb: f64,
     played_secs: f64,
+    /// Kahan compensation terms for `sent_mb` / `played_secs`. The
+    /// exact stepper takes too few slices to drift, but the naive
+    /// spot-check stepper makes ~10⁶ tiny adds over a multi-hour drain
+    /// — enough plain-summation round-off to trip the conservation
+    /// tolerance (`ORACLE_TOL_MB`), so both accumulators compensate.
+    sent_comp: f64,
+    played_comp: f64,
     rate: f64,
     paused: bool,
     client: ClientProfile,
@@ -385,10 +591,16 @@ impl RefStream {
 /// and an independently written spare-bandwidth allocator.
 struct RefCluster {
     scheduler: SchedulerKind,
+    stepper: RefStepper,
     capacity: Vec<f64>,
     online: Vec<bool>,
     streams: Vec<RefStream>,
     clock: SimTime,
+    /// Integration slices performed so far (one per closed-form segment
+    /// in exact mode, one per Δt step in naive mode). Exposed through
+    /// [`OracleOutcome::ref_slices`] so tests can assert the exact
+    /// stepper's slice count is horizon-independent.
+    slices: u64,
     /// Megabits transmitted to streams that have since left the cluster
     /// (finished or dropped). `retired_mb + Σ live sent` is the
     /// conservation ledger; summing per-slice deltas instead would
@@ -397,13 +609,20 @@ struct RefCluster {
 }
 
 impl RefCluster {
-    fn new(n_servers: usize, capacity_mbps: f64, scheduler: SchedulerKind) -> RefCluster {
+    fn new(
+        n_servers: usize,
+        capacity_mbps: f64,
+        scheduler: SchedulerKind,
+        stepper: RefStepper,
+    ) -> RefCluster {
         RefCluster {
             scheduler,
+            stepper,
             capacity: vec![capacity_mbps; n_servers],
             online: vec![true; n_servers],
             streams: Vec::new(),
             clock: SimTime::ZERO,
+            slices: 0,
             retired_mb: 0.0,
         }
     }
@@ -413,22 +632,72 @@ impl RefCluster {
         self.retired_mb + self.streams.iter().map(|s| s.sent_mb).sum::<f64>()
     }
 
-    /// Naive fixed-timestep integration from the internal clock to `t`.
+    /// Integrates from the internal clock to `t`. Per-slice updates are
+    /// the closed forms `sent += min(rate·dt, remaining)` and
+    /// `played = min(played + dt, length)`; both are exact for any `dt`
+    /// that crosses no boundary, so the exact stepper takes one maximal
+    /// boundary-free slice at a time while the naive stepper grinds
+    /// through fixed Δt sub-steps of the very same update.
     fn integrate_to(&mut self, t: SimTime) {
+        // Slice against a compensated local elapsed-time accumulator
+        // rather than `self.clock += step`: a naive multi-hour drain
+        // takes ~10⁶ steps, and plain clock accumulation drifts the
+        // total integrated duration by enough that the closing
+        // `self.clock = t` snap silently drops ~µs of transmission.
+        let total = t - self.clock;
+        let mut advanced = 0.0f64;
+        let mut advanced_comp = 0.0f64;
         loop {
-            let left = t - self.clock;
+            let left = total - advanced;
             if left <= 0.0 {
                 break;
             }
-            let step = ORACLE_DT_SECS.min(left);
+            let step = match self.stepper {
+                RefStepper::Naive { dt_secs } => dt_secs.min(left),
+                RefStepper::Exact => {
+                    let states: Vec<SliceState> = self
+                        .streams
+                        .iter()
+                        .map(|s| SliceState {
+                            rate: s.rate,
+                            remaining_mb: s.remaining_mb(),
+                            paused: s.paused,
+                            play_left_secs: (s.length_secs() - s.played_secs).max(0.0),
+                        })
+                        .collect();
+                    let dt = exact_slice(left, &states);
+                    // Sub-epsilon residues are excluded from the solver,
+                    // so dt > 0 whenever left > 0; the fallback merely
+                    // guards against a denormal-degenerate slice looping.
+                    if dt > 0.0 {
+                        dt
+                    } else {
+                        left
+                    }
+                }
+            };
             for s in &mut self.streams {
                 let delta = (s.rate * step).min(s.remaining_mb());
-                s.sent_mb += delta;
+                let y = delta - s.sent_comp;
+                let sum = s.sent_mb + y;
+                s.sent_comp = (sum - s.sent_mb) - y;
+                s.sent_mb = sum;
                 if !s.paused {
-                    s.played_secs = (s.played_secs + step).min(s.length_secs());
+                    let y = step - s.played_comp;
+                    let sum = s.played_secs + y;
+                    s.played_comp = (sum - s.played_secs) - y;
+                    s.played_secs = sum;
+                    if s.played_secs >= s.length_secs() {
+                        s.played_secs = s.length_secs();
+                        s.played_comp = 0.0;
+                    }
                 }
             }
-            self.clock += step;
+            self.slices += 1;
+            let y = step - advanced_comp;
+            let sum = advanced + y;
+            advanced_comp = (sum - advanced) - y;
+            advanced = sum;
         }
         self.clock = t;
     }
@@ -562,6 +831,56 @@ macro_rules! diverge {
             detail: format!($($arg)+),
         }))
     };
+}
+
+/// Mirrors one migration hop in the reference: `victim` must be known,
+/// must live on `from`, and `to` must hold its video; its reference
+/// placement then moves to `to`. Shared by single-hop admissions,
+/// chain-2 admissions (two calls, inner hop first — the order the
+/// controller applies them), and assisted waitlist serves.
+fn mirror_relocation(
+    seed: u64,
+    now: SimTime,
+    reference: &mut RefCluster,
+    map: &ReplicaMap,
+    victim: StreamId,
+    from: ServerId,
+    to: ServerId,
+) -> Result<(), Box<Divergence>> {
+    let Some(vi) = reference.find(victim) else {
+        diverge!(
+            seed,
+            now,
+            Some(victim),
+            Some(from),
+            DivergenceKind::StreamSet,
+            "migration victim unknown to the reference"
+        );
+    };
+    let v = &mut reference.streams[vi];
+    if v.server != from.index() {
+        diverge!(
+            seed,
+            now,
+            Some(victim),
+            Some(from),
+            DivergenceKind::Admission,
+            "victim lived on server {} per the reference",
+            v.server
+        );
+    }
+    if !map.holds(to, v.video) {
+        diverge!(
+            seed,
+            now,
+            Some(victim),
+            Some(to),
+            DivergenceKind::Admission,
+            "victim moved to a non-holder of its video"
+        );
+    }
+    v.server = to.index();
+    Ok(())
 }
 
 /// Standalone invariant audit of live engines — the half of the oracle
@@ -807,8 +1126,12 @@ pub struct OracleOutcome {
     pub arrivals: u64,
     /// Requests placed directly.
     pub accepted_direct: u64,
-    /// Requests placed by migrating a victim.
+    /// Requests placed by migrating a victim (single hop).
     pub accepted_via_migration: u64,
+    /// Placements that needed a two-step migration chain — arrivals
+    /// admitted [`Admission::WithChain`] plus chain-assisted waiter
+    /// serves.
+    pub accepted_via_chain: u64,
     /// Requests turned away.
     pub rejected: u64,
     /// Streams that finished transmission during the replay (viewer
@@ -827,8 +1150,17 @@ pub struct OracleOutcome {
     pub waiters_served: u64,
     /// Waiters dropped because their patience ran out.
     pub waiters_expired: u64,
+    /// Waiters served only after a migration or chain was performed on
+    /// their behalf (chain-2 scenarios route waitlist serving through
+    /// the full admission path).
+    pub waiters_assisted: u64,
     /// Cross-checks performed (one per event boundary).
     pub checks: u64,
+    /// Integration slices the reference performed over the whole replay.
+    /// Under [`RefStepper::Exact`] this is O(#events), independent of
+    /// simulated duration; under [`RefStepper::Naive`] it grows like
+    /// duration / Δt.
+    pub ref_slices: u64,
 }
 
 /// A deliberately injected allocator fault, for oracle self-tests: from
@@ -847,17 +1179,35 @@ pub struct FaultInjection {
 }
 
 /// Replays `scenario` through the event-driven engines + controller while
-/// the naive reference integrates alongside, cross-checking at every
-/// event boundary. Returns the first [`Divergence`] found, or the replay
-/// counters if the two simulators agree throughout.
+/// the reference integrates alongside, cross-checking at every event
+/// boundary. Returns the first [`Divergence`] found, or the replay
+/// counters if the two simulators agree throughout. Integrates with
+/// [`default_stepper`].
 pub fn run_differential(scenario: &OracleScenario) -> Result<OracleOutcome, Box<Divergence>> {
-    run_differential_with_fault(scenario, None)
+    run_differential_full(scenario, None, default_stepper())
 }
 
 /// [`run_differential`] with an optional injected allocator fault.
 pub fn run_differential_with_fault(
     scenario: &OracleScenario,
     fault: Option<FaultInjection>,
+) -> Result<OracleOutcome, Box<Divergence>> {
+    run_differential_full(scenario, fault, default_stepper())
+}
+
+/// [`run_differential`] under an explicit reference stepper, for
+/// exact-vs-naive agreement tests and the stepper bench.
+pub fn run_differential_with_stepper(
+    scenario: &OracleScenario,
+    stepper: RefStepper,
+) -> Result<OracleOutcome, Box<Divergence>> {
+    run_differential_full(scenario, None, stepper)
+}
+
+fn run_differential_full(
+    scenario: &OracleScenario,
+    fault: Option<FaultInjection>,
+    stepper: RefStepper,
 ) -> Result<OracleOutcome, Box<Divergence>> {
     let seed = scenario.seed;
     let view = scenario.view_rate;
@@ -882,7 +1232,11 @@ pub fn run_differential_with_fault(
     let mut replication = scenario.replication.map(ReplicationManager::new);
     let mut waitlist = scenario.waitlist.map(Waitlist::new);
     let mut rng = Rng::new(seed).fork(0xD1FF);
-    let mut reference = RefCluster::new(scenario.n_servers, capacity, scenario.scheduler);
+    let mut reference = RefCluster::new(scenario.n_servers, capacity, scenario.scheduler, stepper);
+    // Chain-2 scenarios serve the waitlist through the full admission
+    // path (direct → migration → chain); otherwise serving is
+    // direct-placement only, as in the production simulation.
+    let assisted_serving = scenario.chain2_on;
     let mut out = OracleOutcome::default();
     let mut accepted_seen: u64 = 0;
     let mut next_id: u64 = 0;
@@ -901,7 +1255,64 @@ pub fn run_differential_with_fault(
         ($now:expr) => {
             if let Some(wl) = waitlist.as_mut() {
                 out.waiters_expired += wl.expire($now) as u64;
-                let serve = wl.try_serve(&mut engines, &map, $now);
+                let serve = if assisted_serving {
+                    wl.try_serve_admitting(&mut controller, &mut engines, &map, $now, &mut rng)
+                } else {
+                    wl.try_serve(&mut engines, &map, $now)
+                };
+                // Migrations / chains performed on a waiter's behalf move
+                // victims before the waiter's own stream appears; mirror
+                // them first so the placement checks below see the
+                // post-assist reference layout.
+                for (wid, assist) in &serve.assists {
+                    out.waiters_assisted += 1;
+                    match assist {
+                        Admission::WithMigration { server, victim, to } => {
+                            mirror_relocation(
+                                seed,
+                                $now,
+                                &mut reference,
+                                &map,
+                                *victim,
+                                *server,
+                                *to,
+                            )?;
+                        }
+                        Admission::WithChain {
+                            server,
+                            first,
+                            second,
+                        } => {
+                            out.accepted_via_chain += 1;
+                            mirror_relocation(
+                                seed,
+                                $now,
+                                &mut reference,
+                                &map,
+                                second.0,
+                                first.1,
+                                second.1,
+                            )?;
+                            mirror_relocation(
+                                seed,
+                                $now,
+                                &mut reference,
+                                &map,
+                                first.0,
+                                *server,
+                                first.1,
+                            )?;
+                        }
+                        _ => diverge!(
+                            seed,
+                            $now,
+                            Some(*wid),
+                            None,
+                            DivergenceKind::Admission,
+                            "direct or rejected serve reported as an assist"
+                        ),
+                    }
+                }
                 for w in &serve.served {
                     out.waiters_served += 1;
                     if !map.holds(w.server, w.video) {
@@ -937,6 +1348,8 @@ pub fn run_differential_with_fault(
                             view_rate: s.view_rate,
                             sent_mb: 0.0,
                             played_secs: 0.0,
+                            sent_comp: 0.0,
+                            played_comp: 0.0,
                             rate: 0.0,
                             paused: false,
                             client: s.client,
@@ -1057,6 +1470,15 @@ pub fn run_differential_with_fault(
                     .iter()
                     .copied()
                     .min_by_key(|s| (engines[s.index()].active_count(), *s));
+                // The deterministic depth-2 plan on the pre-admission
+                // state: a `WithChain` outcome must equal it exactly,
+                // and a rejection under a chain-2 policy implies none
+                // existed.
+                let expected_chain = if scenario.migration_on && scenario.chain2_on {
+                    controller.chain2_plan(*video, &engines, &map, now)
+                } else {
+                    None
+                };
                 let (admission, touched) =
                     controller.admit(stream, &mut engines, &map, now, &mut rng);
                 match admission {
@@ -1080,6 +1502,8 @@ pub fn run_differential_with_fault(
                             view_rate: view,
                             sent_mb: 0.0,
                             played_secs: 0.0,
+                            sent_comp: 0.0,
+                            played_comp: 0.0,
                             rate: 0.0,
                             paused: false,
                             client: scenario.client,
@@ -1107,39 +1531,7 @@ pub fn run_differential_with_fault(
                                 "migrated although a direct slot existed on {expected_direct:?}"
                             );
                         }
-                        let Some(vi) = reference.find(victim) else {
-                            diverge!(
-                                seed,
-                                now,
-                                Some(victim),
-                                Some(server),
-                                DivergenceKind::StreamSet,
-                                "migration victim unknown to the reference"
-                            );
-                        };
-                        let v = &mut reference.streams[vi];
-                        if v.server != server.index() {
-                            diverge!(
-                                seed,
-                                now,
-                                Some(victim),
-                                Some(server),
-                                DivergenceKind::Admission,
-                                "victim lived on server {} per the reference",
-                                v.server
-                            );
-                        }
-                        if !map.holds(to, v.video) {
-                            diverge!(
-                                seed,
-                                now,
-                                Some(victim),
-                                Some(to),
-                                DivergenceKind::Admission,
-                                "victim moved to a non-holder of its video"
-                            );
-                        }
-                        v.server = to.index();
+                        mirror_relocation(seed, now, &mut reference, &map, victim, server, to)?;
                         reference.streams.push(RefStream {
                             id,
                             video: *video,
@@ -1148,20 +1540,88 @@ pub fn run_differential_with_fault(
                             view_rate: view,
                             sent_mb: 0.0,
                             played_secs: 0.0,
+                            sent_comp: 0.0,
+                            played_comp: 0.0,
                             rate: 0.0,
                             paused: false,
                             client: scenario.client,
                         });
                     }
-                    Admission::WithChain { server, .. } => {
-                        diverge!(
+                    Admission::WithChain {
+                        server,
+                        first,
+                        second,
+                    } => {
+                        out.accepted_via_chain += 1;
+                        if scenario.migration_policy().max_chain_length < 2 {
+                            diverge!(
+                                seed,
+                                now,
+                                Some(id),
+                                Some(server),
+                                DivergenceKind::Admission,
+                                "chain migration under a chain-1 policy"
+                            );
+                        }
+                        if expected_direct.is_some() {
+                            diverge!(
+                                seed,
+                                now,
+                                Some(id),
+                                Some(server),
+                                DivergenceKind::Admission,
+                                "chained although a direct slot existed on {expected_direct:?}"
+                            );
+                        }
+                        if expected_chain != Some((server, first, second)) {
+                            diverge!(
+                                seed,
+                                now,
+                                Some(id),
+                                Some(server),
+                                DivergenceKind::Admission,
+                                "chain {:?} does not match the deterministic plan {:?}",
+                                (server, first, second),
+                                expected_chain
+                            );
+                        }
+                        // The controller clears room on `first.1` before
+                        // moving the first victim there; mirror the hops
+                        // in the same inner-first order so each
+                        // relocation's placement checks see a legal
+                        // intermediate state.
+                        mirror_relocation(
                             seed,
                             now,
-                            Some(id),
-                            Some(server),
-                            DivergenceKind::Admission,
-                            "chain migration at chain length 1"
-                        );
+                            &mut reference,
+                            &map,
+                            second.0,
+                            first.1,
+                            second.1,
+                        )?;
+                        mirror_relocation(
+                            seed,
+                            now,
+                            &mut reference,
+                            &map,
+                            first.0,
+                            server,
+                            first.1,
+                        )?;
+                        reference.streams.push(RefStream {
+                            id,
+                            video: *video,
+                            server: server.index(),
+                            size_mb: *size_mb,
+                            view_rate: view,
+                            sent_mb: 0.0,
+                            played_secs: 0.0,
+                            sent_comp: 0.0,
+                            played_comp: 0.0,
+                            rate: 0.0,
+                            paused: false,
+                            client: scenario.client,
+                        });
                     }
                     Admission::Rejected => {
                         out.rejected += 1;
@@ -1173,6 +1633,17 @@ pub fn run_differential_with_fault(
                                 Some(s),
                                 DivergenceKind::Admission,
                                 "rejected although {s} had a free slot"
+                            );
+                        }
+                        if expected_chain.is_some() {
+                            diverge!(
+                                seed,
+                                now,
+                                Some(id),
+                                None,
+                                DivergenceKind::Admission,
+                                "rejected although the two-step chain {expected_chain:?} \
+                                 was available"
                             );
                         }
                         // A turned-away viewer queues up (bounced when the
@@ -1323,6 +1794,8 @@ pub fn run_differential_with_fault(
                             view_rate: copy_rate,
                             sent_mb: 0.0,
                             played_secs: 0.0,
+                            sent_comp: 0.0,
+                            played_comp: 0.0,
                             rate: 0.0,
                             paused: false,
                             client: ClientProfile::new(f64::INFINITY, copy_rate),
@@ -1403,7 +1876,105 @@ pub fn run_differential_with_fault(
     // Let every remaining stream run to completion.
     let far = trace.last().map(|(t, _)| *t).unwrap_or(SimTime::ZERO) + 1.0e7;
     drain_until!(far);
+    out.ref_slices = reference.slices;
     Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Divergence shrinking
+// ---------------------------------------------------------------------------
+
+/// `true` when every [`TraceOp::Fail`] lands on an online server and
+/// every [`TraceOp::Repair`] on a failed one — the engines assert on
+/// double faults, so trace shrinking must never produce an unpaired op.
+fn trace_valid(trace: &[(SimTime, TraceOp)], n_servers: usize) -> bool {
+    let mut online = vec![true; n_servers];
+    for (_, op) in trace {
+        match op {
+            TraceOp::Fail(s) => {
+                if s.index() >= n_servers || !online[s.index()] {
+                    return false;
+                }
+                online[s.index()] = false;
+            }
+            TraceOp::Repair(s) => {
+                if s.index() >= n_servers || online[s.index()] {
+                    return false;
+                }
+                online[s.index()] = true;
+            }
+            _ => {}
+        }
+    }
+    true
+}
+
+/// Shrinks a diverging scenario's trace while `check` keeps reporting a
+/// divergence: first drops every op strictly after the divergence time,
+/// then delta-debugs the rest with halving chunk sizes down to single
+/// ops, skipping candidates that would unpair a fail/repair. Returns the
+/// locally minimal scenario together with its divergence, or `None` when
+/// `check` already passes on the input. The surviving divergence may
+/// differ in kind or time from the original — any reproducible
+/// divergence is an acceptable shrink target.
+pub fn shrink_trace<F>(
+    scenario: &OracleScenario,
+    mut check: F,
+) -> Option<(OracleScenario, Box<Divergence>)>
+where
+    F: FnMut(&OracleScenario) -> Option<Box<Divergence>>,
+{
+    let mut best = scenario.clone();
+    let mut div = check(&best)?;
+    // Ops strictly after the divergence time cannot have contributed.
+    let cut: Vec<(SimTime, TraceOp)> = best
+        .trace
+        .iter()
+        .filter(|(t, _)| *t <= div.time)
+        .cloned()
+        .collect();
+    if cut.len() < best.trace.len() && trace_valid(&cut, best.n_servers) {
+        let mut cand = best.clone();
+        cand.trace = cut;
+        if let Some(d) = check(&cand) {
+            best = cand;
+            div = d;
+        }
+    }
+    let mut chunk = best.trace.len().div_ceil(2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < best.trace.len() {
+            let end = (start + chunk).min(best.trace.len());
+            let mut cand = best.clone();
+            cand.trace.drain(start..end);
+            if trace_valid(&cand.trace, cand.n_servers) {
+                if let Some(d) = check(&cand) {
+                    best = cand;
+                    div = d;
+                    progressed = true;
+                    // The window now frames fresh ops; retry it.
+                    continue;
+                }
+            }
+            start = end;
+        }
+        if chunk > 1 {
+            chunk = chunk.div_ceil(2).max(1);
+        } else if !progressed {
+            break;
+        }
+    }
+    Some((best, div))
+}
+
+/// [`shrink_trace`] against the plain differential replay: reduces a
+/// diverging scenario to a locally minimal reproduction whose report is
+/// the replayable (seed, time, stream) triple to file. `None` when the
+/// scenario replays clean.
+pub fn shrink_divergence(scenario: &OracleScenario) -> Option<(OracleScenario, Box<Divergence>)> {
+    shrink_trace(scenario, |sc| run_differential(sc).err())
 }
 
 #[cfg(test)]
@@ -1418,6 +1989,120 @@ mod tests {
                 panic!("{d}");
             }
         }
+    }
+
+    #[test]
+    fn exact_slice_stops_at_the_nearest_crossing() {
+        let streams = [
+            SliceState {
+                rate: 3.0,
+                remaining_mb: 9.0,
+                paused: false,
+                play_left_secs: 10.0,
+            },
+            // Paused with nothing to send: contributes no crossing.
+            SliceState {
+                rate: 0.0,
+                remaining_mb: 5.0,
+                paused: true,
+                play_left_secs: 2.0,
+            },
+            SliceState {
+                rate: 6.0,
+                remaining_mb: 1.5,
+                paused: false,
+                play_left_secs: 0.5,
+            },
+        ];
+        // Nearest boundary: stream 2 finishes transmitting at 0.25 s.
+        assert_eq!(exact_slice(100.0, &streams), 0.25);
+        // Never steps past the event horizon.
+        assert_eq!(exact_slice(0.1, &streams), 0.1);
+        // No streams: one slice to the horizon.
+        assert_eq!(exact_slice(100.0, &[]), 100.0);
+        // Sub-epsilon residues are treated as already crossed.
+        let residue = [SliceState {
+            rate: 3.0,
+            remaining_mb: EPS_MB / 2.0,
+            paused: false,
+            play_left_secs: EPS_SECS / 2.0,
+        }];
+        assert_eq!(exact_slice(7.0, &residue), 7.0);
+    }
+
+    #[test]
+    fn exact_and_naive_steppers_agree() {
+        // Seeds ≥ 64 skip the long-drain tail, keeping the naive replay
+        // affordable at Δt = 10 ms. 68 has migration + chain-2 armed.
+        for seed in [64, 68, 81] {
+            let sc = OracleScenario::generate(seed);
+            let exact = run_differential_with_stepper(&sc, RefStepper::Exact)
+                .unwrap_or_else(|d| panic!("exact: {d}"));
+            let naive = run_differential_with_stepper(
+                &sc,
+                RefStepper::Naive {
+                    dt_secs: ORACLE_DT_SECS,
+                },
+            )
+            .unwrap_or_else(|d| panic!("naive: {d}"));
+            // Everything except the slice count must match exactly: both
+            // steppers apply identical closed-form updates, only sliced
+            // differently.
+            let mut naive_counters = naive;
+            naive_counters.ref_slices = exact.ref_slices;
+            assert_eq!(exact, naive_counters, "seed {seed}");
+            assert!(
+                exact.ref_slices < naive.ref_slices,
+                "seed {seed}: exact took {} slices, naive {}",
+                exact.ref_slices,
+                naive.ref_slices
+            );
+        }
+    }
+
+    #[test]
+    fn chain2_scenarios_exercise_chains() {
+        // Seeds 0..32 form the chain-armed block: every migration-on
+        // seed in it generates the ring topology plus pressure wave.
+        let mut chained = 0;
+        for seed in 0..32 {
+            let sc = OracleScenario::generate(seed);
+            if !sc.chain2_on {
+                continue;
+            }
+            let out = run_differential(&sc).unwrap_or_else(|d| panic!("{d}"));
+            chained += out.accepted_via_chain;
+        }
+        assert!(chained > 0, "no chain-2 admission across the chain block");
+    }
+
+    #[test]
+    fn shrinker_reduces_an_injected_divergence() {
+        let sc = OracleScenario::generate(0);
+        let fault = FaultInjection {
+            at_arrival: 0,
+            delta_mbps: 1.5,
+        };
+        let (min, d) = shrink_trace(&sc, |s| run_differential_with_fault(s, Some(fault)).err())
+            .expect("an injected fault must diverge");
+        assert!(min.trace.len() < sc.trace.len(), "nothing was shrunk");
+        assert!(
+            min.trace.len() <= 3,
+            "expected a near-minimal trace, got {} ops",
+            min.trace.len()
+        );
+        // The shrunken scenario replays to the reported divergence.
+        let replay = run_differential_with_fault(&min, Some(fault))
+            .expect_err("shrunken scenario must still diverge");
+        assert_eq!(replay.seed, d.seed);
+        assert_eq!(replay.time, d.time);
+        assert_eq!(replay.kind, d.kind);
+    }
+
+    #[test]
+    fn shrinker_returns_none_on_clean_scenarios() {
+        let sc = OracleScenario::generate(1);
+        assert!(shrink_divergence(&sc).is_none());
     }
 
     #[test]

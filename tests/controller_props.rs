@@ -20,6 +20,8 @@ struct Scenario {
     /// Arrival sequence: (gap seconds, video index, size Mb).
     arrivals: Vec<(f64, usize, f64)>,
     migration_on: bool,
+    /// Two-step chains allowed (`max_chain_length = 2`)?
+    chain2: bool,
     hops: u32,
     victim: usize,
     seed: u64,
@@ -33,17 +35,19 @@ fn scenario() -> impl Strategy<Value = Scenario> {
                 prop::collection::vec(1u8..(1 << n_servers) as u8, nv..=nv),
                 prop::collection::vec((0.0f64..40.0, 0..nv, 60.0f64..900.0), 1..80),
                 prop::bool::ANY,
+                prop::bool::ANY,
                 0u32..3,
                 0usize..4,
                 any::<u64>(),
             )
                 .prop_map(
-                    move |(videos, arrivals, migration_on, hops, victim, seed)| Scenario {
+                    move |(videos, arrivals, migration_on, chain2, hops, victim, seed)| Scenario {
                         n_servers,
                         slots,
                         videos,
                         arrivals,
                         migration_on,
+                        chain2,
                         hops,
                         victim,
                         seed,
@@ -87,10 +91,10 @@ proptest! {
         let map = ReplicaMap::from_holders(sc.n_servers, holders);
         let migration = MigrationPolicy {
             enabled: sc.migration_on,
+            max_chain_length: if sc.chain2 { 2 } else { 1 },
             max_hops_per_request: Some(sc.hops),
             handoff_latency_secs: 0.0,
             victim_selection: victim_by_index(sc.victim),
-            ..MigrationPolicy::single_hop()
         };
         let mut controller = Controller::new(AssignmentPolicy::LeastLoaded, migration);
         let mut rng = Rng::new(sc.seed);
@@ -165,13 +169,25 @@ proptest! {
                     );
                 }
             }
-            if let Admission::WithMigration { .. } = admission {
-                prop_assert!(sc.migration_on, "migration fired while disabled");
+            match admission {
+                Admission::WithMigration { .. } => {
+                    prop_assert!(sc.migration_on, "migration fired while disabled");
+                }
+                Admission::WithChain { .. } => {
+                    prop_assert!(
+                        sc.migration_on && sc.chain2,
+                        "chain fired outside a chain-2 policy"
+                    );
+                }
+                _ => {}
             }
         }
         prop_assert_eq!(controller.stats.arrivals, sc.arrivals.len() as u64);
         if !sc.migration_on {
             prop_assert_eq!(controller.stats.accepted_via_migration, 0);
+        }
+        if !(sc.migration_on && sc.chain2) {
+            prop_assert_eq!(controller.stats.chain2_migrations, 0);
         }
     }
 }

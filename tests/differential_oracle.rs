@@ -1,23 +1,39 @@
-//! Differential testing: the event-driven simulator vs the naive
-//! fixed-timestep reference oracle (`sct_core::oracle`).
+//! Differential testing: the event-driven simulator vs the independent
+//! reference oracle (`sct_core::oracle`).
 //!
 //! Every scenario replays the same arrival/failure trace through both
 //! simulators and cross-checks per-stream sent volumes, rates, and staging
 //! occupancy, per-server commitment ledgers, admission legality, the
 //! minimum-flow guarantee, and global data conservation at every event
 //! boundary. A failure prints a replayable `(seed, time, stream)` triple.
+//!
+//! The reference integrates with the exact event-boundary stepper by
+//! default; [`exact_and_naive_steppers_agree_across_the_matrix`] replays
+//! the whole matrix under the fixed-Δt spot-check at a shrinking ladder
+//! of step sizes and demands identical outcomes.
 
 use sct_admission::{CopySource, ReplicationSpec, WaitlistSpec};
 use sct_cluster::ServerId;
 use sct_core::oracle::{
-    run_differential, run_differential_with_fault, FaultInjection, OracleScenario, TraceOp,
+    default_stepper, run_differential, run_differential_with_fault, run_differential_with_stepper,
+    FaultInjection, OracleScenario, RefStepper, TraceOp, ORACLE_DT_SECS,
 };
 use sct_media::{ClientProfile, VideoId};
 use sct_simcore::SimTime;
 use sct_transmission::{SchedulerKind, StreamId};
 
+/// `true` when the generator appended the hours-long lone-drain tail
+/// (bit 6 of the seed): one clip of at least 21 600 Mb (2 h at the
+/// 3 Mb/s view rate).
+fn has_long_drain(sc: &OracleScenario) -> bool {
+    sc.trace
+        .iter()
+        .any(|(_, op)| matches!(op, TraceOp::Arrival { size_mb, .. } if *size_mb >= 21_600.0))
+}
+
 /// The acceptance bar from the issue: at least 100 random scenarios, all
-/// four scheduler kinds, migration both on and off, zero divergences.
+/// four scheduler kinds, migration both on and off, chains armed and
+/// not, zero divergences.
 #[test]
 fn random_scenarios_produce_zero_divergences() {
     let mut combo_seen = [false; 8];
@@ -30,6 +46,9 @@ fn random_scenarios_produce_zero_divergences() {
     let mut waitlist_scenarios = 0u64;
     let mut waitlisted = 0u64;
     let mut waiters_served = 0u64;
+    let mut chain_scenarios = 0u64;
+    let mut chained = 0u64;
+    let mut long_drain_scenarios = 0u64;
     for seed in 0..104u64 {
         let sc = OracleScenario::generate(seed);
         let combo = (seed % 4) as usize * 2 + usize::from(sc.migration_on);
@@ -43,14 +62,30 @@ fn random_scenarios_produce_zero_divergences() {
         }
         copy_scenarios += u64::from(sc.replication.is_some());
         waitlist_scenarios += u64::from(sc.waitlist.is_some());
+        chain_scenarios += u64::from(sc.chain2_on);
+        long_drain_scenarios += u64::from(has_long_drain(&sc));
         match run_differential(&sc) {
             Ok(out) => {
                 arrivals += out.arrivals;
-                accepted += out.accepted_direct + out.accepted_via_migration;
+                accepted +=
+                    out.accepted_direct + out.accepted_via_migration + out.accepted_via_chain;
                 pauses_applied += out.pauses_applied;
                 copies_completed += out.copies_completed;
                 waitlisted += out.waitlisted;
                 waiters_served += out.waiters_served;
+                chained += out.accepted_via_chain;
+                if default_stepper() == RefStepper::Exact {
+                    // One closed-form slice per boundary plus at most two
+                    // crossings per live stream: the slice count is
+                    // bounded by the event count, never by simulated
+                    // duration — hours-long drains included.
+                    assert!(
+                        out.ref_slices <= 64 * (out.checks + 1),
+                        "seed {seed}: {} slices for {} checks",
+                        out.ref_slices,
+                        out.checks
+                    );
+                }
             }
             Err(d) => panic!("{d}"),
         }
@@ -93,6 +128,51 @@ fn random_scenarios_produce_zero_divergences() {
         "the waitlist never served anyone across the matrix \
          (queued {waitlisted}, served {waiters_served})"
     );
+    // The chain-2 axis (bit 5) must be represented and must actually
+    // fire: at least one arrival or assisted waiter placed by a
+    // two-step chain somewhere in the matrix.
+    assert!(
+        chain_scenarios >= 104 / 4,
+        "only {chain_scenarios}/104 scenarios armed two-step chains"
+    );
+    assert!(
+        chained > 0,
+        "no two-step migration chain ever fired across the matrix"
+    );
+    // The long-drain axis (bit 6) keeps multi-hour horizons in the
+    // default matrix — affordable only because the exact stepper's cost
+    // is horizon-independent.
+    assert!(
+        long_drain_scenarios >= 104 / 4,
+        "only {long_drain_scenarios}/104 scenarios carried a long drain"
+    );
+}
+
+/// Exact-vs-naive stepper agreement over the full matrix, with the naive
+/// Δt shrinking toward zero on an affordable subset: the per-slice
+/// updates are closed forms, so outcomes must be *identical* at every
+/// ladder rung (volume comparisons are cross-checked inside the replay
+/// to [`sct_core::oracle::ORACLE_TOL_MB`]), not merely convergent.
+#[test]
+fn exact_and_naive_steppers_agree_across_the_matrix() {
+    for seed in 0..104u64 {
+        let sc = OracleScenario::generate(seed);
+        let exact = run_differential_with_stepper(&sc, RefStepper::Exact)
+            .unwrap_or_else(|d| panic!("seed {seed} exact: {d}"));
+        // Coarse rungs everywhere; the production 10 ms step only where
+        // the horizon stays short (seeds ≥ 64 carry no multi-hour tail).
+        let mut ladder = vec![0.64, 0.31];
+        if seed >= 64 && seed.is_multiple_of(4) {
+            ladder.push(ORACLE_DT_SECS);
+        }
+        for dt_secs in ladder {
+            let naive = run_differential_with_stepper(&sc, RefStepper::Naive { dt_secs })
+                .unwrap_or_else(|d| panic!("seed {seed} naive Δt={dt_secs}: {d}"));
+            let mut counters = naive;
+            counters.ref_slices = exact.ref_slices;
+            assert_eq!(exact, counters, "seed {seed} Δt={dt_secs}");
+        }
+    }
 }
 
 /// Pause/resume semantics pinned down on a hand-built trace: a paused
@@ -109,6 +189,7 @@ fn pinned_pause_resume_scenario_passes_the_oracle() {
             view_rate: 3.0,
             scheduler,
             migration_on: false,
+            chain2_on: false,
             client: ClientProfile::no_staging(30.0),
             holders: vec![vec![ServerId(0)], vec![ServerId(0), ServerId(1)]],
             replication: None,
@@ -162,6 +243,7 @@ fn controller_props_regression_scenario_passes_the_oracle() {
         view_rate: 3.0,
         scheduler: SchedulerKind::Eftf,
         migration_on: false,
+        chain2_on: false,
         client: ClientProfile::new(300.0, 30.0),
         holders: vec![vec![ServerId(0)], vec![ServerId(1)]],
         replication: None,
@@ -234,6 +316,7 @@ fn theorem1_regression_scenario_passes_the_oracle() {
             view_rate: 3.0,
             scheduler,
             migration_on: false,
+            chain2_on: false,
             client: ClientProfile::unbounded(),
             holders: (0..reqs.len()).map(|_| vec![ServerId(0)]).collect(),
             replication: None,
@@ -360,6 +443,7 @@ fn pinned_replication_copy_scenario_passes_the_oracle() {
             view_rate: 3.0,
             scheduler,
             migration_on: false,
+            chain2_on: false,
             client: ClientProfile::no_staging(30.0),
             holders: vec![vec![ServerId(0)]],
             replication: Some(ReplicationSpec {
@@ -408,6 +492,7 @@ fn pinned_waitlist_serve_scenario_passes_the_oracle() {
             view_rate: 3.0,
             scheduler,
             migration_on: false,
+            chain2_on: false,
             client: ClientProfile::no_staging(30.0),
             holders: vec![vec![ServerId(0)]],
             replication: None,
@@ -431,5 +516,132 @@ fn pinned_waitlist_serve_scenario_passes_the_oracle() {
         );
         assert_eq!(out.waiters_expired, 0, "{scheduler:?}");
         assert_eq!(out.completions, 4, "{scheduler:?}");
+    }
+}
+
+/// Migration-triggered chain-2 pinned on a hand-built trace. Ring
+/// topology — v0 on {s0}, v1 on {s0, s1}, v2 on {s1, s2} — with s0 and
+/// s1 filled exactly (three v1 clips on s0; two v1 plus one v2 on s1)
+/// and two free slots on s2. The v0 arrival then fails direct (s0 full)
+/// and single-hop (s1, the only other v1 holder, is full), so admission
+/// must chain: the v2 victim moves s1 → s2, a v1 victim moves s0 → s1,
+/// and the arrival lands on s0. The oracle mirrors both hops and checks
+/// them against the controller's deterministic depth-2 plan.
+#[test]
+fn pinned_chain2_migration_scenario_passes_the_oracle() {
+    for scheduler in SchedulerKind::ALL {
+        let arrival = |t: f64, video: u32, size_mb: f64| {
+            (
+                SimTime::from_secs(t),
+                TraceOp::Arrival {
+                    video: VideoId(video),
+                    size_mb,
+                },
+            )
+        };
+        let mut trace = vec![arrival(0.0, 2, 600.0), arrival(0.0, 2, 600.0)];
+        for _ in 0..5 {
+            trace.push(arrival(0.0, 1, 600.0));
+        }
+        trace.push(arrival(1.0, 0, 60.0));
+        let sc = OracleScenario {
+            seed: 0xC4A12,
+            n_servers: 3,
+            slots_per_server: 3,
+            view_rate: 3.0,
+            scheduler,
+            migration_on: true,
+            chain2_on: true,
+            client: ClientProfile::no_staging(30.0),
+            holders: vec![
+                vec![ServerId(0)],
+                vec![ServerId(0), ServerId(1)],
+                vec![ServerId(1), ServerId(2)],
+            ],
+            replication: None,
+            waitlist: None,
+            trace,
+        };
+        let out = run_differential(&sc).unwrap_or_else(|d| panic!("{scheduler:?}: {d}"));
+        assert_eq!(out.arrivals, 8, "{scheduler:?}");
+        assert_eq!(out.accepted_direct, 7, "{scheduler:?}");
+        assert_eq!(out.accepted_via_migration, 0, "{scheduler:?}");
+        assert_eq!(
+            out.accepted_via_chain, 1,
+            "{scheduler:?}: the v0 arrival needs the two-step chain"
+        );
+        assert_eq!(out.rejected, 0, "{scheduler:?}");
+        assert_eq!(out.completions, 8, "{scheduler:?}");
+    }
+}
+
+/// Waitlist-triggered chain-2 pinned on a hand-built trace. Same ring
+/// topology with two slots per server; at t = 0 the v0 waiter's chain is
+/// blocked because s2 is full too, so it queues. At t = 20 the short v2
+/// clip on s2 finishes, the departure triggers waitlist service through
+/// the full admission path, and the waiter is placed by a fresh chain
+/// (v2: s1 → s2, v1: s0 → s1, waiter → s0) — an assisted serve the
+/// reference mirrors hop by hop.
+#[test]
+fn pinned_chain2_waitlist_scenario_passes_the_oracle() {
+    for scheduler in SchedulerKind::ALL {
+        let arrival = |t: f64, video: u32, size_mb: f64| {
+            (
+                SimTime::from_secs(t),
+                TraceOp::Arrival {
+                    video: VideoId(video),
+                    size_mb,
+                },
+            )
+        };
+        let sc = OracleScenario {
+            seed: 0xC4A13,
+            n_servers: 3,
+            slots_per_server: 2,
+            view_rate: 3.0,
+            scheduler,
+            migration_on: true,
+            chain2_on: true,
+            client: ClientProfile::no_staging(30.0),
+            holders: vec![
+                vec![ServerId(0)],
+                vec![ServerId(0), ServerId(1)],
+                vec![ServerId(1), ServerId(2)],
+            ],
+            replication: None,
+            waitlist: Some(WaitlistSpec::new(60.0, 4)),
+            trace: vec![
+                // Least-loaded placement alternates v2 clips s1, s2,
+                // s1, s2; the 60 Mb clip on s2 departs at t = 20.
+                arrival(0.0, 2, 600.0),
+                arrival(0.0, 2, 60.0),
+                arrival(0.0, 2, 600.0),
+                arrival(0.0, 2, 600.0),
+                // Two v1 clips fill s0.
+                arrival(0.0, 1, 600.0),
+                arrival(0.0, 1, 600.0),
+                // Every server full, every chain blocked: queue up.
+                arrival(1.0, 0, 60.0),
+            ],
+        };
+        let out = run_differential(&sc).unwrap_or_else(|d| panic!("{scheduler:?}: {d}"));
+        assert_eq!(out.arrivals, 7, "{scheduler:?}");
+        assert_eq!(out.accepted_direct, 6, "{scheduler:?}");
+        assert_eq!(out.rejected, 1, "{scheduler:?}");
+        assert_eq!(out.waitlisted, 1, "{scheduler:?}");
+        assert_eq!(
+            out.waiters_served, 1,
+            "{scheduler:?}: the departure at t = 20 must free the chain"
+        );
+        assert_eq!(
+            out.waiters_assisted, 1,
+            "{scheduler:?}: the serve must go through the admission path"
+        );
+        assert_eq!(
+            out.accepted_via_chain, 1,
+            "{scheduler:?}: the assisted serve must be a two-step chain"
+        );
+        assert_eq!(out.waiters_expired, 0, "{scheduler:?}");
+        assert_eq!(out.completions, 7, "{scheduler:?}");
     }
 }

@@ -1,0 +1,249 @@
+//! Proptest-driven scenario fuzzer for the differential oracle.
+//!
+//! Instead of replaying only generator-shaped scenarios
+//! (`OracleScenario::generate`), this layer builds **arbitrary valid
+//! `TraceOp` sequences** — admissions, pauses, resumes, failures,
+//! repairs, and replication directives over random topologies, clients,
+//! schedulers, and migration policies (off / single-hop / chain-2) — and
+//! requires every one of them to replay divergence-free. On a failure
+//! the trace is delta-debugged first ([`shrink_divergence`]), so what
+//! gets reported is a *minimal* replayable (seed, time, stream) triple
+//! plus the shrunken scenario literal to pin as a regression (see
+//! README, "Fuzzing the oracle").
+//!
+//! The second property pins the exact stepper's crossing-time solver:
+//! no slice may ever step past the event horizon, a stream-finish
+//! crossing, or a playout-end crossing.
+
+use proptest::prelude::*;
+use sct_admission::{CopySource, ReplicationSpec, WaitlistSpec};
+use sct_cluster::ServerId;
+use sct_core::oracle::{
+    exact_slice, shrink_divergence, OracleScenario, SliceState, TraceOp, EPS_SECS,
+};
+use sct_media::{ClientProfile, VideoId};
+use sct_simcore::SimTime;
+use sct_transmission::{SchedulerKind, StreamId, EPS_MB};
+
+/// A raw fuzz plan: free-form knobs that [`Plan::build`] legalizes into
+/// a replayable [`OracleScenario`]. Legalization (rather than filtering)
+/// keeps every generated value useful: fail/repair ops are paired
+/// against the live online set, selectors are reduced modulo the
+/// applicable range, and op kinds that need an absent extension are
+/// dropped.
+#[derive(Clone, Debug)]
+struct Plan {
+    n_servers: usize,
+    slots: usize,
+    /// For each video: bitmask of holder servers (at least one bit).
+    videos: Vec<u8>,
+    /// 0 = unbounded staging, 1 = no staging, 2 = bounded.
+    client: u8,
+    scheduler: usize,
+    /// 0 = migration off, 1 = single hop, 2 = two-step chains.
+    migration: u8,
+    replication_on: bool,
+    waitlist_on: bool,
+    /// Raw ops: (gap seconds, kind, selector, size Mb).
+    ops: Vec<(f64, u8, u64, f64)>,
+    seed: u64,
+}
+
+impl Plan {
+    fn build(&self) -> OracleScenario {
+        let n = self.n_servers;
+        let holders: Vec<Vec<ServerId>> = self
+            .videos
+            .iter()
+            .map(|&mask| {
+                (0..n as u16)
+                    .filter(|s| mask & (1 << s) != 0)
+                    .map(ServerId)
+                    .collect()
+            })
+            .collect();
+        let mut online = vec![true; n];
+        let mut trace: Vec<(SimTime, TraceOp)> = Vec::with_capacity(self.ops.len());
+        let mut arrivals = 0u64;
+        let mut t = 0.0f64;
+        for &(gap, kind, sel, size) in &self.ops {
+            t += gap;
+            let now = SimTime::from_secs(t);
+            match kind % 8 {
+                // Arrivals dominate (three kinds map here) so traces
+                // carry enough load for the other ops to matter.
+                0..=2 => {
+                    let video = VideoId((sel % self.videos.len() as u64) as u32);
+                    trace.push((
+                        now,
+                        TraceOp::Arrival {
+                            video,
+                            size_mb: size,
+                        },
+                    ));
+                    arrivals += 1;
+                }
+                // Pause/resume target arrival indices; ids at or past
+                // the arrival count exercise the no-op paths.
+                3 => trace.push((now, TraceOp::Pause(StreamId(sel % (arrivals + 2))))),
+                4 => trace.push((now, TraceOp::Resume(StreamId(sel % (arrivals + 2))))),
+                // Fail an online server / repair a failed one. Skipped
+                // when replication is armed: evacuating an in-flight
+                // copy strands the manager's bookkeeping, interplay the
+                // reference deliberately does not model (see the
+                // scenario generator).
+                5 if !self.replication_on => {
+                    let up: Vec<usize> = (0..n).filter(|&s| online[s]).collect();
+                    if let Some(&victim) = up.get((sel % up.len().max(1) as u64) as usize) {
+                        online[victim] = false;
+                        trace.push((now, TraceOp::Fail(ServerId(victim as u16))));
+                    }
+                }
+                6 if !self.replication_on => {
+                    let down: Vec<usize> = (0..n).filter(|&s| !online[s]).collect();
+                    if !down.is_empty() {
+                        let victim = down[(sel % down.len() as u64) as usize];
+                        online[victim] = true;
+                        trace.push((now, TraceOp::Repair(ServerId(victim as u16))));
+                    }
+                }
+                7 if self.replication_on => {
+                    let video = VideoId((sel % self.videos.len() as u64) as u32);
+                    trace.push((
+                        now,
+                        TraceOp::StartCopy {
+                            video,
+                            size_mb: 30.0 + (size - 30.0) * 0.25,
+                        },
+                    ));
+                }
+                _ => {}
+            }
+        }
+        let migration_on = self.migration > 0;
+        OracleScenario {
+            seed: self.seed,
+            n_servers: n,
+            slots_per_server: self.slots,
+            view_rate: 3.0,
+            scheduler: SchedulerKind::ALL[self.scheduler % 4],
+            migration_on,
+            chain2_on: migration_on && self.migration == 2,
+            client: match self.client % 3 {
+                0 => ClientProfile::unbounded(),
+                1 => ClientProfile::no_staging(30.0),
+                _ => ClientProfile::new(200.0, 30.0),
+            },
+            holders,
+            replication: self.replication_on.then_some(ReplicationSpec {
+                copy_rate_mbps: 6.0,
+                max_concurrent: 2,
+                cooldown_secs: 10.0,
+                source: CopySource::Cluster,
+            }),
+            waitlist: self.waitlist_on.then(|| WaitlistSpec::new(90.0, 6)),
+            trace,
+        }
+    }
+}
+
+fn plan() -> impl Strategy<Value = Plan> {
+    (2usize..5, 2usize..6).prop_flat_map(|(n_servers, slots)| {
+        (1usize..8).prop_flat_map(move |nv| {
+            (
+                prop::collection::vec(1u8..(1u8 << n_servers), nv..=nv),
+                (0u8..3, 0usize..4, 0u8..3),
+                prop::bool::ANY,
+                prop::bool::ANY,
+                prop::collection::vec((0.0f64..25.0, 0u8..8, any::<u64>(), 30.0f64..900.0), 1..40),
+                any::<u64>(),
+            )
+                .prop_map(
+                    move |(
+                        videos,
+                        (client, scheduler, migration),
+                        replication_on,
+                        waitlist_on,
+                        ops,
+                        seed,
+                    )| Plan {
+                        n_servers,
+                        slots,
+                        videos,
+                        client,
+                        scheduler,
+                        migration,
+                        replication_on,
+                        waitlist_on,
+                        ops,
+                        seed,
+                    },
+                )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Core fuzz property: every legal op sequence replays through the
+    /// engines and the reference with zero divergences. A failure is
+    /// reported as a minimal shrunken scenario — paste its trace into a
+    /// pinned test in `tests/differential_oracle.rs` to lock it in.
+    #[test]
+    fn fuzzed_scenarios_replay_divergence_free(plan in plan()) {
+        let sc = plan.build();
+        if let Some((min, d)) = shrink_divergence(&sc) {
+            prop_assert!(
+                false,
+                "divergence (trace shrunk {} → {} ops): {}\nminimal scenario: {:#?}",
+                sc.trace.len(),
+                min.trace.len(),
+                d,
+                min
+            );
+        }
+    }
+
+    /// The crossing-time solver never steps past the event horizon, a
+    /// stream-finish crossing, or a playout-end crossing — and always
+    /// makes positive progress.
+    #[test]
+    fn exact_slice_never_steps_past_a_boundary(
+        left in 1.0e-3f64..1.0e4,
+        raw in prop::collection::vec(
+            (0.0f64..40.0, 0.0f64..2_000.0, prop::bool::ANY, 0.0f64..2_000.0),
+            0..12,
+        ),
+    ) {
+        let states: Vec<SliceState> = raw
+            .iter()
+            .map(|&(rate, remaining_mb, paused, play_left_secs)| SliceState {
+                rate,
+                remaining_mb,
+                paused,
+                play_left_secs,
+            })
+            .collect();
+        let dt = exact_slice(left, &states);
+        prop_assert!(dt > 0.0, "a slice must make progress");
+        prop_assert!(dt <= left, "stepped past the event horizon");
+        for s in &states {
+            if s.rate > 0.0 && s.remaining_mb > EPS_MB {
+                prop_assert!(
+                    dt * s.rate <= s.remaining_mb * (1.0 + 1e-12),
+                    "stepped past a stream-finish crossing: dt={dt} rate={} rem={}",
+                    s.rate,
+                    s.remaining_mb
+                );
+            }
+            if !s.paused && s.play_left_secs > EPS_SECS {
+                prop_assert!(
+                    dt <= s.play_left_secs,
+                    "stepped past a playout-end crossing: dt={dt} left={}",
+                    s.play_left_secs
+                );
+            }
+        }
+    }
+}

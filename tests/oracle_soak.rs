@@ -1,0 +1,116 @@
+//! Long-horizon oracle soak: multi-hour drains and an extended seed
+//! matrix, affordable only because the exact event-boundary stepper's
+//! cost is O(#events) rather than O(simulated duration).
+//!
+//! Every test here is `#[ignore]` so the default `cargo test -q` tier
+//! stays fast; the dedicated CI soak job runs them in release mode with
+//! `cargo test --release --test oracle_soak -- --ignored`.
+
+use sct_cluster::ServerId;
+use sct_core::oracle::{
+    default_stepper, run_differential, run_differential_with_stepper, OracleScenario, RefStepper,
+    TraceOp,
+};
+use sct_media::{ClientProfile, VideoId};
+use sct_simcore::SimTime;
+use sct_transmission::SchedulerKind;
+
+/// A pinned drain scenario: one short companion clip (done at t = 100)
+/// and one `hours`-long viewer at exactly the view rate (no staging, so
+/// transmission cannot run ahead of the clock). The replay must carry
+/// the reference through the whole multi-hour tail.
+fn lone_drain(hours: f64) -> OracleScenario {
+    let size_mb = hours * 3600.0 * 3.0;
+    OracleScenario {
+        seed: 0x50AD,
+        n_servers: 2,
+        slots_per_server: 3,
+        view_rate: 3.0,
+        scheduler: SchedulerKind::Eftf,
+        migration_on: false,
+        chain2_on: false,
+        client: ClientProfile::no_staging(30.0),
+        holders: vec![vec![ServerId(0)], vec![ServerId(0), ServerId(1)]],
+        replication: None,
+        waitlist: None,
+        trace: vec![
+            (
+                SimTime::ZERO,
+                TraceOp::Arrival {
+                    video: VideoId(1),
+                    size_mb: 300.0,
+                },
+            ),
+            (
+                SimTime::ZERO,
+                TraceOp::Arrival {
+                    video: VideoId(0),
+                    size_mb,
+                },
+            ),
+        ],
+    }
+}
+
+#[test]
+#[ignore = "long-horizon soak; run via the CI soak job (--release -- --ignored)"]
+fn two_hour_drain_is_divergence_free() {
+    let sc = lone_drain(2.0);
+    let out = run_differential(&sc).unwrap_or_else(|d| panic!("{d}"));
+    assert_eq!(out.arrivals, 2);
+    assert_eq!(out.completions, 2);
+    if default_stepper() == RefStepper::Exact {
+        // Two streams, a handful of boundaries: the 7 200 simulated
+        // seconds must cost a fixed handful of closed-form slices.
+        assert!(
+            out.ref_slices <= 64,
+            "{} slices for a lone two-hour drain",
+            out.ref_slices
+        );
+    }
+}
+
+#[test]
+#[ignore = "long-horizon soak; run via the CI soak job (--release -- --ignored)"]
+fn slice_count_is_independent_of_horizon() {
+    let two = run_differential_with_stepper(&lone_drain(2.0), RefStepper::Exact)
+        .unwrap_or_else(|d| panic!("2 h: {d}"));
+    let eight = run_differential_with_stepper(&lone_drain(8.0), RefStepper::Exact)
+        .unwrap_or_else(|d| panic!("8 h: {d}"));
+    // Same event structure, 4× the simulated duration, identical slice
+    // count: replay cost is a function of events, not of hours.
+    assert_eq!(
+        two.ref_slices, eight.ref_slices,
+        "exact stepper slice count must not scale with the horizon"
+    );
+}
+
+#[test]
+#[ignore = "long-horizon soak; run via the CI soak job (--release -- --ignored)"]
+fn two_hour_drain_agrees_with_naive_spot_check() {
+    let exact = run_differential_with_stepper(&lone_drain(2.0), RefStepper::Exact)
+        .unwrap_or_else(|d| panic!("exact: {d}"));
+    let naive =
+        run_differential_with_stepper(&lone_drain(2.0), RefStepper::Naive { dt_secs: 0.16 })
+            .unwrap_or_else(|d| panic!("naive: {d}"));
+    let mut counters = naive;
+    counters.ref_slices = exact.ref_slices;
+    assert_eq!(exact, counters);
+    assert!(
+        exact.ref_slices < naive.ref_slices / 100,
+        "exact took {} slices, naive {} — expected orders of magnitude apart",
+        exact.ref_slices,
+        naive.ref_slices
+    );
+}
+
+#[test]
+#[ignore = "long-horizon soak; run via the CI soak job (--release -- --ignored)"]
+fn extended_seed_matrix_soaks_clean() {
+    for seed in 0..256u64 {
+        let sc = OracleScenario::generate(seed);
+        if let Err(d) = run_differential(&sc) {
+            panic!("{d}");
+        }
+    }
+}
