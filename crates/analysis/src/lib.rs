@@ -14,6 +14,10 @@
 //! * [`snapshot`] — the serialisable [`snapshot::MetricsSnapshot`] schema
 //!   the core's telemetry registry exports (`sctsim run --metrics`), with
 //!   markdown and SVG-dashboard renderers (`sctsim report`).
+//! * [`spans`] — request-lifecycle spans with causal edges
+//!   (`sctsim run --spans`): the serialisable [`spans::SpanSet`] schema,
+//!   a Chrome-trace/Perfetto exporter, and a critical-path analyzer
+//!   decomposing completed-request latency into wait/serve/pause.
 //! * [`svg`] — dependency-free SVG line charts of any [`Series`], so the
 //!   harness emits viewable figures, not just tables.
 //! * [`trace`] — reader for the JSONL event traces the simulator exports
@@ -29,6 +33,7 @@ pub mod fairness;
 pub mod report;
 pub mod series;
 pub mod snapshot;
+pub mod spans;
 pub mod svg;
 pub mod trace;
 
@@ -38,6 +43,10 @@ pub use report::Table;
 pub use series::{Curve, Series};
 pub use snapshot::{
     BucketSnapshot, CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsSnapshot,
+};
+pub use spans::{
+    AdmitVia, CausalEdge, CriticalPath, EdgeEnd, EdgeKind, Segment, SegmentKind, ServerMark, Span,
+    SpanKind, SpanOutcome, SpanSet,
 };
 pub use svg::{render_series, SvgOptions};
 pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,172 @@
+//! Event-loop throughput floor: events/second for every scheduler ×
+//! migration setting on the small paper system, measured by the loop's
+//! own [`sct_core::LoopProfiler`], plus the `SpanProbe` attachment cost.
+//!
+//! The run records the full grid and the probe overhead into
+//! `results/BENCH_sim.json`; CI fails if any cell stops producing
+//! events or if span collection costs more than 5 % of a bare trial
+//! (see .github/workflows). This is the production-loop counterpart to
+//! `bench_oracle.rs`'s reference-stepper gate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sct_admission::MigrationPolicy;
+use sct_core::config::SimConfig;
+use sct_core::policies::Policy;
+use sct_core::simulation::Simulation;
+use sct_core::SpanProbe;
+use sct_transmission::SchedulerKind;
+use sct_workload::SystemSpec;
+use serde::Serialize;
+use std::hint::black_box;
+
+#[derive(Serialize)]
+struct ScenarioInfo {
+    name: &'static str,
+    simulated_hours: f64,
+    theta: f64,
+    seed: u64,
+}
+
+#[derive(Serialize)]
+struct GridRow {
+    scheduler: &'static str,
+    migration: &'static str,
+    events: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct ProbeOverhead {
+    bare_wall_secs: f64,
+    spans_wall_secs: f64,
+    spans: usize,
+    overhead_pct: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    scenario: ScenarioInfo,
+    grid: Vec<GridRow>,
+    probe_overhead: ProbeOverhead,
+}
+
+const SIM_HOURS: f64 = 2.0;
+const THETA: f64 = 0.271;
+const SEED: u64 = 5;
+const RESULT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_sim.json");
+
+fn grid_config(scheduler: SchedulerKind, migration: MigrationPolicy) -> SimConfig {
+    // P4 fixes placement/staging; the sweep then overrides the two grid
+    // axes, so every cell sees the identical workload.
+    SimConfig::builder(SystemSpec::small_paper())
+        .policy(Policy::P4)
+        .theta(THETA)
+        .duration_hours(SIM_HOURS)
+        .warmup_hours(0.0)
+        .seed(SEED)
+        .scheduler(scheduler)
+        .migration(migration)
+        .build()
+}
+
+/// Smallest-of-`n` wall time as seen by the loop's own profiler, plus
+/// the (deterministic) live-event count.
+fn measure(cfg: &SimConfig, n: usize) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut events = 0;
+    for _ in 0..n {
+        let (_, profile) = Simulation::run_profiled(black_box(cfg), &mut []);
+        best = best.min(profile.wall_secs);
+        events = profile.events;
+    }
+    (best, events)
+}
+
+fn bench_simloop(c: &mut Criterion) {
+    let migrations = [
+        ("off", MigrationPolicy::disabled()),
+        ("single_hop", MigrationPolicy::single_hop()),
+    ];
+
+    // Criterion timing for the representative corner cells; the manual
+    // sweep below covers the full grid for the JSON report.
+    let mut group = c.benchmark_group("simloop_small_2h");
+    group.sample_size(10);
+    for (mig_name, mig) in &migrations {
+        let cfg = grid_config(SchedulerKind::Eftf, *mig);
+        group.bench_with_input(BenchmarkId::new("eftf", *mig_name), &cfg, |b, cfg| {
+            b.iter(|| black_box(Simulation::run_profiled(cfg, &mut [])))
+        });
+    }
+    group.finish();
+
+    let mut grid = Vec::new();
+    for scheduler in SchedulerKind::ALL {
+        for (mig_name, mig) in &migrations {
+            let cfg = grid_config(scheduler, *mig);
+            let (wall_secs, events) = measure(&cfg, 3);
+            grid.push(GridRow {
+                scheduler: scheduler.name(),
+                migration: mig_name,
+                events,
+                wall_secs,
+                events_per_sec: events as f64 / wall_secs,
+            });
+            println!(
+                "simloop: {:<5} migration={:<10} {events:>8} events  {wall_secs:.4} s  \
+                 ({:.0} events/s)",
+                scheduler.name(),
+                mig_name,
+                events as f64 / wall_secs
+            );
+        }
+    }
+
+    // SpanProbe attachment cost on the busiest cell (EFTF + migration,
+    // the paper's own configuration). Trials run a few milliseconds, so
+    // the two sides are interleaved and each takes its minimum over many
+    // repetitions — that keeps the CI gate on the probe's real cost, not
+    // on scheduler jitter hitting one side.
+    let cfg = grid_config(SchedulerKind::Eftf, MigrationPolicy::single_hop());
+    let mut bare_wall_secs = f64::INFINITY;
+    let mut spans_wall_secs = f64::INFINITY;
+    let mut n_spans = 0;
+    for _ in 0..15 {
+        let (_, profile) = Simulation::run_profiled(black_box(&cfg), &mut []);
+        bare_wall_secs = bare_wall_secs.min(profile.wall_secs);
+        let mut probe = SpanProbe::new();
+        let (_, profile) = Simulation::run_profiled(black_box(&cfg), &mut [&mut probe]);
+        spans_wall_secs = spans_wall_secs.min(profile.wall_secs);
+        n_spans = probe.finish(cfg.duration.as_secs()).spans.len();
+    }
+    let overhead_pct = (spans_wall_secs - bare_wall_secs) / bare_wall_secs * 100.0;
+    println!(
+        "simloop: span probe {spans_wall_secs:.4} s vs bare {bare_wall_secs:.4} s \
+         ({n_spans} spans, {overhead_pct:+.2} %)"
+    );
+
+    let report = Report {
+        scenario: ScenarioInfo {
+            name: "small_paper",
+            simulated_hours: SIM_HOURS,
+            theta: THETA,
+            seed: SEED,
+        },
+        grid,
+        probe_overhead: ProbeOverhead {
+            bare_wall_secs,
+            spans_wall_secs,
+            spans: n_spans,
+            overhead_pct,
+        },
+    };
+    std::fs::write(
+        RESULT_PATH,
+        serde_json::to_string_pretty(&report).expect("report serializes") + "\n",
+    )
+    .expect("write results/BENCH_sim.json");
+}
+
+criterion_group!(benches, bench_simloop);
+criterion_main!(benches);

@@ -8,6 +8,7 @@ use sct_core::events::{JsonlTraceProbe, Probe, SimEvent};
 use sct_core::metrics::TelemetryProbe;
 use sct_core::policies::Policy;
 use sct_core::simulation::Simulation;
+use sct_core::SpanProbe;
 use sct_simcore::SimTime;
 use sct_workload::SystemSpec;
 use std::hint::black_box;
@@ -61,7 +62,8 @@ fn bench_probe_overhead(c: &mut Criterion) {
     // built-in metrics probe is always attached, so `bare` is the
     // baseline; `counting` adds a trivial extra observer (dispatch cost);
     // `telemetry` adds the full gauge/histogram registry (per-event-boundary
-    // state observation); `jsonl` adds full trace serialisation to disk.
+    // state observation); `spans` adds request-lifecycle span folding;
+    // `jsonl` adds full trace serialisation to disk.
     struct CountingProbe(u64);
     impl Probe for CountingProbe {
         fn on_event(&mut self, _now: SimTime, _event: &SimEvent) {
@@ -90,6 +92,13 @@ fn bench_probe_overhead(c: &mut Criterion) {
             let mut probe = TelemetryProbe::new(&cfg);
             black_box(Simulation::run_with_probes(&cfg, &mut [&mut probe]));
             black_box(probe.finish())
+        })
+    });
+    group.bench_function("spans", |b| {
+        b.iter(|| {
+            let mut probe = SpanProbe::new();
+            black_box(Simulation::run_with_probes(&cfg, &mut [&mut probe]));
+            black_box(probe.finish(cfg.duration.as_secs()))
         })
     });
     let path = std::env::temp_dir().join("sct-bench-trace.jsonl");

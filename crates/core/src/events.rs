@@ -153,6 +153,27 @@ pub enum SimEvent {
 }
 
 impl SimEvent {
+    /// Every variant tag, in declaration order. Kept next to
+    /// [`SimEvent::kind`] so both fail to compile when a variant is
+    /// added without updating them; `tests/probe_coverage.rs` asserts
+    /// every probe accounts for every entry.
+    pub const KINDS: [&'static str; 14] = [
+        "Admitted",
+        "Rejected",
+        "Completed",
+        "Migrated",
+        "ServerDown",
+        "ServerUp",
+        "Paused",
+        "Resumed",
+        "CopyStarted",
+        "CopyDone",
+        "WaitlistQueued",
+        "WaitlistServed",
+        "WaitlistExpired",
+        "WindowSample",
+    ];
+
     /// The variant name as it appears on the wire (the JSONL tag).
     pub fn kind(&self) -> &'static str {
         match self {
@@ -202,7 +223,7 @@ pub(crate) fn emit(probes: &mut [&mut dyn Probe], now: SimTime, event: &SimEvent
 /// (Quantities that are integrals of engine state — utilization, goodput,
 /// per-server megabits — are computed by the epilogue from the engines
 /// themselves; they are not events.)
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MetricsProbe {
     /// Viewer streams that finished transmission.
     pub completions: u64,

@@ -18,6 +18,12 @@
 //!   histograms, exact time-weighted gauges, the
 //!   [`metrics::TelemetryProbe`], and the [`metrics::MetricsRegistry`]
 //!   it exports.
+//! * [`spans`] — the [`spans::SpanProbe`]: request-lifecycle spans with
+//!   causal edges (why *this* stream migrated), exported through
+//!   `sct_analysis::spans`.
+//! * [`profile`] — the always-on [`profile::LoopProfiler`]: wall-clock
+//!   phase timers for the event loop itself (dispatch / allocator /
+//!   wake scheduling / probe emission).
 //! * [`runner`] — deterministic parallel multi-trial execution.
 //! * [`experiments`] — one function per paper table/figure (and per
 //!   tech-report extension), producing [`sct_analysis::Series`]/tables.
@@ -32,12 +38,16 @@ pub mod metrics;
 #[cfg(feature = "differential")]
 pub mod oracle;
 pub mod policies;
+pub mod profile;
 pub mod runner;
 pub mod simulation;
+pub mod spans;
 
 pub use config::{SimConfig, SimConfigBuilder, StagingSpec};
 pub use events::{AdmitPath, JsonlTraceProbe, MetricsProbe, Probe, SimEvent};
 pub use metrics::{Histogram, MetricsRegistry, StateView, TelemetryProbe, TimeWeightedGauge};
 pub use policies::Policy;
+pub use profile::{LoopProfile, LoopProfiler, PhaseStat};
 pub use runner::{run_trials, utilization_summary, TrialPlan};
 pub use simulation::{SimOutcome, Simulation};
+pub use spans::SpanProbe;

@@ -851,6 +851,89 @@ mod tests {
         assert!(snap.buckets.is_empty());
     }
 
+    #[test]
+    fn merging_empty_histograms_is_inert() {
+        // empty ∪ empty stays empty (the ±∞ min/max sentinels must not
+        // leak through the merge into the exported zeros).
+        let mut both = Histogram::new();
+        both.merge(&Histogram::new());
+        assert!(both.is_empty());
+        assert_eq!(both.min(), 0.0);
+        assert_eq!(both.max(), 0.0);
+        assert_eq!(both.quantile(0.5), 0.0);
+
+        // non-empty ∪ empty and empty ∪ non-empty are both identity.
+        let mut filled = Histogram::new();
+        filled.record(3.0);
+        filled.record(8.5);
+        let reference = filled.clone();
+        filled.merge(&Histogram::new());
+        assert_eq!(filled, reference);
+        let mut from_empty = Histogram::new();
+        from_empty.merge(&reference);
+        assert_eq!(from_empty.count(), 2);
+        assert_eq!(from_empty.min(), 3.0);
+        assert_eq!(from_empty.max(), 8.5);
+        assert_eq!(
+            from_empty.buckets().collect::<Vec<_>>(),
+            reference.buckets().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn octave_boundaries_land_in_the_opening_bucket() {
+        // A sample exactly on a bucket's lower bound belongs to that
+        // bucket, not the one below (the half-open [lo, hi) contract).
+        for key in [-16, -8, -1, 0, 1, 8, 16, 40] {
+            let lo = bucket_lower(key);
+            assert_eq!(bucket_key(lo), key, "lower bound of key {key}");
+            let mut h = Histogram::new();
+            h.record(lo);
+            assert_eq!(h.buckets().collect::<Vec<_>>(), vec![(key, 1)]);
+        }
+        // Two samples straddling a boundary occupy adjacent buckets.
+        let mut h = Histogram::new();
+        let boundary = bucket_lower(8); // 2.0: the octave break
+        h.record(boundary);
+        h.record(boundary - 1e-12);
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[1].0 - buckets[0].0, 1);
+    }
+
+    #[test]
+    fn extreme_magnitudes_stay_bucketed_and_clamped() {
+        // The log-bucket key covers the full finite f64 range: no panic,
+        // no overflow, and quantiles stay inside [min, max] even when the
+        // geometric bucket representative would not.
+        let mut h = Histogram::new();
+        for v in [f64::MIN_POSITIVE, 1e-300, 1.0, 1e300, f64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), f64::MIN_POSITIVE);
+        assert_eq!(h.max(), f64::MAX);
+        for q in [0.0, 0.2, 0.5, 0.9, 1.0] {
+            let est = h.quantile(q);
+            assert!(
+                (f64::MIN_POSITIVE..=f64::MAX).contains(&est),
+                "q={q} escaped [min, max]: {est}"
+            );
+            assert!(est.is_finite());
+        }
+        // The top quantile is the bucket representative: within one
+        // sub-octave bucket width of the true maximum, never above it.
+        let top = h.quantile(1.0);
+        assert!(top <= f64::MAX && top >= f64::MAX / 2f64.powf(1.0 / 8.0));
+        // Merging two extreme-valued histograms keeps every aggregate
+        // finite and exact.
+        let mut other = Histogram::new();
+        other.record(f64::MAX);
+        h.merge(&other);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), f64::MAX);
+    }
+
     proptest! {
         /// The tentpole's merge guarantee: merging per-trial histograms
         /// equals the histogram of the pooled samples, bucket for bucket

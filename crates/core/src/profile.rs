@@ -1,0 +1,250 @@
+//! Self-profiling of the event loop's wall-clock time.
+//!
+//! The ROADMAP's north star is a simulator "as fast as the hardware
+//! allows", but until now the bench trajectory only tracked the oracle —
+//! the production loop had no regression floor and no way to say *where*
+//! a trial's wall time went. The [`LoopProfiler`] fixes that: a cheap,
+//! always-on set of phase timers the loop charges as it works:
+//!
+//! * **dispatch** — one window per popped event, covering its handler
+//!   and the state publication (everything below nests inside it);
+//! * **alloc** — allocator recompute: engine integration
+//!   (`advance_to`) plus schedule recomputation (`reschedule`);
+//! * **wake** — wake-event queue pushes from the re-arm site;
+//! * **probe** — probe emission: `SimEvent` fan-out plus the
+//!   [`crate::metrics::StateView`] publication.
+//!
+//! Timers use [`Instant`], which Linux services from the vDSO — a
+//! monotonic clock read without a syscall — so the hot path stays
+//! allocation- and syscall-free (the profiler is a fixed array of
+//! [`Cell`] counters; interior mutability keeps `&self` access usable
+//! alongside the loop's `&mut` engine borrows). The profiler observes
+//! wall time only and feeds nothing back: simulated outcomes are
+//! bit-identical with or without anyone reading the report.
+//!
+//! Surfaced as `sctsim run --profile` and recorded per scheduler ×
+//! migration by the `bench_simloop` bench into `results/BENCH_sim.json`.
+
+use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::time::Instant;
+
+/// The loop phases the profiler distinguishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Whole-event handler window (parent of the rest).
+    Dispatch,
+    /// Engine integration + schedule recompute.
+    Alloc,
+    /// Wake-queue pushes from the re-arm site.
+    Wake,
+    /// Probe emission (event fan-out + state publication).
+    Probe,
+}
+
+const N_PHASES: usize = 4;
+
+#[derive(Default)]
+struct PhaseCell {
+    nanos: Cell<u64>,
+    calls: Cell<u64>,
+}
+
+/// Monotonic phase counters for one trial's event loop. Create with
+/// [`LoopProfiler::new`] when the loop starts; reduce with
+/// [`LoopProfiler::report`].
+pub struct LoopProfiler {
+    start: Instant,
+    phases: [PhaseCell; N_PHASES],
+}
+
+impl Default for LoopProfiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LoopProfiler {
+    /// Starts the wall clock.
+    pub fn new() -> Self {
+        LoopProfiler {
+            start: Instant::now(),
+            phases: Default::default(),
+        }
+    }
+
+    /// A phase-start timestamp (vDSO read, no syscall on Linux).
+    #[inline]
+    pub fn clock() -> Instant {
+        Instant::now()
+    }
+
+    /// Charges the time since `since` to `phase`.
+    #[inline]
+    pub fn add(&self, phase: Phase, since: Instant) {
+        let cell = &self.phases[phase as usize];
+        cell.nanos
+            .set(cell.nanos.get() + since.elapsed().as_nanos() as u64);
+        cell.calls.set(cell.calls.get() + 1);
+    }
+
+    /// Fans `event` out to every probe, charging the time to
+    /// [`Phase::Probe`].
+    #[inline]
+    pub(crate) fn emit(
+        &self,
+        probes: &mut [&mut dyn crate::events::Probe],
+        now: sct_simcore::SimTime,
+        event: &crate::events::SimEvent,
+    ) {
+        let t0 = Instant::now();
+        crate::events::emit(probes, now, event);
+        self.add(Phase::Probe, t0);
+    }
+
+    /// Reduces the counters to a serialisable report. The event count is
+    /// the number of dispatch windows (one per live event).
+    pub fn report(&self) -> LoopProfile {
+        let wall_secs = self.start.elapsed().as_secs_f64();
+        let stat = |p: Phase| {
+            let cell = &self.phases[p as usize];
+            PhaseStat {
+                secs: cell.nanos.get() as f64 * 1e-9,
+                calls: cell.calls.get(),
+            }
+        };
+        let dispatch = stat(Phase::Dispatch);
+        let events = dispatch.calls;
+        LoopProfile {
+            wall_secs,
+            events,
+            events_per_sec: if wall_secs > 0.0 {
+                events as f64 / wall_secs
+            } else {
+                0.0
+            },
+            dispatch,
+            alloc: stat(Phase::Alloc),
+            wake: stat(Phase::Wake),
+            probe: stat(Phase::Probe),
+        }
+    }
+}
+
+/// One phase's accumulated wall time and entry count.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PhaseStat {
+    /// Total seconds spent in the phase.
+    pub secs: f64,
+    /// Times the phase was entered.
+    pub calls: u64,
+}
+
+/// A trial's wall-clock decomposition (see module docs for the phases).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LoopProfile {
+    /// Wall time from loop start to report, seconds.
+    pub wall_secs: f64,
+    /// Live events dispatched.
+    pub events: u64,
+    /// Throughput: `events / wall_secs`.
+    pub events_per_sec: f64,
+    /// Whole-handler windows (alloc/wake/probe nest inside).
+    pub dispatch: PhaseStat,
+    /// Engine integration + schedule recompute.
+    pub alloc: PhaseStat,
+    /// Wake-queue pushes.
+    pub wake: PhaseStat,
+    /// Probe emission (event fan-out + state publication).
+    pub probe: PhaseStat,
+}
+
+impl LoopProfile {
+    /// Handler time not explained by the instrumented sub-phases: pure
+    /// dispatch logic (event decode, counters, branch selection).
+    pub fn self_secs(&self) -> f64 {
+        (self.dispatch.secs - self.alloc.secs - self.wake.secs - self.probe.secs).max(0.0)
+    }
+
+    /// A fixed-width text rendering for terminal output.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "loop profile: {} events in {:.3} s ({:.0} events/s)\n",
+            self.events, self.wall_secs, self.events_per_sec
+        );
+        let row = |name: &str, s: &PhaseStat| {
+            format!("  {name:<10} {:>10.6} s  {:>9} calls\n", s.secs, s.calls)
+        };
+        out.push_str(&row("dispatch", &self.dispatch));
+        out.push_str(&row("alloc", &self.alloc));
+        out.push_str(&row("wake", &self.wake));
+        out.push_str(&row("probe", &self.probe));
+        out.push_str(&format!("  {:<10} {:>10.6} s\n", "self", self.self_secs()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_time_and_calls() {
+        let prof = LoopProfiler::new();
+        for _ in 0..3 {
+            let t0 = LoopProfiler::clock();
+            std::hint::black_box(4u64 + 4);
+            prof.add(Phase::Dispatch, t0);
+        }
+        let t0 = LoopProfiler::clock();
+        prof.add(Phase::Alloc, t0);
+        let report = prof.report();
+        assert_eq!(report.events, 3);
+        assert_eq!(report.dispatch.calls, 3);
+        assert_eq!(report.alloc.calls, 1);
+        assert_eq!(report.wake.calls, 0);
+        assert!(report.wall_secs >= report.dispatch.secs);
+        assert!(report.events_per_sec > 0.0);
+    }
+
+    #[test]
+    fn self_time_never_goes_negative() {
+        let profile = LoopProfile {
+            wall_secs: 1.0,
+            events: 10,
+            events_per_sec: 10.0,
+            dispatch: PhaseStat {
+                secs: 0.1,
+                calls: 10,
+            },
+            alloc: PhaseStat {
+                secs: 0.2,
+                calls: 10,
+            },
+            wake: PhaseStat {
+                secs: 0.0,
+                calls: 0,
+            },
+            probe: PhaseStat {
+                secs: 0.0,
+                calls: 0,
+            },
+        };
+        assert_eq!(profile.self_secs(), 0.0);
+    }
+
+    #[test]
+    fn report_round_trips_and_renders() {
+        let prof = LoopProfiler::new();
+        let t0 = LoopProfiler::clock();
+        prof.add(Phase::Probe, t0);
+        let report = prof.report();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: LoopProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        let text = report.to_text();
+        assert!(text.contains("events/s"), "{text}");
+        assert!(text.contains("dispatch"), "{text}");
+        assert!(text.contains("probe"), "{text}");
+    }
+}

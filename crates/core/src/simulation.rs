@@ -33,7 +33,8 @@
 //! rate, so engines integrate state exactly (no time-stepping error).
 
 use crate::config::SimConfig;
-use crate::events::{emit, AdmitPath, MetricsProbe, Probe, SimEvent};
+use crate::events::{AdmitPath, MetricsProbe, Probe, SimEvent};
+use crate::profile::{LoopProfile, LoopProfiler, Phase};
 use sct_admission::{
     Admission, AdmissionStats, Controller, CopyLaunch, ReplicationManager, ReplicationStats,
     Waitlist, WaitlistStats,
@@ -137,13 +138,26 @@ impl WakeScheduler {
     /// Re-arms `engine`'s wake after its schedule changed: optionally
     /// integrate to `now` first, recompute the next self-transition, and
     /// enqueue a generation-stamped wake for it. `check` runs the
-    /// engine's invariant audit afterwards (debug configs).
-    fn rearm(&mut self, engine: &mut ServerEngine, now: SimTime, advance: bool, check: bool) {
+    /// engine's invariant audit afterwards (debug configs). The
+    /// integrate/recompute work is charged to the profiler's alloc
+    /// phase, the queue push to its wake phase.
+    fn rearm(
+        &mut self,
+        engine: &mut ServerEngine,
+        now: SimTime,
+        advance: bool,
+        check: bool,
+        prof: &LoopProfiler,
+    ) {
+        let t0 = LoopProfiler::clock();
         if advance {
             engine.advance_to(now);
         }
-        if let Some(wake) = engine.reschedule(now) {
+        let wake = engine.reschedule(now);
+        prof.add(Phase::Alloc, t0);
+        if let Some(wake) = wake {
             if wake <= self.end {
+                let t1 = LoopProfiler::clock();
                 self.queue.push(
                     wake,
                     Event::Wake {
@@ -151,6 +165,7 @@ impl WakeScheduler {
                         generation: engine.generation(),
                     },
                 );
+                prof.add(Phase::Wake, t1);
             }
         }
         if check {
@@ -191,6 +206,8 @@ struct SimWorld<'a> {
     last_time: SimTime,
     last_sample_mb: f64,
     sample_index: u32,
+    /// Always-on wall-clock phase timers (see [`crate::profile`]).
+    prof: LoopProfiler,
 }
 
 impl<'a> SimWorld<'a> {
@@ -308,6 +325,7 @@ impl<'a> SimWorld<'a> {
             last_time: SimTime::ZERO,
             last_sample_mb: 0.0,
             sample_index: 0,
+            prof: LoopProfiler::new(),
         }
     }
 
@@ -324,6 +342,7 @@ impl<'a> SimWorld<'a> {
                 }
             }
             self.events_processed += 1;
+            let t0 = LoopProfiler::clock();
             match entry.payload {
                 Event::Arrival => self.on_arrival(now, probes),
                 Event::Wake { server, .. } => self.on_wake(now, server, probes),
@@ -336,6 +355,7 @@ impl<'a> SimWorld<'a> {
                 Event::ResumeStream(id) => self.on_pause_resume(now, id, false, probes),
             }
             self.publish_state(now, probes);
+            self.prof.add(Phase::Dispatch, t0);
         }
     }
 
@@ -344,6 +364,7 @@ impl<'a> SimWorld<'a> {
     /// state between two published views is exactly linear — which is what
     /// makes the telemetry gauges exact (see `crate::metrics`).
     fn publish_state(&self, now: SimTime, probes: &mut [&mut dyn Probe]) {
+        let t0 = LoopProfiler::clock();
         let view = crate::metrics::StateView::new(
             now,
             &self.engines,
@@ -352,6 +373,7 @@ impl<'a> SimWorld<'a> {
         for p in probes.iter_mut() {
             p.on_state(now, &view);
         }
+        self.prof.add(Phase::Probe, t0);
     }
 
     /// One Poisson arrival: admission decision (direct / DRM / chain /
@@ -387,7 +409,7 @@ impl<'a> SimWorld<'a> {
                 if track_hints {
                     self.loc_hint.insert(stream_id, server.0);
                 }
-                emit(
+                self.prof.emit(
                     probes,
                     now,
                     &SimEvent::Admitted {
@@ -403,7 +425,7 @@ impl<'a> SimWorld<'a> {
                     self.loc_hint.insert(stream_id, server.0);
                     self.loc_hint.insert(victim.0, to.0);
                 }
-                emit(
+                self.prof.emit(
                     probes,
                     now,
                     &SimEvent::Admitted {
@@ -413,7 +435,7 @@ impl<'a> SimWorld<'a> {
                         path: AdmitPath::Migrated,
                     },
                 );
-                emit(
+                self.prof.emit(
                     probes,
                     now,
                     &SimEvent::Migrated {
@@ -434,7 +456,7 @@ impl<'a> SimWorld<'a> {
                     self.loc_hint.insert(first.0 .0, first.1 .0);
                     self.loc_hint.insert(second.0 .0, second.1 .0);
                 }
-                emit(
+                self.prof.emit(
                     probes,
                     now,
                     &SimEvent::Admitted {
@@ -444,7 +466,7 @@ impl<'a> SimWorld<'a> {
                         path: AdmitPath::Chained,
                     },
                 );
-                emit(
+                self.prof.emit(
                     probes,
                     now,
                     &SimEvent::Migrated {
@@ -454,7 +476,7 @@ impl<'a> SimWorld<'a> {
                         emergency: false,
                     },
                 );
-                emit(
+                self.prof.emit(
                     probes,
                     now,
                     &SimEvent::Migrated {
@@ -466,7 +488,7 @@ impl<'a> SimWorld<'a> {
                 );
             }
             Admission::Rejected => {
-                emit(
+                self.prof.emit(
                     probes,
                     now,
                     &SimEvent::Rejected {
@@ -487,7 +509,7 @@ impl<'a> SimWorld<'a> {
                     now,
                 ) {
                     self.sched.push_at(expires, Event::WaitlistExpiry);
-                    emit(
+                    self.prof.emit(
                         probes,
                         now,
                         &SimEvent::WaitlistQueued {
@@ -508,9 +530,14 @@ impl<'a> SimWorld<'a> {
                     now,
                 ) {
                     Some(CopyLaunch::FromServer { source, stream }) => {
-                        self.sched
-                            .rearm(&mut self.engines[source.index()], now, false, false);
-                        emit(
+                        self.sched.rearm(
+                            &mut self.engines[source.index()],
+                            now,
+                            false,
+                            false,
+                            &self.prof,
+                        );
+                        self.prof.emit(
                             probes,
                             now,
                             &SimEvent::CopyStarted {
@@ -528,7 +555,7 @@ impl<'a> SimWorld<'a> {
                         // simply never materialise.
                         self.sched
                             .push_at(now + done_in_secs, Event::CopyDone(token.0));
-                        emit(
+                        self.prof.emit(
                             probes,
                             now,
                             &SimEvent::CopyStarted {
@@ -562,6 +589,7 @@ impl<'a> SimWorld<'a> {
                 now,
                 true,
                 self.config.check_invariants,
+                &self.prof,
             );
         }
         self.sched
@@ -571,8 +599,11 @@ impl<'a> SimWorld<'a> {
     /// A live wake: integrate the server, reap finished streams, feed the
     /// waitlist with any freed slots, and re-arm.
     fn on_wake(&mut self, now: SimTime, server: u16, probes: &mut [&mut dyn Probe]) {
+        let t0 = LoopProfiler::clock();
         let e = &mut self.engines[server as usize];
         e.advance_to(now);
+        self.prof.add(Phase::Alloc, t0);
+        let e = &mut self.engines[server as usize];
         let mut slots_freed = false;
         for done in e.reap_finished(now) {
             slots_freed = true;
@@ -582,7 +613,7 @@ impl<'a> SimWorld<'a> {
                     .as_mut()
                     .and_then(|mgr| mgr.on_copy_finished(done.id, &mut self.replica_map))
                     .is_some();
-                emit(
+                self.prof.emit(
                     probes,
                     now,
                     &SimEvent::CopyDone {
@@ -592,7 +623,7 @@ impl<'a> SimWorld<'a> {
                 );
             } else {
                 self.loc_hint.remove(&done.id.0);
-                emit(
+                self.prof.emit(
                     probes,
                     now,
                     &SimEvent::Completed {
@@ -610,6 +641,7 @@ impl<'a> SimWorld<'a> {
             now,
             false,
             self.config.check_invariants,
+            &self.prof,
         );
     }
 
@@ -622,7 +654,7 @@ impl<'a> SimWorld<'a> {
         };
         let expired = wl.expire(now);
         if expired > 0 {
-            emit(
+            self.prof.emit(
                 probes,
                 now,
                 &SimEvent::WaitlistExpired {
@@ -632,7 +664,7 @@ impl<'a> SimWorld<'a> {
         }
         let outcome = wl.try_serve(&mut self.engines, &self.replica_map, now);
         for w in &outcome.served {
-            emit(
+            self.prof.emit(
                 probes,
                 now,
                 &SimEvent::WaitlistServed {
@@ -645,8 +677,13 @@ impl<'a> SimWorld<'a> {
             );
         }
         for sid in outcome.touched {
-            self.sched
-                .rearm(&mut self.engines[sid.index()], now, false, false);
+            self.sched.rearm(
+                &mut self.engines[sid.index()],
+                now,
+                false,
+                false,
+                &self.prof,
+            );
         }
     }
 
@@ -664,7 +701,7 @@ impl<'a> SimWorld<'a> {
             &self.replica_map,
             now,
         );
-        emit(
+        self.prof.emit(
             probes,
             now,
             &SimEvent::ServerDown {
@@ -674,7 +711,7 @@ impl<'a> SimWorld<'a> {
             },
         );
         for &(stream, to) in &evac.relocated {
-            emit(
+            self.prof.emit(
                 probes,
                 now,
                 &SimEvent::Migrated {
@@ -694,6 +731,7 @@ impl<'a> SimWorld<'a> {
                 now,
                 true,
                 self.config.check_invariants,
+                &self.prof,
             );
         }
         let repair = self
@@ -709,7 +747,7 @@ impl<'a> SimWorld<'a> {
     /// the fresh capacity and schedule the next failure.
     fn on_server_up(&mut self, now: SimTime, server: u16, probes: &mut [&mut dyn Probe]) {
         self.engines[server as usize].repair(now);
-        emit(probes, now, &SimEvent::ServerUp { server });
+        self.prof.emit(probes, now, &SimEvent::ServerUp { server });
         self.serve_from_waitlist(now, probes);
         let up_time = self
             .failure_dists
@@ -727,7 +765,7 @@ impl<'a> SimWorld<'a> {
             let installed = mgr
                 .on_copy_finished(StreamId(id), &mut self.replica_map)
                 .is_some();
-            emit(
+            self.prof.emit(
                 probes,
                 now,
                 &SimEvent::CopyDone {
@@ -743,7 +781,7 @@ impl<'a> SimWorld<'a> {
         if let Some(wl) = self.waitlist.as_mut() {
             let expired = wl.expire(now);
             if expired > 0 {
-                emit(
+                self.prof.emit(
                     probes,
                     now,
                     &SimEvent::WaitlistExpired {
@@ -761,13 +799,15 @@ impl<'a> SimWorld<'a> {
             .config
             .sample_interval_secs
             .expect("sample event without sampling enabled");
+        let t0 = LoopProfiler::clock();
         for e in self.engines.iter_mut() {
             e.advance_to(now);
         }
+        self.prof.add(Phase::Alloc, t0);
         let total: f64 = self.engines.iter().map(|e| e.measured_mb()).sum();
         let utilization =
             (total - self.last_sample_mb) / (self.cluster.total_bandwidth_mbps() * dt);
-        emit(
+        self.prof.emit(
             probes,
             now,
             &SimEvent::WindowSample {
@@ -807,7 +847,7 @@ impl<'a> SimWorld<'a> {
             }
         }
         if let Some(server) = found {
-            emit(
+            self.prof.emit(
                 probes,
                 now,
                 &if paused {
@@ -821,6 +861,7 @@ impl<'a> SimWorld<'a> {
                 now,
                 false,
                 self.config.check_invariants,
+                &self.prof,
             );
         } else {
             // Stream finished (or was dropped) before the pause point — a
@@ -916,6 +957,17 @@ impl Simulation {
     /// cannot perturb the run: the returned outcome is bit-identical to
     /// [`Simulation::run`] on the same config.
     pub fn run_with_probes(config: &SimConfig, extra: &mut [&mut dyn Probe]) -> SimOutcome {
+        Self::run_profiled(config, extra).0
+    }
+
+    /// Like [`Simulation::run_with_probes`], but also returns the event
+    /// loop's wall-clock decomposition (see [`crate::profile`]). The
+    /// profiler is always on — this merely reads its report — so the
+    /// outcome stays bit-identical to the other entry points.
+    pub fn run_profiled(
+        config: &SimConfig,
+        extra: &mut [&mut dyn Probe],
+    ) -> (SimOutcome, LoopProfile) {
         let mut world = SimWorld::new(config);
         let mut metrics = MetricsProbe::new(world.catalog.len(), config.track_per_video);
         {
@@ -926,7 +978,8 @@ impl Simulation {
             }
             world.run_loop(&mut hub);
         }
-        world.finish(metrics)
+        let profile = world.prof.report();
+        (world.finish(metrics), profile)
     }
 }
 
@@ -1000,6 +1053,23 @@ mod tests {
             probe.0 > plain.stats.arrivals,
             "every arrival produces at least one event"
         );
+    }
+
+    #[test]
+    fn profile_reconciles_with_the_event_count() {
+        let cfg = quick_config(42);
+        let (out, profile) = Simulation::run_profiled(&cfg, &mut []);
+        assert_eq!(out, Simulation::run(&cfg), "profiling must not perturb");
+        assert_eq!(profile.events, out.events_processed);
+        assert_eq!(profile.dispatch.calls, out.events_processed);
+        assert!(profile.wall_secs > 0.0);
+        assert!(profile.events_per_sec > 0.0);
+        assert!(profile.dispatch.secs <= profile.wall_secs);
+        // Sub-phases nest inside dispatch windows.
+        assert!(profile.alloc.secs + profile.wake.secs + profile.probe.secs <= profile.wall_secs);
+        assert!(profile.alloc.calls > 0, "every trial re-arms engines");
+        assert!(profile.wake.calls > 0, "every trial schedules wakes");
+        assert!(profile.probe.calls > 0, "every event is published");
     }
 
     #[test]

@@ -1,0 +1,948 @@
+//! Request-lifecycle span capture: the [`SpanProbe`].
+//!
+//! The paper's headline mechanisms are *causal chains* — a DRM victim
+//! moved because an arrival was admitted, a chain-2 inner hop moved so
+//! the outer victim could land, an evacuation happened because a server
+//! failed, a waiter was served because a completion freed a slot. The
+//! aggregate counters ([`crate::events::MetricsProbe`]) and histograms
+//! ([`crate::metrics::TelemetryProbe`]) can say *how many* of each
+//! happened, never *why this one*. The [`SpanProbe`] closes that gap: it
+//! folds the [`SimEvent`] stream into one [`Span`] per request (and per
+//! replication copy) — arrival → waitlist wait → admission → migration
+//! hops → completion/drop — and records a [`CausalEdge`] for every link
+//! the loop narrates.
+//!
+//! Like every probe it observes and never steers: golden snapshots in
+//! `tests/golden_outcomes.rs` prove a run with the probe attached is
+//! bit-identical to a bare run.
+//!
+//! ## Causal attribution rules
+//!
+//! The loop's handlers emit events in a fixed order within one
+//! simulation instant, and the probe leans on that contract
+//! (`crate::simulation` is the single emission site for each rule):
+//!
+//! * `Admitted { path: Migrated }` is followed by exactly one
+//!   non-emergency `Migrated` — the displaced victim
+//!   ([`EdgeKind::Displaced`], admission → victim).
+//! * `Admitted { path: Chained }` is followed by exactly two: the outer
+//!   victim (a `Displaced` edge from the admission) and then the inner
+//!   victim ([`EdgeKind::ChainInner`], outer victim → inner victim).
+//! * `ServerDown { relocated, .. }` is followed by exactly `relocated`
+//!   emergency `Migrated`s ([`EdgeKind::Evacuated`], failed server →
+//!   rescued stream). Viewer spans still on the failed server after the
+//!   last evacuation lost service and close as
+//!   [`SpanOutcome::Dropped`]. (A stream that finished at the exact
+//!   failure instant but was not yet reaped would be misclassified
+//!   as dropped; completions are reaped by a same-instant wake, so this
+//!   needs an exact float tie between the finish time and the failure
+//!   draw.)
+//! * `WaitlistServed` only ever happens right after the capacity that
+//!   serves it appeared: the freeing `Completed`, slot-holding
+//!   `CopyDone`, or `ServerUp` at the same instant is the cause
+//!   ([`EdgeKind::FreedSlot`]).
+//! * `WaitlistExpired` carries only a count; `Waitlist::expire` pops the
+//!   FIFO prefix whose patience ran out, so the probe attributes the
+//!   expiry to the `count` longest-waiting spans still queued.
+//!
+//! ## Model caveats
+//!
+//! * Multicast-batched waiters ride the leader's stream and never
+//!   complete on their own; their spans stay open to the horizon.
+//! * Cluster-sourced copies aborted by a failure are never narrated
+//!   again (the engine drops them without an event), so their spans
+//!   also stay open; tertiary copies always get a terminal `CopyDone`.
+//! * Copy spans carry no server (the event doesn't), so a failure
+//!   cannot close them as dropped.
+
+use crate::config::SimConfig;
+use crate::events::{AdmitPath, Probe, SimEvent};
+use crate::simulation::{SimOutcome, Simulation};
+use sct_analysis::spans::{
+    AdmitVia, CausalEdge, EdgeEnd, EdgeKind, Segment, SegmentKind, ServerMark, Span, SpanKind,
+    SpanOutcome, SpanSet,
+};
+use sct_simcore::SimTime;
+use std::collections::{HashSet, VecDeque};
+
+/// Outstanding attribution context between events of one instant: what
+/// the last structural event promised would follow.
+#[derive(Clone, Copy, Debug)]
+enum Expect {
+    /// No emission contract outstanding.
+    Nothing,
+    /// One DRM victim hand-off follows this admission.
+    Victim {
+        /// The admitted stream that displaced the victim.
+        admitted: u64,
+    },
+    /// Two chained hand-offs follow this admission; the outer victim is
+    /// next.
+    ChainOuter {
+        /// The admitted stream at the head of the chain.
+        admitted: u64,
+    },
+    /// The chain's inner hop is next.
+    ChainInner {
+        /// The outer victim whose landing forced the inner hop.
+        outer: u64,
+    },
+    /// `remaining` evacuations follow this failure; once they are all
+    /// seen, whatever is left on `server` was dropped.
+    Evacuations {
+        /// The failed server.
+        server: u16,
+        /// Emergency migrations still to come.
+        remaining: u32,
+        /// Failure time (the drop time for unrescued streams).
+        at: f64,
+    },
+}
+
+/// A pure [`Probe`] that folds the event stream into per-request
+/// lifecycle [`Span`]s with [`CausalEdge`]s. Reduce with
+/// [`SpanProbe::finish`] after the run.
+pub struct SpanProbe {
+    spans: Vec<Span>,
+    /// Span index per stream id (`NO_SPAN` = none). The loop hands out
+    /// ids from one dense counter, so a flat vector beats hashing on
+    /// the per-event hot path (the bench gates the probe's overhead).
+    by_stream: Vec<usize>,
+    /// Queued waiters in waitlist order (expiry attribution).
+    waiting: VecDeque<u64>,
+    /// Copies sourced from tertiary storage (they hold no server slot,
+    /// so their completion cannot free one).
+    tertiary: HashSet<u64>,
+    edges: Vec<CausalEdge>,
+    marks: Vec<ServerMark>,
+    expect: Expect,
+    /// The last slot-freeing occurrence, for `FreedSlot` edges.
+    last_freed: Option<(f64, EdgeEnd)>,
+}
+
+/// Sentinel in [`SpanProbe::by_stream`] for "no span yet".
+const NO_SPAN: usize = usize::MAX;
+
+impl Default for SpanProbe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpanProbe {
+    /// An empty probe, ready to attach to `Simulation::run_with_probes`.
+    pub fn new() -> Self {
+        SpanProbe {
+            spans: Vec::new(),
+            by_stream: Vec::new(),
+            waiting: VecDeque::new(),
+            tertiary: HashSet::new(),
+            edges: Vec::new(),
+            marks: Vec::new(),
+            expect: Expect::Nothing,
+            last_freed: None,
+        }
+    }
+
+    /// Reduces the fold to its wire form. `horizon_secs` (the trial
+    /// duration) closes open spans in exports.
+    pub fn finish(mut self, horizon_secs: f64) -> SpanSet {
+        self.spans.sort_by_key(|s| s.stream);
+        SpanSet {
+            horizon_secs,
+            spans: self.spans,
+            edges: self.edges,
+            marks: self.marks,
+        }
+    }
+
+    /// The open-or-closed span of `stream`, if one was ever started.
+    #[inline]
+    fn span_of(&self, stream: u64) -> Option<usize> {
+        self.by_stream
+            .get(stream as usize)
+            .copied()
+            .filter(|&idx| idx != NO_SPAN)
+    }
+
+    fn open_span(&mut self, stream: u64, video: u32, kind: SpanKind, t: f64) -> usize {
+        let idx = self.spans.len();
+        self.spans.push(Span {
+            stream,
+            video,
+            kind,
+            start_secs: t,
+            end_secs: None,
+            outcome: SpanOutcome::Open,
+            admit_via: None,
+            hops: 0,
+            segments: Vec::new(),
+        });
+        let slot = stream as usize;
+        if slot >= self.by_stream.len() {
+            self.by_stream.resize(slot + 1, NO_SPAN);
+        }
+        self.by_stream[slot] = idx;
+        idx
+    }
+
+    fn end_segment(&mut self, idx: usize, t: f64) {
+        if let Some(seg) = self.spans[idx].segments.last_mut() {
+            if seg.end_secs.is_none() {
+                seg.end_secs = Some(t);
+            }
+        }
+    }
+
+    fn start_segment(&mut self, idx: usize, kind: SegmentKind, server: Option<u16>, t: f64) {
+        self.spans[idx].segments.push(Segment {
+            kind,
+            server,
+            start_secs: t,
+            end_secs: None,
+        });
+    }
+
+    fn close_span(&mut self, idx: usize, t: f64, outcome: SpanOutcome) {
+        self.end_segment(idx, t);
+        self.spans[idx].end_secs = Some(t);
+        self.spans[idx].outcome = outcome;
+    }
+
+    /// Closes every viewer span still on `server` as dropped (the loop
+    /// never narrates them again after a failure).
+    fn drop_streams_on(&mut self, server: u16, t: f64) {
+        for idx in 0..self.spans.len() {
+            let span = &self.spans[idx];
+            let on_server = span.end_secs.is_none()
+                && span.kind == SpanKind::Viewer
+                && span
+                    .segments
+                    .last()
+                    .is_some_and(|seg| seg.end_secs.is_none() && seg.server == Some(server));
+            if on_server {
+                self.close_span(idx, t, SpanOutcome::Dropped);
+            }
+        }
+    }
+
+    /// Enforces the emission contracts: an outstanding expectation not
+    /// met by `event` is abandoned (and, for evacuations, the leftover
+    /// streams on the failed server are dropped).
+    fn reconcile(&mut self, event: &SimEvent) {
+        match self.expect {
+            Expect::Nothing => {}
+            Expect::Victim { .. } | Expect::ChainOuter { .. } | Expect::ChainInner { .. } => {
+                if !matches!(
+                    event,
+                    SimEvent::Migrated {
+                        emergency: false,
+                        ..
+                    }
+                ) {
+                    self.expect = Expect::Nothing;
+                }
+            }
+            Expect::Evacuations { server, at, .. } => {
+                let matches = matches!(
+                    event,
+                    SimEvent::Migrated {
+                        emergency: true,
+                        from,
+                        ..
+                    } if *from == server
+                );
+                if !matches {
+                    self.drop_streams_on(server, at);
+                    self.expect = Expect::Nothing;
+                }
+            }
+        }
+    }
+}
+
+impl Probe for SpanProbe {
+    fn on_event(&mut self, now: SimTime, event: &SimEvent) {
+        let t = now.as_secs();
+        self.reconcile(event);
+        // Exhaustive on purpose: a new `SimEvent` variant must decide its
+        // span semantics here (see `tests/probe_coverage.rs`).
+        match *event {
+            SimEvent::Admitted {
+                stream,
+                video,
+                server,
+                path,
+            } => {
+                let idx = self.open_span(stream, video, SpanKind::Viewer, t);
+                self.spans[idx].admit_via = Some(match path {
+                    AdmitPath::Direct => AdmitVia::Direct,
+                    AdmitPath::Migrated => AdmitVia::Migrated,
+                    AdmitPath::Chained => AdmitVia::Chained,
+                });
+                self.start_segment(idx, SegmentKind::Serve, Some(server), t);
+                self.expect = match path {
+                    AdmitPath::Direct => Expect::Nothing,
+                    AdmitPath::Migrated => Expect::Victim { admitted: stream },
+                    AdmitPath::Chained => Expect::ChainOuter { admitted: stream },
+                };
+            }
+            SimEvent::Rejected { stream, video } => {
+                let idx = self.open_span(stream, video, SpanKind::Viewer, t);
+                self.close_span(idx, t, SpanOutcome::Rejected);
+            }
+            SimEvent::Completed { stream, .. } => {
+                if let Some(idx) = self.span_of(stream) {
+                    self.close_span(idx, t, SpanOutcome::Completed);
+                }
+                self.last_freed = Some((t, EdgeEnd::Stream { stream }));
+            }
+            SimEvent::Migrated {
+                stream,
+                from,
+                to,
+                emergency,
+            } => {
+                let mut evac_done = None;
+                match self.expect {
+                    Expect::Victim { admitted } => {
+                        self.edges.push(CausalEdge {
+                            kind: EdgeKind::Displaced,
+                            at_secs: t,
+                            cause: EdgeEnd::Stream { stream: admitted },
+                            effect: EdgeEnd::Stream { stream },
+                        });
+                        self.expect = Expect::Nothing;
+                    }
+                    Expect::ChainOuter { admitted } => {
+                        self.edges.push(CausalEdge {
+                            kind: EdgeKind::Displaced,
+                            at_secs: t,
+                            cause: EdgeEnd::Stream { stream: admitted },
+                            effect: EdgeEnd::Stream { stream },
+                        });
+                        self.expect = Expect::ChainInner { outer: stream };
+                    }
+                    Expect::ChainInner { outer } => {
+                        self.edges.push(CausalEdge {
+                            kind: EdgeKind::ChainInner,
+                            at_secs: t,
+                            cause: EdgeEnd::Stream { stream: outer },
+                            effect: EdgeEnd::Stream { stream },
+                        });
+                        self.expect = Expect::Nothing;
+                    }
+                    Expect::Evacuations {
+                        server,
+                        remaining,
+                        at,
+                    } if emergency && from == server => {
+                        self.edges.push(CausalEdge {
+                            kind: EdgeKind::Evacuated,
+                            at_secs: t,
+                            cause: EdgeEnd::Server { server },
+                            effect: EdgeEnd::Stream { stream },
+                        });
+                        if remaining <= 1 {
+                            evac_done = Some((server, at));
+                            self.expect = Expect::Nothing;
+                        } else {
+                            self.expect = Expect::Evacuations {
+                                server,
+                                remaining: remaining - 1,
+                                at,
+                            };
+                        }
+                    }
+                    _ => {}
+                }
+                if let Some(idx) = self.span_of(stream) {
+                    let kind = self.spans[idx]
+                        .segments
+                        .last()
+                        .filter(|seg| seg.end_secs.is_none())
+                        .map_or(SegmentKind::Serve, |seg| seg.kind);
+                    self.end_segment(idx, t);
+                    self.start_segment(idx, kind, Some(to), t);
+                    self.spans[idx].hops += 1;
+                }
+                if let Some((server, at)) = evac_done {
+                    self.drop_streams_on(server, at);
+                }
+            }
+            SimEvent::ServerDown {
+                server,
+                relocated,
+                dropped,
+            } => {
+                self.marks.push(ServerMark {
+                    server,
+                    at_secs: t,
+                    down: true,
+                    relocated,
+                    dropped,
+                });
+                if relocated == 0 {
+                    self.drop_streams_on(server, t);
+                } else {
+                    self.expect = Expect::Evacuations {
+                        server,
+                        remaining: relocated,
+                        at: t,
+                    };
+                }
+            }
+            SimEvent::ServerUp { server } => {
+                self.marks.push(ServerMark {
+                    server,
+                    at_secs: t,
+                    down: false,
+                    relocated: 0,
+                    dropped: 0,
+                });
+                self.last_freed = Some((t, EdgeEnd::Server { server }));
+            }
+            SimEvent::Paused { stream, server } => {
+                if let Some(idx) = self.span_of(stream) {
+                    self.end_segment(idx, t);
+                    self.start_segment(idx, SegmentKind::Pause, Some(server), t);
+                }
+            }
+            SimEvent::Resumed { stream, server } => {
+                if let Some(idx) = self.span_of(stream) {
+                    self.end_segment(idx, t);
+                    self.start_segment(idx, SegmentKind::Serve, Some(server), t);
+                }
+            }
+            SimEvent::CopyStarted {
+                copy,
+                video,
+                tertiary,
+            } => {
+                let idx = self.open_span(copy, video, SpanKind::Copy, t);
+                self.start_segment(idx, SegmentKind::Serve, None, t);
+                if tertiary {
+                    self.tertiary.insert(copy);
+                }
+            }
+            SimEvent::CopyDone { copy, installed } => {
+                if let Some(idx) = self.span_of(copy) {
+                    let outcome = if installed {
+                        SpanOutcome::Completed
+                    } else {
+                        SpanOutcome::Dropped
+                    };
+                    self.close_span(idx, t, outcome);
+                }
+                if !self.tertiary.remove(&copy) {
+                    // A reaped engine copy frees its server slot.
+                    self.last_freed = Some((t, EdgeEnd::Stream { stream: copy }));
+                }
+            }
+            SimEvent::WaitlistQueued { stream, video } => {
+                let idx = match self.span_of(stream) {
+                    Some(idx) => {
+                        // Reopen the just-rejected span: the viewer is
+                        // waiting, not gone.
+                        self.spans[idx].end_secs = None;
+                        self.spans[idx].outcome = SpanOutcome::Open;
+                        idx
+                    }
+                    None => self.open_span(stream, video, SpanKind::Viewer, t),
+                };
+                self.start_segment(idx, SegmentKind::Wait, None, t);
+                self.waiting.push_back(stream);
+            }
+            SimEvent::WaitlistServed { stream, server, .. } => {
+                if let Some(pos) = self.waiting.iter().position(|&s| s == stream) {
+                    self.waiting.remove(pos);
+                }
+                if let Some(idx) = self.span_of(stream) {
+                    self.end_segment(idx, t);
+                    self.spans[idx].admit_via = Some(AdmitVia::Waitlist);
+                    self.start_segment(idx, SegmentKind::Serve, Some(server), t);
+                }
+                if let Some((freed_at, cause)) = self.last_freed {
+                    if freed_at == t {
+                        self.edges.push(CausalEdge {
+                            kind: EdgeKind::FreedSlot,
+                            at_secs: t,
+                            cause,
+                            effect: EdgeEnd::Stream { stream },
+                        });
+                    }
+                }
+            }
+            SimEvent::WaitlistExpired { count } => {
+                for _ in 0..count {
+                    let Some(stream) = self.waiting.pop_front() else {
+                        break;
+                    };
+                    if let Some(idx) = self.span_of(stream) {
+                        self.close_span(idx, t, SpanOutcome::Expired);
+                    }
+                }
+            }
+            SimEvent::WindowSample { .. } => {}
+        }
+    }
+}
+
+/// Runs one trial with a [`SpanProbe`] attached and returns the outcome
+/// together with the captured span set. The outcome is bit-identical to
+/// [`Simulation::run`] on the same config.
+pub fn capture(config: &SimConfig) -> (SimOutcome, SpanSet) {
+    let mut probe = SpanProbe::new();
+    let outcome = Simulation::run_with_probes(config, &mut [&mut probe]);
+    (outcome, probe.finish(config.duration.as_secs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(events: &[(f64, SimEvent)]) -> SpanProbe {
+        let mut probe = SpanProbe::new();
+        for (t, ev) in events {
+            probe.on_event(SimTime::from_secs(*t), ev);
+        }
+        probe
+    }
+
+    #[test]
+    fn admission_and_completion_make_one_closed_span() {
+        let set = feed(&[
+            (
+                1.0,
+                SimEvent::Admitted {
+                    stream: 0,
+                    video: 3,
+                    server: 2,
+                    path: AdmitPath::Direct,
+                },
+            ),
+            (
+                61.0,
+                SimEvent::Completed {
+                    stream: 0,
+                    server: 2,
+                },
+            ),
+        ])
+        .finish(100.0);
+        assert_eq!(set.spans.len(), 1);
+        let span = &set.spans[0];
+        assert_eq!(span.outcome, SpanOutcome::Completed);
+        assert_eq!(span.admit_via, Some(AdmitVia::Direct));
+        assert_eq!(span.end_secs, Some(61.0));
+        assert_eq!(span.segments.len(), 1);
+        assert_eq!(span.segments[0].server, Some(2));
+        assert!(set.edges.is_empty());
+    }
+
+    #[test]
+    fn drm_victim_gets_displaced_edge_and_hop() {
+        let probe = feed(&[
+            (
+                0.0,
+                SimEvent::Admitted {
+                    stream: 5,
+                    video: 0,
+                    server: 0,
+                    path: AdmitPath::Direct,
+                },
+            ),
+            (
+                2.0,
+                SimEvent::Admitted {
+                    stream: 9,
+                    video: 0,
+                    server: 0,
+                    path: AdmitPath::Migrated,
+                },
+            ),
+            (
+                2.0,
+                SimEvent::Migrated {
+                    stream: 5,
+                    from: 0,
+                    to: 1,
+                    emergency: false,
+                },
+            ),
+        ]);
+        let set = probe.finish(10.0);
+        assert_eq!(set.edges.len(), 1);
+        assert_eq!(set.edges[0].kind, EdgeKind::Displaced);
+        assert_eq!(set.edges[0].cause, EdgeEnd::Stream { stream: 9 });
+        assert_eq!(set.edges[0].effect, EdgeEnd::Stream { stream: 5 });
+        let victim = set.span(5).unwrap();
+        assert_eq!(victim.hops, 1);
+        assert_eq!(victim.segments.len(), 2);
+        assert_eq!(victim.segments[1].server, Some(1));
+    }
+
+    #[test]
+    fn chain2_links_inner_hop_to_outer_victim() {
+        let probe = feed(&[
+            (
+                0.0,
+                SimEvent::Admitted {
+                    stream: 1,
+                    video: 0,
+                    server: 0,
+                    path: AdmitPath::Direct,
+                },
+            ),
+            (
+                0.0,
+                SimEvent::Admitted {
+                    stream: 2,
+                    video: 0,
+                    server: 1,
+                    path: AdmitPath::Direct,
+                },
+            ),
+            (
+                5.0,
+                SimEvent::Admitted {
+                    stream: 3,
+                    video: 0,
+                    server: 0,
+                    path: AdmitPath::Chained,
+                },
+            ),
+            (
+                5.0,
+                SimEvent::Migrated {
+                    stream: 1,
+                    from: 0,
+                    to: 1,
+                    emergency: false,
+                },
+            ),
+            (
+                5.0,
+                SimEvent::Migrated {
+                    stream: 2,
+                    from: 1,
+                    to: 2,
+                    emergency: false,
+                },
+            ),
+        ]);
+        let set = probe.finish(10.0);
+        assert_eq!(set.edges.len(), 2);
+        assert_eq!(set.edges[0].kind, EdgeKind::Displaced);
+        assert_eq!(set.edges[0].cause, EdgeEnd::Stream { stream: 3 });
+        assert_eq!(set.edges[0].effect, EdgeEnd::Stream { stream: 1 });
+        assert_eq!(set.edges[1].kind, EdgeKind::ChainInner);
+        assert_eq!(set.edges[1].cause, EdgeEnd::Stream { stream: 1 });
+        assert_eq!(set.edges[1].effect, EdgeEnd::Stream { stream: 2 });
+        assert_eq!(set.span(3).unwrap().admit_via, Some(AdmitVia::Chained));
+    }
+
+    #[test]
+    fn failure_evacuates_some_and_drops_the_rest() {
+        let probe = feed(&[
+            (
+                0.0,
+                SimEvent::Admitted {
+                    stream: 1,
+                    video: 0,
+                    server: 0,
+                    path: AdmitPath::Direct,
+                },
+            ),
+            (
+                0.0,
+                SimEvent::Admitted {
+                    stream: 2,
+                    video: 0,
+                    server: 0,
+                    path: AdmitPath::Direct,
+                },
+            ),
+            (
+                0.0,
+                SimEvent::Admitted {
+                    stream: 3,
+                    video: 0,
+                    server: 1,
+                    path: AdmitPath::Direct,
+                },
+            ),
+            (
+                7.0,
+                SimEvent::ServerDown {
+                    server: 0,
+                    relocated: 1,
+                    dropped: 1,
+                },
+            ),
+            (
+                7.0,
+                SimEvent::Migrated {
+                    stream: 1,
+                    from: 0,
+                    to: 1,
+                    emergency: true,
+                },
+            ),
+        ]);
+        let set = probe.finish(10.0);
+        assert_eq!(set.edges.len(), 1);
+        assert_eq!(set.edges[0].kind, EdgeKind::Evacuated);
+        assert_eq!(set.edges[0].cause, EdgeEnd::Server { server: 0 });
+        assert_eq!(set.edges[0].effect, EdgeEnd::Stream { stream: 1 });
+        // Stream 1 was rescued, stream 2 dropped, stream 3 untouched.
+        assert_eq!(set.span(1).unwrap().outcome, SpanOutcome::Open);
+        assert_eq!(set.span(1).unwrap().hops, 1);
+        let dropped = set.span(2).unwrap();
+        assert_eq!(dropped.outcome, SpanOutcome::Dropped);
+        assert_eq!(dropped.end_secs, Some(7.0));
+        assert_eq!(set.span(3).unwrap().outcome, SpanOutcome::Open);
+        assert_eq!(set.marks.len(), 1);
+        assert!(set.marks[0].down);
+    }
+
+    #[test]
+    fn failure_with_no_rescues_drops_immediately() {
+        let probe = feed(&[
+            (
+                0.0,
+                SimEvent::Admitted {
+                    stream: 1,
+                    video: 0,
+                    server: 0,
+                    path: AdmitPath::Direct,
+                },
+            ),
+            (
+                3.0,
+                SimEvent::ServerDown {
+                    server: 0,
+                    relocated: 0,
+                    dropped: 1,
+                },
+            ),
+        ]);
+        let set = probe.finish(10.0);
+        assert_eq!(set.span(1).unwrap().outcome, SpanOutcome::Dropped);
+        assert!(set.edges.is_empty());
+    }
+
+    #[test]
+    fn waitlist_wait_serve_links_to_the_freeing_completion() {
+        let probe = feed(&[
+            (
+                0.0,
+                SimEvent::Admitted {
+                    stream: 0,
+                    video: 1,
+                    server: 0,
+                    path: AdmitPath::Direct,
+                },
+            ),
+            (
+                1.0,
+                SimEvent::Rejected {
+                    stream: 1,
+                    video: 1,
+                },
+            ),
+            (
+                1.0,
+                SimEvent::WaitlistQueued {
+                    stream: 1,
+                    video: 1,
+                },
+            ),
+            (
+                20.0,
+                SimEvent::Completed {
+                    stream: 0,
+                    server: 0,
+                },
+            ),
+            (
+                20.0,
+                SimEvent::WaitlistServed {
+                    stream: 1,
+                    video: 1,
+                    server: 0,
+                    batched: false,
+                    waited_secs: 19.0,
+                },
+            ),
+        ]);
+        let set = probe.finish(60.0);
+        let served = set.span(1).unwrap();
+        assert_eq!(served.admit_via, Some(AdmitVia::Waitlist));
+        assert_eq!(served.outcome, SpanOutcome::Open);
+        assert_eq!(served.segments.len(), 2);
+        assert_eq!(served.segments[0].kind, SegmentKind::Wait);
+        assert_eq!(served.segments[0].end_secs, Some(20.0));
+        assert_eq!(served.segments[1].kind, SegmentKind::Serve);
+        assert_eq!(set.edges.len(), 1);
+        assert_eq!(set.edges[0].kind, EdgeKind::FreedSlot);
+        assert_eq!(set.edges[0].cause, EdgeEnd::Stream { stream: 0 });
+        assert_eq!(set.edges[0].effect, EdgeEnd::Stream { stream: 1 });
+    }
+
+    #[test]
+    fn expiry_closes_the_longest_waiting_spans_first() {
+        let probe = feed(&[
+            (
+                0.0,
+                SimEvent::Rejected {
+                    stream: 1,
+                    video: 0,
+                },
+            ),
+            (
+                0.0,
+                SimEvent::WaitlistQueued {
+                    stream: 1,
+                    video: 0,
+                },
+            ),
+            (
+                2.0,
+                SimEvent::Rejected {
+                    stream: 2,
+                    video: 0,
+                },
+            ),
+            (
+                2.0,
+                SimEvent::WaitlistQueued {
+                    stream: 2,
+                    video: 0,
+                },
+            ),
+            (30.0, SimEvent::WaitlistExpired { count: 1 }),
+        ]);
+        let set = probe.finish(60.0);
+        assert_eq!(set.span(1).unwrap().outcome, SpanOutcome::Expired);
+        assert_eq!(set.span(1).unwrap().end_secs, Some(30.0));
+        assert_eq!(set.span(2).unwrap().outcome, SpanOutcome::Open);
+    }
+
+    #[test]
+    fn pause_resume_toggles_segments() {
+        let probe = feed(&[
+            (
+                0.0,
+                SimEvent::Admitted {
+                    stream: 4,
+                    video: 0,
+                    server: 1,
+                    path: AdmitPath::Direct,
+                },
+            ),
+            (
+                10.0,
+                SimEvent::Paused {
+                    stream: 4,
+                    server: 1,
+                },
+            ),
+            (
+                25.0,
+                SimEvent::Resumed {
+                    stream: 4,
+                    server: 1,
+                },
+            ),
+        ]);
+        let set = probe.finish(60.0);
+        let span = set.span(4).unwrap();
+        let kinds: Vec<SegmentKind> = span.segments.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![SegmentKind::Serve, SegmentKind::Pause, SegmentKind::Serve]
+        );
+        assert_eq!(span.segments[1].start_secs, 10.0);
+        assert_eq!(span.segments[1].end_secs, Some(25.0));
+    }
+
+    #[test]
+    fn copy_lifecycle_and_tertiary_slot_accounting() {
+        let probe = feed(&[
+            (
+                0.0,
+                SimEvent::CopyStarted {
+                    copy: 10,
+                    video: 2,
+                    tertiary: true,
+                },
+            ),
+            (
+                5.0,
+                SimEvent::CopyStarted {
+                    copy: 11,
+                    video: 3,
+                    tertiary: false,
+                },
+            ),
+            (
+                50.0,
+                SimEvent::CopyDone {
+                    copy: 10,
+                    installed: true,
+                },
+            ),
+            (
+                60.0,
+                SimEvent::CopyDone {
+                    copy: 11,
+                    installed: false,
+                },
+            ),
+        ]);
+        // A tertiary copy's completion must not register as a freed slot.
+        assert!(matches!(
+            probe.last_freed,
+            Some((60.0, EdgeEnd::Stream { stream: 11 }))
+        ));
+        let set = probe.finish(100.0);
+        assert_eq!(set.span(10).unwrap().kind, SpanKind::Copy);
+        assert_eq!(set.span(10).unwrap().outcome, SpanOutcome::Completed);
+        assert_eq!(set.span(11).unwrap().outcome, SpanOutcome::Dropped);
+    }
+
+    #[test]
+    fn capture_is_deterministic_and_reconciles_with_outcome() {
+        let config = SimConfig::builder(sct_workload::SystemSpec::tiny_test())
+            .duration_hours(3.0)
+            .warmup_hours(0.25)
+            .waitlist(120.0, 20)
+            .seed(42)
+            .build();
+        let (out, set) = capture(&config);
+        let (out2, set2) = capture(&config);
+        assert_eq!(out, out2);
+        assert_eq!(set, set2);
+        let completed = set
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Viewer && s.outcome == SpanOutcome::Completed)
+            .count() as u64;
+        assert_eq!(completed, out.completions);
+        let viewers = set
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Viewer)
+            .count() as u64;
+        assert_eq!(viewers, out.stats.arrivals);
+        let expired = set
+            .spans
+            .iter()
+            .filter(|s| s.outcome == SpanOutcome::Expired)
+            .count() as u64;
+        assert_eq!(expired, out.waitlist.expired);
+        let freed = set.edges_of(EdgeKind::FreedSlot).count() as u64;
+        assert_eq!(freed, out.waitlist.served);
+    }
+}

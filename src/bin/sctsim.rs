@@ -11,12 +11,14 @@
 //! All subcommands are deterministic given `--seed`.
 
 use semi_continuous_vod::analysis::erlang::{erlang_b, expected_utilization_vs_svbr};
-use semi_continuous_vod::analysis::MetricsSnapshot;
+use semi_continuous_vod::analysis::{MetricsSnapshot, SpanSet};
 use semi_continuous_vod::core::config::SimConfig;
 use semi_continuous_vod::core::policies::Policy;
 use semi_continuous_vod::core::runner::{run_trials, utilization_summary, TrialPlan};
 use semi_continuous_vod::core::simulation::Simulation;
-use semi_continuous_vod::core::{JsonlTraceProbe, MetricsRegistry, Probe, TelemetryProbe};
+use semi_continuous_vod::core::{
+    JsonlTraceProbe, MetricsRegistry, Probe, SpanProbe, TelemetryProbe,
+};
 use semi_continuous_vod::simcore::{Rng, SimTime, ZipfLike};
 use semi_continuous_vod::workload::{calibrated_rate, SystemSpec, Trace};
 use std::process::exit;
@@ -25,9 +27,12 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  sctsim run [--config FILE | --system small|large|tiny] [--policy P1..P8]\n\
          \x20          [--theta T] [--hours H] [--warmup H] [--trials N] [--seed S] [--out FILE]\n\
-         \x20          [--trace FILE]  (export a JSONL event trace; forces a single trial)\n\
+         \x20          [--trace FILE]  (export a JSONL event trace; single trial only)\n\
          \x20          [--metrics FILE]  (export a telemetry snapshot, merged across trials)\n\
+         \x20          [--spans FILE]  (export request-lifecycle spans; single trial only)\n\
+         \x20          [--profile]  (print the event loop's wall-clock phase profile)\n\
          \x20 sctsim report FILE [--svg FILE]  (render a metrics snapshot as markdown + SVG)\n\
+         \x20 sctsim spans FILE [--critical-path] [--perfetto OUT]  (analyse a span export)\n\
          \x20 sctsim scenario --system small|large|tiny [--policy P..] [--theta T]\n\
          \x20 sctsim erlang --svbr K [--view-rate MBPS]\n\
          \x20 sctsim trace --system small|large|tiny [--theta T] [--hours H] [--seed S]"
@@ -39,12 +44,19 @@ struct Args {
     map: Vec<(String, String)>,
 }
 
+/// Flags that take no value.
+const BOOL_FLAGS: [&str; 2] = ["profile", "critical-path"];
+
 impl Args {
     fn parse(args: &[String]) -> Args {
         let mut map = Vec::new();
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
+                if BOOL_FLAGS.contains(&key) {
+                    map.push((key.to_string(), "true".to_string()));
+                    continue;
+                }
                 let val = it.next().unwrap_or_else(|| {
                     eprintln!("missing value for --{key}");
                     usage()
@@ -56,6 +68,10 @@ impl Args {
             }
         }
         Args { map }
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.get(key).is_some()
     }
 
     fn get(&self, key: &str) -> Option<&str> {
@@ -138,69 +154,100 @@ fn cmd_run(args: &Args) {
     let seed = args.get_f64("seed").unwrap_or(0.0) as u64;
     let trace_path = args.get("trace");
     let metrics_path = args.get("metrics");
-    let outcomes = if trace_path.is_some() || metrics_path.is_some() {
-        // Probes attached: run the plan's trials sequentially so each trial
-        // gets its own telemetry probe, then merge the registries (the
-        // merge is exact — see sct-core::metrics). Probes cannot perturb
-        // outcomes, so this matches `run_trials` on the same plan bit for
-        // bit. A trace narrates exactly one trial.
-        let n = if trace_path.is_some() {
-            1
-        } else {
-            trials.max(1)
-        };
-        let plan = TrialPlan::new(n, seed);
-        let mut trace_probe = trace_path.map(|path| {
-            JsonlTraceProbe::create(path).unwrap_or_else(|e| {
-                eprintln!("cannot create {path}: {e}");
-                exit(1)
-            })
-        });
-        let mut registry: Option<MetricsRegistry> = None;
-        let mut outs = Vec::with_capacity(n as usize);
-        for i in 0..n {
-            let mut cfg = config.clone();
-            cfg.seed = plan.seed(i);
-            let mut telemetry = metrics_path.map(|_| TelemetryProbe::new(&cfg));
-            let mut hub: Vec<&mut dyn Probe> = Vec::new();
-            if let Some(t) = telemetry.as_mut() {
-                hub.push(t);
-            }
-            if let Some(t) = trace_probe.as_mut() {
-                hub.push(t);
-            }
-            outs.push(Simulation::run_with_probes(&cfg, &mut hub));
-            if let Some(t) = telemetry {
-                let trial_registry = t.finish();
-                match registry.as_mut() {
-                    Some(r) => r.merge(trial_registry),
-                    None => registry = Some(trial_registry),
+    let spans_path = args.get("spans");
+    let profile = args.has("profile");
+    // A trace or span export narrates exactly one trial; silently
+    // dropping the other trials would misrepresent what ran.
+    if trials > 1 {
+        if trace_path.is_some() {
+            eprintln!("--trace exports a single trial; it conflicts with --trials {trials}");
+            exit(2)
+        }
+        if spans_path.is_some() {
+            eprintln!("--spans exports a single trial; it conflicts with --trials {trials}");
+            exit(2)
+        }
+    }
+    let outcomes =
+        if trace_path.is_some() || metrics_path.is_some() || spans_path.is_some() || profile {
+            // Probes attached: run the plan's trials sequentially so each trial
+            // gets its own telemetry probe, then merge the registries (the
+            // merge is exact — see sct-core::metrics). Probes cannot perturb
+            // outcomes, so this matches `run_trials` on the same plan bit for
+            // bit.
+            let n = trials.max(1);
+            let plan = TrialPlan::new(n, seed);
+            let mut trace_probe = trace_path.map(|path| {
+                JsonlTraceProbe::create(path).unwrap_or_else(|e| {
+                    eprintln!("cannot create {path}: {e}");
+                    exit(1)
+                })
+            });
+            let mut registry: Option<MetricsRegistry> = None;
+            let mut outs = Vec::with_capacity(n as usize);
+            for i in 0..n {
+                let mut cfg = config.clone();
+                cfg.seed = plan.seed(i);
+                let mut telemetry = metrics_path.map(|_| TelemetryProbe::new(&cfg));
+                let mut span_probe = spans_path.map(|_| SpanProbe::new());
+                let mut hub: Vec<&mut dyn Probe> = Vec::new();
+                if let Some(t) = telemetry.as_mut() {
+                    hub.push(t);
+                }
+                if let Some(t) = trace_probe.as_mut() {
+                    hub.push(t);
+                }
+                if let Some(s) = span_probe.as_mut() {
+                    hub.push(s);
+                }
+                let (outcome, loop_profile) = Simulation::run_profiled(&cfg, &mut hub);
+                if profile {
+                    eprint!("trial {i}: {}", loop_profile.to_text());
+                }
+                outs.push(outcome);
+                if let Some(t) = telemetry {
+                    let trial_registry = t.finish();
+                    match registry.as_mut() {
+                        Some(r) => r.merge(trial_registry),
+                        None => registry = Some(trial_registry),
+                    }
+                }
+                if let (Some(path), Some(probe)) = (spans_path, span_probe) {
+                    let set = probe.finish(cfg.duration.as_secs());
+                    std::fs::write(path, set.to_json() + "\n").unwrap_or_else(|e| {
+                        eprintln!("cannot write {path}: {e}");
+                        exit(1)
+                    });
+                    eprintln!(
+                        "wrote {} spans / {} causal edges to {path}",
+                        set.spans.len(),
+                        set.edges.len()
+                    );
                 }
             }
-        }
-        if let (Some(path), Some(probe)) = (trace_path, trace_probe) {
-            let lines = probe.finish().unwrap_or_else(|e| {
-                eprintln!("cannot write {path}: {e}");
-                exit(1)
-            });
-            eprintln!("traced {lines} events to {path}");
-        }
-        if let (Some(path), Some(registry)) = (metrics_path, registry) {
-            let snapshot = registry.snapshot();
-            std::fs::write(path, snapshot.to_json() + "\n").unwrap_or_else(|e| {
-                eprintln!("cannot write {path}: {e}");
-                exit(1)
-            });
-            eprintln!(
-                "wrote metrics snapshot ({} trial{}) to {path}",
-                snapshot.trials,
-                if snapshot.trials == 1 { "" } else { "s" }
-            );
-        }
-        outs
-    } else {
-        run_trials(&config, TrialPlan::new(trials.max(1), seed))
-    };
+            if let (Some(path), Some(probe)) = (trace_path, trace_probe) {
+                let lines = probe.finish().unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    exit(1)
+                });
+                eprintln!("traced {lines} events to {path}");
+            }
+            if let (Some(path), Some(registry)) = (metrics_path, registry) {
+                let snapshot = registry.snapshot();
+                std::fs::write(path, snapshot.to_json() + "\n").unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    exit(1)
+                });
+                eprintln!(
+                    "wrote metrics snapshot ({} trial{}) to {path}",
+                    snapshot.trials,
+                    if snapshot.trials == 1 { "" } else { "s" }
+                );
+            }
+            outs
+        } else {
+            run_trials(&config, TrialPlan::new(trials.max(1), seed))
+        };
     let summary = utilization_summary(&outcomes);
     eprintln!(
         "system={} theta={} trials={} hours={:.1}",
@@ -264,6 +311,29 @@ fn cmd_report(file: &str, args: &Args) {
     }
 }
 
+fn cmd_spans(file: &str, args: &Args) {
+    let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+        eprintln!("cannot read {file}: {e}");
+        exit(1)
+    });
+    let set = SpanSet::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("{file}: {e}");
+        exit(1)
+    });
+    print!("{}", set.summary_markdown());
+    if args.has("critical-path") {
+        println!();
+        print!("{}", set.critical_path_report(10));
+    }
+    if let Some(path) = args.get("perfetto") {
+        std::fs::write(path, set.to_perfetto()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1)
+        });
+        eprintln!("wrote Perfetto trace to {path} (open in ui.perfetto.dev)");
+    }
+}
+
 fn cmd_scenario(args: &Args) {
     let config = build_config(args);
     println!(
@@ -307,13 +377,21 @@ fn main() {
     let Some((cmd, rest)) = argv.split_first() else {
         usage()
     };
-    // `report` takes a positional snapshot file before its flags.
+    // `report` and `spans` take a positional file before their flags.
     if cmd == "report" {
         let Some((file, flags)) = rest.split_first() else {
             eprintln!("report needs a snapshot file");
             usage()
         };
         cmd_report(file, &Args::parse(flags));
+        return;
+    }
+    if cmd == "spans" {
+        let Some((file, flags)) = rest.split_first() else {
+            eprintln!("spans needs a span-set file");
+            usage()
+        };
+        cmd_spans(file, &Args::parse(flags));
         return;
     }
     let args = Args::parse(rest);

@@ -61,8 +61,10 @@ pub mod prelude {
         Histogram, MetricsRegistry, StateView, TelemetryProbe, TimeWeightedGauge,
     };
     pub use sct_core::policies::Policy;
+    pub use sct_core::profile::{LoopProfile, LoopProfiler};
     pub use sct_core::runner::{run_trials, TrialPlan};
     pub use sct_core::simulation::{SimOutcome, Simulation};
+    pub use sct_core::spans::SpanProbe;
     pub use sct_media::{Catalog, ClientProfile, Video, VideoId};
     pub use sct_simcore::{Rng, SimTime};
     pub use sct_transmission::SchedulerKind;

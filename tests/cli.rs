@@ -115,3 +115,157 @@ fn bad_usage_exits_nonzero() {
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("usage"));
 }
+
+#[test]
+fn run_spans_exports_and_spans_subcommand_analyses_them() {
+    let dir = std::env::temp_dir().join("sctsim-test-spans");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spans_path = dir.join("spans.json");
+    let base = [
+        "run", "--system", "tiny", "--hours", "1", "--trials", "1", "--seed", "5",
+    ];
+    let plain = sctsim(&base);
+    let mut span_args: Vec<&str> = base.to_vec();
+    span_args.extend(["--spans", spans_path.to_str().unwrap()]);
+    let spanned = sctsim(&span_args);
+    assert!(
+        plain.status.success() && spanned.status.success(),
+        "{}",
+        String::from_utf8_lossy(&spanned.stderr)
+    );
+    // The probe must be invisible: identical outcome JSON on stdout.
+    assert_eq!(plain.stdout, spanned.stdout);
+    let stderr = String::from_utf8(spanned.stderr).unwrap();
+    assert!(stderr.contains("wrote"), "{stderr}");
+
+    let summary = sctsim(&["spans", spans_path.to_str().unwrap(), "--critical-path"]);
+    assert!(
+        summary.status.success(),
+        "{}",
+        String::from_utf8_lossy(&summary.stderr)
+    );
+    let text = String::from_utf8(summary.stdout).unwrap();
+    assert!(text.contains("## Spans"), "{text}");
+    assert!(text.contains("## Causal edges"), "{text}");
+    assert!(text.contains("Critical path"), "{text}");
+
+    let perfetto_path = dir.join("trace.perfetto.json");
+    let export = sctsim(&[
+        "spans",
+        spans_path.to_str().unwrap(),
+        "--perfetto",
+        perfetto_path.to_str().unwrap(),
+    ]);
+    assert!(
+        export.status.success(),
+        "{}",
+        String::from_utf8_lossy(&export.stderr)
+    );
+    let trace = std::fs::read_to_string(&perfetto_path).unwrap();
+    assert!(trace.contains("\"traceEvents\""), "not a trace: {trace}");
+}
+
+#[test]
+fn spans_flag_conflicts_with_multiple_trials() {
+    let out = sctsim(&[
+        "run",
+        "--system",
+        "tiny",
+        "--hours",
+        "1",
+        "--trials",
+        "2",
+        "--spans",
+        "/tmp/x.json",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("--spans") && err.contains("--trials 2"),
+        "{err}"
+    );
+}
+
+#[test]
+fn trace_flag_conflicts_with_multiple_trials() {
+    let out = sctsim(&[
+        "run",
+        "--system",
+        "tiny",
+        "--hours",
+        "1",
+        "--trials",
+        "3",
+        "--trace",
+        "/tmp/x.jsonl",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("--trace") && err.contains("--trials 3"),
+        "{err}"
+    );
+}
+
+#[test]
+fn spans_subcommand_rejects_a_missing_file() {
+    let out = sctsim(&["spans", "/nonexistent/never/spans.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("spans.json"), "{err}");
+}
+
+#[test]
+fn spans_subcommand_rejects_garbage_json() {
+    let dir = std::env::temp_dir().join("sctsim-test-spans");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("garbage.json");
+    std::fs::write(&path, "{not json at all").unwrap();
+    let out = sctsim(&["spans", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(!out.stderr.is_empty());
+}
+
+#[test]
+fn spans_subcommand_needs_a_file_argument() {
+    let out = sctsim(&["spans"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("span-set file"), "{err}");
+}
+
+#[test]
+fn unwritable_spans_path_fails_with_a_diagnostic() {
+    let out = sctsim(&[
+        "run",
+        "--system",
+        "tiny",
+        "--hours",
+        "0.2",
+        "--trials",
+        "1",
+        "--spans",
+        "/nonexistent/never/spans.json",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("spans.json"), "{err}");
+}
+
+#[test]
+fn unwritable_metrics_path_fails_with_a_diagnostic() {
+    let out = sctsim(&[
+        "run",
+        "--system",
+        "tiny",
+        "--hours",
+        "0.2",
+        "--trials",
+        "1",
+        "--metrics",
+        "/nonexistent/never/metrics.json",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("metrics.json"), "{err}");
+}

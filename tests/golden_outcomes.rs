@@ -57,6 +57,20 @@ fn check_golden(name: &str, config: &SimConfig) {
         );
     }
 
+    // The span probe must be equally invisible, while still folding the
+    // stream into at least one lifecycle span on every golden config.
+    let mut span_probe = SpanProbe::new();
+    let with_spans = Simulation::run_with_probes(config, &mut [&mut span_probe]);
+    assert_eq!(
+        with_spans, outcome,
+        "{name}: attaching SpanProbe perturbed the outcome"
+    );
+    let span_set = span_probe.finish(config.duration.as_secs());
+    assert!(
+        !span_set.spans.is_empty(),
+        "{name}: golden config produced no spans"
+    );
+
     let path = golden_path(name);
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         let json = serde_json::to_string_pretty(&outcome).expect("outcome serialises");
