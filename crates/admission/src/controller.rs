@@ -15,7 +15,7 @@
 //! 3. **Rejection** otherwise. Rejected requests leave the system
 //!    ("if this fails, then the request is not accepted", §3.2).
 
-use crate::policy::{AssignmentPolicy, MigrationPolicy, VictimSelection};
+use crate::policy::{AssignmentPolicy, EvacuationPolicy, MigrationPolicy, VictimSelection};
 use crate::stats::AdmissionStats;
 use sct_cluster::{ReplicaMap, ServerId};
 use sct_simcore::{Rng, SimTime};
@@ -75,6 +75,11 @@ pub struct Evacuation {
     pub touched: Vec<ServerId>,
     /// Streams re-homed: `(stream, new server)`, in evacuation order.
     pub relocated: Vec<(StreamId, ServerId)>,
+    /// Streams saved by the best-effort restart policy: re-homed with
+    /// their staged workahead discarded, `(stream, new server)`, in
+    /// evacuation order. Empty unless
+    /// [`EvacuationPolicy::best_effort_restart`] is set.
+    pub restarted: Vec<(StreamId, ServerId)>,
     /// Streams whose viewers lost service, in evacuation order.
     pub dropped: Vec<StreamId>,
 }
@@ -88,16 +93,20 @@ pub struct Controller {
     pub assignment: AssignmentPolicy,
     /// Migration configuration.
     pub migration: MigrationPolicy,
+    /// Failure-evacuation configuration.
+    pub evacuation: EvacuationPolicy,
     /// Counters for the current trial.
     pub stats: AdmissionStats,
 }
 
 impl Controller {
-    /// Creates a controller with the given policies.
+    /// Creates a controller with the given policies and the strict
+    /// (paper-faithful) evacuation policy.
     pub fn new(assignment: AssignmentPolicy, migration: MigrationPolicy) -> Self {
         Controller {
             assignment,
             migration,
+            evacuation: EvacuationPolicy::default(),
             stats: AdmissionStats::default(),
         }
     }
@@ -131,12 +140,7 @@ impl Controller {
 
         // 1. Direct placement.
         let holders = map.holders(stream.video);
-        let eligible: Vec<ServerId> = holders
-            .iter()
-            .copied()
-            .filter(|&s| engines[s.index()].can_admit(view_rate))
-            .collect();
-        if let Some(server) = self.pick_server(&eligible, engines, rng) {
+        if let Some(server) = self.pick_server(holders, view_rate, engines, rng) {
             engines[server.index()].admit(stream, now);
             self.stats.accepted_direct += 1;
             self.stats.accepted_mb += size_mb;
@@ -278,8 +282,13 @@ impl Controller {
     /// *online* holder of its video with a free slot, provided migration
     /// is enabled and the client has staged enough data to mask the
     /// hand-off; otherwise the stream is dropped (the viewer loses
-    /// service). Emergency hops do not consume the per-request DRM hop
-    /// budget — survival is not a scheduling optimisation.
+    /// service) — unless [`EvacuationPolicy::best_effort_restart`] is
+    /// set, in which case a stream that cannot hand off seamlessly is
+    /// restarted from its playback point on any capable holder (the
+    /// staged workahead is discarded and retransmitted; the viewer
+    /// rebuffers but keeps service). Emergency hops do not consume the
+    /// per-request DRM hop budget — survival is not a scheduling
+    /// optimisation.
     ///
     /// Returns the servers that received streams (the caller must re-arm
     /// their wakes) plus the per-stream fate of every evacuee.
@@ -325,8 +334,39 @@ impl Controller {
                     }
                 }
                 None => {
-                    self.stats.dropped_on_failure += 1;
-                    out.dropped.push(stream.id);
+                    // No seamless hand-off. Best-effort restart: any
+                    // online holder with a slot can serve the stream from
+                    // its playback point — the staging requirement is
+                    // moot once the viewer is rebuffering anyway.
+                    let fallback = if self.evacuation.best_effort_restart {
+                        map.holders(stream.video)
+                            .iter()
+                            .copied()
+                            .filter(|&t| {
+                                t != from && engines[t.index()].can_admit(stream.view_rate)
+                            })
+                            .min_by_key(|t| (engines[t.index()].active_count(), *t))
+                    } else {
+                        None
+                    };
+                    match fallback {
+                        Some(t) => {
+                            let mut s = stream;
+                            let id = s.id;
+                            s.restart_from_playback(now);
+                            s.record_hop();
+                            engines[t.index()].admit(s, now);
+                            self.stats.restarted_on_failure += 1;
+                            out.restarted.push((id, t));
+                            if !out.touched.contains(&t) {
+                                out.touched.push(t);
+                            }
+                        }
+                        None => {
+                            self.stats.dropped_on_failure += 1;
+                            out.dropped.push(stream.id);
+                        }
+                    }
                 }
             }
         }
@@ -369,30 +409,37 @@ impl Controller {
         self.find_chain2(map.holders(video), engines, map, now)
     }
 
-    /// Applies the assignment policy to the eligible holder set.
+    /// Applies the assignment policy to the eligible holder set (the
+    /// holders with a free minimum-flow slot). Filters the holders
+    /// inline rather than collecting the eligible set — admission is on
+    /// the hot path and the eligible `Vec` was its only allocation.
     fn pick_server(
         &self,
-        eligible: &[ServerId],
+        holders: &[ServerId],
+        view_rate: f64,
         engines: &[ServerEngine],
         rng: &mut Rng,
     ) -> Option<ServerId> {
-        if eligible.is_empty() {
-            return None;
+        let eligible = || {
+            holders
+                .iter()
+                .copied()
+                .filter(|&s| engines[s.index()].can_admit(view_rate))
+        };
+        match self.assignment {
+            AssignmentPolicy::LeastLoaded => {
+                eligible().min_by_key(|&s| (engines[s.index()].active_count(), s))
+            }
+            AssignmentPolicy::MostLoaded => eligible()
+                .max_by_key(|&s| (engines[s.index()].active_count(), std::cmp::Reverse(s))),
+            AssignmentPolicy::FirstFit => eligible().next(), // holder lists are sorted
+            AssignmentPolicy::Random => {
+                // Same RNG draw as `Rng::choose` on the collected set:
+                // one `below(n)` call, indexing in holder order.
+                let n = eligible().count();
+                (n > 0).then(|| eligible().nth(rng.below(n)).unwrap())
+            }
         }
-        Some(match self.assignment {
-            AssignmentPolicy::LeastLoaded => eligible
-                .iter()
-                .copied()
-                .min_by_key(|s| (engines[s.index()].active_count(), *s))
-                .unwrap(),
-            AssignmentPolicy::MostLoaded => eligible
-                .iter()
-                .copied()
-                .max_by_key(|s| (engines[s.index()].active_count(), std::cmp::Reverse(*s)))
-                .unwrap(),
-            AssignmentPolicy::FirstFit => eligible[0], // holder lists are sorted
-            AssignmentPolicy::Random => *rng.choose(eligible).unwrap(),
-        })
     }
 
     /// Searches for a feasible (victim, target) pair on the full holders.
@@ -836,6 +883,48 @@ mod tests {
         assert_eq!(evac.dropped, vec![StreamId(1)]);
         assert_eq!(c.stats.dropped_on_failure, 1);
         assert_eq!(engines[1].active_count(), 0);
+    }
+
+    #[test]
+    fn evacuation_policy_strict_drops_where_best_effort_restarts() {
+        // Identical setup under both policies: one v1 stream on s0 with
+        // workahead staged, migration disabled — a seamless hand-off is
+        // impossible, but s1 also holds v1 and has free slots.
+        for best_effort in [false, true] {
+            let (mut engines, map) = two_server_setup();
+            let now = SimTime::ZERO;
+            engines[0].admit(mk_stream(1, 1, 3000.0, 1e6, now), now);
+            let t = SimTime::from_secs(5.0);
+            let taken = engines[0].fail(t);
+            let mut c = Controller::paper_no_migration();
+            c.evacuation = if best_effort {
+                EvacuationPolicy::best_effort()
+            } else {
+                EvacuationPolicy::strict()
+            };
+            let evac = c.evacuate(taken, ServerId(0), &mut engines, &map, t);
+            if best_effort {
+                assert_eq!(evac.restarted, vec![(StreamId(1), ServerId(1))]);
+                assert!(evac.dropped.is_empty());
+                assert_eq!(evac.touched, vec![ServerId(1)]);
+                assert_eq!(c.stats.restarted_on_failure, 1);
+                assert_eq!(c.stats.dropped_on_failure, 0);
+                // The restart rewinds the data to the playback point:
+                // 5 s viewed at 3 Mb/s = 15 Mb; the workahead the stream
+                // had staged beyond that (it was receiving the full
+                // 12 Mb/s) is flushed.
+                let s = &engines[1].streams()[0];
+                assert!((s.sent_mb() - 15.0).abs() < 1e-9, "{}", s.sent_mb());
+                assert_eq!(s.hops, 1);
+            } else {
+                assert_eq!(evac.dropped, vec![StreamId(1)]);
+                assert!(evac.restarted.is_empty());
+                assert!(evac.touched.is_empty());
+                assert_eq!(c.stats.dropped_on_failure, 1);
+                assert_eq!(c.stats.restarted_on_failure, 0);
+                assert_eq!(engines[1].active_count(), 0);
+            }
+        }
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod stats;
 pub mod waitlist;
 
 pub use controller::{Admission, ChainPlan, Controller, Evacuation};
-pub use policy::{AssignmentPolicy, MigrationPolicy, VictimSelection};
+pub use policy::{AssignmentPolicy, EvacuationPolicy, MigrationPolicy, VictimSelection};
 pub use replication::{
     CopyLaunch, CopySource, ReplicationManager, ReplicationSpec, ReplicationStats,
 };

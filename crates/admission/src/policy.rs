@@ -143,6 +143,37 @@ impl MigrationPolicy {
     }
 }
 
+/// Fault-tolerance evacuation knobs (the paper itself never fails a
+/// server; this governs the fault-tolerance extension).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EvacuationPolicy {
+    /// When a stream on a failed server cannot make a *seamless*
+    /// hand-off — its client has staged less than the hand-off
+    /// requirement, or migration is disabled entirely — restart it on
+    /// another capable holder from the playback point instead of
+    /// dropping it. The viewer rebuffers (the staged workahead is lost
+    /// and retransmitted) but keeps service. Off by default: the
+    /// paper-faithful policy drops such streams.
+    pub best_effort_restart: bool,
+}
+
+impl EvacuationPolicy {
+    /// Drop any stream that cannot hand off seamlessly (paper-faithful).
+    pub fn strict() -> Self {
+        EvacuationPolicy {
+            best_effort_restart: false,
+        }
+    }
+
+    /// Restart unseamable streams from the playback point when any
+    /// online holder has a free slot.
+    pub fn best_effort() -> Self {
+        EvacuationPolicy {
+            best_effort_restart: true,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

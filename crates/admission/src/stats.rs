@@ -3,7 +3,12 @@
 use serde::{Deserialize, Serialize};
 
 /// Counters maintained by the [`crate::Controller`] over one trial.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are hand-written below rather than derived:
+/// the vendored minimal serde has no `#[serde(default)]`, and golden
+/// `SimOutcome` fixtures written before `restarted_on_failure` existed
+/// must keep deserializing (the missing counter defaults to 0).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct AdmissionStats {
     /// Requests that arrived.
     pub arrivals: u64,
@@ -24,9 +29,73 @@ pub struct AdmissionStats {
     /// Streams moved to another replica holder when their server failed
     /// (fault-tolerance extension; 0 without failures).
     pub relocated_on_failure: u64,
+    /// Streams restarted from the playback point on another holder when a
+    /// seamless hand-off was infeasible (best-effort evacuation policy;
+    /// 0 under the strict policy).
+    pub restarted_on_failure: u64,
     /// Streams lost because no replica holder could absorb them when their
     /// server failed.
     pub dropped_on_failure: u64,
+}
+
+impl Serialize for AdmissionStats {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("arrivals".to_string(), self.arrivals.to_value()),
+            (
+                "accepted_direct".to_string(),
+                self.accepted_direct.to_value(),
+            ),
+            (
+                "accepted_via_migration".to_string(),
+                self.accepted_via_migration.to_value(),
+            ),
+            (
+                "chain2_migrations".to_string(),
+                self.chain2_migrations.to_value(),
+            ),
+            ("rejected".to_string(), self.rejected.to_value()),
+            ("requested_mb".to_string(), self.requested_mb.to_value()),
+            ("accepted_mb".to_string(), self.accepted_mb.to_value()),
+            (
+                "relocated_on_failure".to_string(),
+                self.relocated_on_failure.to_value(),
+            ),
+            (
+                "restarted_on_failure".to_string(),
+                self.restarted_on_failure.to_value(),
+            ),
+            (
+                "dropped_on_failure".to_string(),
+                self.dropped_on_failure.to_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for AdmissionStats {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let serde::Value::Map(m) = v else {
+            return Err(serde::DeError::expected("map", "AdmissionStats"));
+        };
+        let field = |name: &str| serde::map_field(m, name, "AdmissionStats");
+        Ok(AdmissionStats {
+            arrivals: Deserialize::from_value(field("arrivals")?)?,
+            accepted_direct: Deserialize::from_value(field("accepted_direct")?)?,
+            accepted_via_migration: Deserialize::from_value(field("accepted_via_migration")?)?,
+            chain2_migrations: Deserialize::from_value(field("chain2_migrations")?)?,
+            rejected: Deserialize::from_value(field("rejected")?)?,
+            requested_mb: Deserialize::from_value(field("requested_mb")?)?,
+            accepted_mb: Deserialize::from_value(field("accepted_mb")?)?,
+            relocated_on_failure: Deserialize::from_value(field("relocated_on_failure")?)?,
+            // Absent in fixtures that predate the counter: default to 0.
+            restarted_on_failure: match field("restarted_on_failure") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => 0,
+            },
+            dropped_on_failure: Deserialize::from_value(field("dropped_on_failure")?)?,
+        })
+    }
 }
 
 impl AdmissionStats {
@@ -70,6 +139,7 @@ impl AdmissionStats {
         self.requested_mb += other.requested_mb;
         self.accepted_mb += other.accepted_mb;
         self.relocated_on_failure += other.relocated_on_failure;
+        self.restarted_on_failure += other.restarted_on_failure;
         self.dropped_on_failure += other.dropped_on_failure;
     }
 

@@ -16,7 +16,7 @@ use sct_core::simulation::Simulation;
 use sct_core::SpanProbe;
 use sct_transmission::SchedulerKind;
 use sct_workload::SystemSpec;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::hint::black_box;
 
 #[derive(Serialize)]
@@ -49,12 +49,36 @@ struct Report {
     scenario: ScenarioInfo,
     grid: Vec<GridRow>,
     probe_overhead: ProbeOverhead,
+    /// Monotone throughput ratchet: the highest `RATCHET_FRACTION ×
+    /// min(grid events/s)` any committed run has observed. CI fails when
+    /// a run's slowest cell drops below this floor (after its own
+    /// machine-variance allowance — see the workflow), so hot-path
+    /// regressions cannot land silently; the floor only ever rises.
+    floor_events_per_sec: f64,
 }
 
 const SIM_HOURS: f64 = 2.0;
 const THETA: f64 = 0.271;
 const SEED: u64 = 5;
 const RESULT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_sim.json");
+
+/// Fraction of the measured minimum used when advancing the floor: a
+/// guard band so an immediate same-machine rerun (min-of-3 jitter) still
+/// clears its own ratchet.
+const RATCHET_FRACTION: f64 = 0.9;
+
+/// The floor recorded by the previous run, if the results file exists
+/// and carries one (reports written before the ratchet existed fail the
+/// field lookup and bootstrap from the current run).
+fn prior_floor() -> Option<f64> {
+    #[derive(Deserialize)]
+    struct Prior {
+        floor_events_per_sec: f64,
+    }
+    let text = std::fs::read_to_string(RESULT_PATH).ok()?;
+    let prior: Prior = serde_json::from_str(&text).ok()?;
+    Some(prior.floor_events_per_sec)
+}
 
 fn grid_config(scheduler: SchedulerKind, migration: MigrationPolicy) -> SimConfig {
     // P4 fixes placement/staging; the sweep then overrides the two grid
@@ -105,7 +129,7 @@ fn bench_simloop(c: &mut Criterion) {
     for scheduler in SchedulerKind::ALL {
         for (mig_name, mig) in &migrations {
             let cfg = grid_config(scheduler, *mig);
-            let (wall_secs, events) = measure(&cfg, 3);
+            let (wall_secs, events) = measure(&cfg, 7);
             grid.push(GridRow {
                 scheduler: scheduler.name(),
                 migration: mig_name,
@@ -132,7 +156,7 @@ fn bench_simloop(c: &mut Criterion) {
     let mut bare_wall_secs = f64::INFINITY;
     let mut spans_wall_secs = f64::INFINITY;
     let mut n_spans = 0;
-    for _ in 0..15 {
+    for _ in 0..31 {
         let (_, profile) = Simulation::run_profiled(black_box(&cfg), &mut []);
         bare_wall_secs = bare_wall_secs.min(profile.wall_secs);
         let mut probe = SpanProbe::new();
@@ -144,6 +168,15 @@ fn bench_simloop(c: &mut Criterion) {
     println!(
         "simloop: span probe {spans_wall_secs:.4} s vs bare {bare_wall_secs:.4} s \
          ({n_spans} spans, {overhead_pct:+.2} %)"
+    );
+
+    let min_eps = grid
+        .iter()
+        .map(|row| row.events_per_sec)
+        .fold(f64::INFINITY, f64::min);
+    let floor_events_per_sec = prior_floor().unwrap_or(0.0).max(RATCHET_FRACTION * min_eps);
+    println!(
+        "simloop: grid floor {min_eps:.0} events/s, ratchet {floor_events_per_sec:.0} events/s"
     );
 
     let report = Report {
@@ -160,6 +193,7 @@ fn bench_simloop(c: &mut Criterion) {
             spans: n_spans,
             overhead_pct,
         },
+        floor_events_per_sec,
     };
     std::fs::write(
         RESULT_PATH,

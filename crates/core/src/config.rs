@@ -5,7 +5,9 @@
 //! builder starts from the paper's defaults and lets experiments override
 //! the axis they sweep.
 
-use sct_admission::{AssignmentPolicy, MigrationPolicy, ReplicationSpec, WaitlistSpec};
+use sct_admission::{
+    AssignmentPolicy, EvacuationPolicy, MigrationPolicy, ReplicationSpec, WaitlistSpec,
+};
 use sct_cluster::PlacementStrategy;
 use sct_media::ClientProfile;
 use sct_simcore::SimTime;
@@ -136,6 +138,8 @@ pub struct SimConfig {
     pub assignment: AssignmentPolicy,
     /// Dynamic-request-migration policy.
     pub migration: MigrationPolicy,
+    /// Failure-evacuation policy (strict drop vs best-effort restart).
+    pub evacuation: EvacuationPolicy,
     /// Spare-bandwidth scheduler on every server.
     pub scheduler: SchedulerKind,
     /// Client staging buffer size.
@@ -206,6 +210,7 @@ impl SimConfigBuilder {
                 placement: PlacementStrategy::even_paper(),
                 assignment: AssignmentPolicy::LeastLoaded,
                 migration: MigrationPolicy::disabled(),
+                evacuation: EvacuationPolicy::default(),
                 scheduler: SchedulerKind::Eftf,
                 staging: StagingSpec::FractionOfAvgVideo(0.2),
                 receive_cap_mbps: receive_cap,
@@ -246,6 +251,19 @@ impl SimConfigBuilder {
     /// Sets the migration policy.
     pub fn migration(mut self, m: MigrationPolicy) -> Self {
         self.cfg.migration = m;
+        self
+    }
+
+    /// Enables (or disables) the best-effort evacuation restart: streams
+    /// that cannot hand off seamlessly when their server fails are
+    /// restarted from the playback point on another capable holder
+    /// instead of being dropped. Off by default (paper-faithful).
+    pub fn evacuation_restart(mut self, on: bool) -> Self {
+        self.cfg.evacuation = if on {
+            EvacuationPolicy::best_effort()
+        } else {
+            EvacuationPolicy::strict()
+        };
         self
     }
 

@@ -55,8 +55,8 @@
 use std::fmt;
 
 use sct_admission::{
-    Admission, AssignmentPolicy, Controller, CopyLaunch, CopySource, MigrationPolicy,
-    ReplicationManager, ReplicationSpec, Waitlist, WaitlistSpec,
+    Admission, AssignmentPolicy, Controller, CopyLaunch, CopySource, EvacuationPolicy,
+    MigrationPolicy, ReplicationManager, ReplicationSpec, Waitlist, WaitlistSpec,
 };
 use sct_cluster::{ClusterSpec, ReplicaMap, ServerId};
 use sct_media::{ClientProfile, VideoId};
@@ -209,6 +209,11 @@ pub struct OracleScenario {
     /// `migration_on`; the policy becomes [`MigrationPolicy::chain2`] and
     /// the waitlist, if any, serves through the full admission path).
     pub chain2_on: bool,
+    /// Whether evacuation restarts streams that cannot hand off
+    /// seamlessly (best-effort policy). Seed bit 7, *inverted*: off for
+    /// every seed below 128, so the strict paper-faithful policy remains
+    /// the default across the historical scenario corpus.
+    pub restart_on: bool,
     /// Client staging/receive profile shared by all viewers.
     pub client: ClientProfile,
     /// Holder set per video (index = video id).
@@ -247,6 +252,9 @@ impl OracleScenario {
         // cross in O(1) slices.
         let chain2_on = migration_on && (seed / 32).is_multiple_of(2);
         let long_drain = (seed / 64).is_multiple_of(2);
+        // Bit 7 arms the best-effort evacuation restart — inverted so it
+        // stays off (paper-faithful) for the whole historical seed range.
+        let restart_on = !(seed / 128).is_multiple_of(2);
         let n_servers = if chain2_on {
             // The deterministic chain pressure wave needs three distinct
             // servers (full → full → open).
@@ -452,6 +460,7 @@ impl OracleScenario {
             scheduler,
             migration_on,
             chain2_on,
+            restart_on,
             client,
             holders,
             replication,
@@ -1229,6 +1238,9 @@ fn run_differential_full(
     let cluster_spec = ClusterSpec::homogeneous(scenario.n_servers, capacity, 1_000.0);
     let mut controller =
         Controller::new(AssignmentPolicy::LeastLoaded, scenario.migration_policy());
+    controller.evacuation = EvacuationPolicy {
+        best_effort_restart: scenario.restart_on,
+    };
     let mut replication = scenario.replication.map(ReplicationManager::new);
     let mut waitlist = scenario.waitlist.map(Waitlist::new);
     let mut rng = Rng::new(seed).fork(0xD1FF);
@@ -1690,18 +1702,30 @@ fn run_differential_full(
             TraceOp::Fail(server) => {
                 let taken = engines[server.index()].fail(now);
                 let taken_ids: Vec<StreamId> = taken.iter().map(|s| s.id).collect();
-                let touched = controller
-                    .evacuate(taken, *server, &mut engines, &map, now)
-                    .touched;
+                let evac = controller.evacuate(taken, *server, &mut engines, &map, now);
+                let touched = evac.touched;
                 reference.online[server.index()] = false;
                 // Mirror each victim's fate by observing where it landed.
                 for vid in taken_ids {
                     let landed = engines
                         .iter()
                         .position(|e| e.streams().iter().any(|s| s.id == vid));
+                    let restarted = evac.restarted.iter().any(|&(id, _)| id == vid);
                     match landed {
                         Some(target) => {
-                            if !scenario.migration_on {
+                            if restarted {
+                                if !scenario.restart_on {
+                                    diverge!(
+                                        seed,
+                                        now,
+                                        Some(vid),
+                                        Some(*server),
+                                        DivergenceKind::Admission,
+                                        "evacuation restarted a stream with the \
+                                         best-effort policy off"
+                                    );
+                                }
+                            } else if !scenario.migration_on {
                                 diverge!(
                                     seed,
                                     now,
@@ -1721,7 +1745,24 @@ fn run_differential_full(
                                     "evacuated stream unknown to the reference"
                                 );
                             };
-                            reference.streams[vi].server = target;
+                            if restarted {
+                                // Best-effort restart: the client rewinds
+                                // to its playback point, so the staged
+                                // workahead leaves the live stream and is
+                                // retransmitted by the new server. The
+                                // flushed megabits stay in the conservation
+                                // ledger — the dead server really did send
+                                // them.
+                                let r = &mut reference.streams[vi];
+                                let viewed = r.played_secs * r.view_rate;
+                                let flushed = (r.sent_mb - viewed).max(0.0);
+                                reference.retired_mb += flushed;
+                                r.sent_mb = viewed;
+                                r.sent_comp = 0.0;
+                                r.server = target;
+                            } else {
+                                reference.streams[vi].server = target;
+                            }
                         }
                         None => {
                             // Dropped (or it had just finished): the viewer

@@ -11,8 +11,9 @@
 //! * **alloc** — allocator recompute: engine integration
 //!   (`advance_to`) plus schedule recomputation (`reschedule`);
 //! * **wake** — wake-event queue pushes from the re-arm site;
-//! * **probe** — probe emission: `SimEvent` fan-out plus the
-//!   [`crate::metrics::StateView`] publication.
+//! * **probe** — the per-event [`crate::metrics::StateView`]
+//!   publication (the `SimEvent` fan-out rides inside dispatch: timing
+//!   each emission cost more than the fan-out itself).
 //!
 //! Timers use [`Instant`], which Linux services from the vDSO — a
 //! monotonic clock read without a syscall — so the hot path stays
@@ -38,7 +39,7 @@ pub enum Phase {
     Alloc,
     /// Wake-queue pushes from the re-arm site.
     Wake,
-    /// Probe emission (event fan-out + state publication).
+    /// Per-event state publication to the attached probes.
     Probe,
 }
 
@@ -88,8 +89,23 @@ impl LoopProfiler {
         cell.calls.set(cell.calls.get() + 1);
     }
 
-    /// Fans `event` out to every probe, charging the time to
-    /// [`Phase::Probe`].
+    /// Charges the window `[start, end]` to `phase`. Lets adjacent phases
+    /// share one boundary timestamp instead of each reading the clock
+    /// twice — the hot loop's windows meet end-to-start, so every shared
+    /// boundary saves a clock read per event.
+    #[inline]
+    pub fn add_between(&self, phase: Phase, start: Instant, end: Instant) {
+        let cell = &self.phases[phase as usize];
+        cell.nanos
+            .set(cell.nanos.get() + end.duration_since(start).as_nanos() as u64);
+        cell.calls.set(cell.calls.get() + 1);
+    }
+
+    /// Fans `event` out to every probe. Deliberately not timed: a clock
+    /// pair per emission cost more than the fan-out itself on the hot
+    /// path, so the fan-out is charged to the surrounding dispatch
+    /// window and [`Phase::Probe`] covers the per-event state
+    /// publication (where probes do their real work).
     #[inline]
     pub(crate) fn emit(
         &self,
@@ -97,9 +113,8 @@ impl LoopProfiler {
         now: sct_simcore::SimTime,
         event: &crate::events::SimEvent,
     ) {
-        let t0 = Instant::now();
+        let _ = self;
         crate::events::emit(probes, now, event);
-        self.add(Phase::Probe, t0);
     }
 
     /// Reduces the counters to a serialisable report. The event count is
@@ -155,7 +170,7 @@ pub struct LoopProfile {
     pub alloc: PhaseStat,
     /// Wake-queue pushes.
     pub wake: PhaseStat,
-    /// Probe emission (event fan-out + state publication).
+    /// Per-event state publication to the attached probes.
     pub probe: PhaseStat,
 }
 

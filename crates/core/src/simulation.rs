@@ -154,8 +154,45 @@ impl WakeScheduler {
             engine.advance_to(now);
         }
         let wake = engine.reschedule(now);
-        prof.add(Phase::Alloc, t0);
         if let Some(wake) = wake {
+            if wake <= self.end {
+                // Alloc and wake-push windows share the boundary read.
+                let t1 = LoopProfiler::clock();
+                prof.add_between(Phase::Alloc, t0, t1);
+                self.queue.push(
+                    wake,
+                    Event::Wake {
+                        server: engine.id().0,
+                        generation: engine.generation(),
+                    },
+                );
+                prof.add(Phase::Wake, t1);
+            } else {
+                prof.add(Phase::Alloc, t0);
+            }
+        } else {
+            prof.add(Phase::Alloc, t0);
+        }
+        if check {
+            engine.check_invariants();
+        }
+    }
+
+    /// Arms the next wake for an engine whose schedule is already current
+    /// at `now`. Admission paths run the allocator inside
+    /// [`ServerEngine::admit`], so the post-admission re-arm reuses the
+    /// wake time that reschedule computed ([`ServerEngine::last_wake`]) —
+    /// re-running the (unchanged) allocation and the stream scan here
+    /// would double the hot arrival path's allocator work for a
+    /// bit-identical result.
+    fn arm(&mut self, engine: &ServerEngine, now: SimTime, check: bool, prof: &LoopProfiler) {
+        debug_assert_eq!(
+            engine.last_wake(),
+            engine.next_event_after(now).map(|(t, _)| t),
+            "arm() without a fresh reschedule on {}",
+            engine.id()
+        );
+        if let Some(wake) = engine.last_wake() {
             if wake <= self.end {
                 let t1 = LoopProfiler::clock();
                 self.queue.push(
@@ -265,7 +302,8 @@ impl<'a> SimWorld<'a> {
                 e
             })
             .collect();
-        let controller = Controller::new(config.assignment, config.migration);
+        let mut controller = Controller::new(config.assignment, config.migration);
+        controller.evacuation = config.evacuation;
 
         let mut sched = WakeScheduler {
             queue: EventQueue::with_capacity(1024),
@@ -354,17 +392,23 @@ impl<'a> SimWorld<'a> {
                 Event::PauseStream(id) => self.on_pause_resume(now, id, true, probes),
                 Event::ResumeStream(id) => self.on_pause_resume(now, id, false, probes),
             }
+            // The publish window ends where the dispatch window does, so
+            // the two phases share the closing timestamp (one clock read
+            // saved per event).
+            let t1 = LoopProfiler::clock();
             self.publish_state(now, probes);
-            self.prof.add(Phase::Dispatch, t0);
+            let t2 = LoopProfiler::clock();
+            self.prof.add_between(Phase::Probe, t1, t2);
+            self.prof.add_between(Phase::Dispatch, t0, t2);
         }
     }
 
     /// Offers every probe a read-only view of world state at the event
     /// boundary just processed. Rates only change inside handlers, so the
     /// state between two published views is exactly linear — which is what
-    /// makes the telemetry gauges exact (see `crate::metrics`).
+    /// makes the telemetry gauges exact (see `crate::metrics`). The caller
+    /// charges this to [`Phase::Probe`].
     fn publish_state(&self, now: SimTime, probes: &mut [&mut dyn Probe]) {
-        let t0 = LoopProfiler::clock();
         let view = crate::metrics::StateView::new(
             now,
             &self.engines,
@@ -373,7 +417,6 @@ impl<'a> SimWorld<'a> {
         for p in probes.iter_mut() {
             p.on_state(now, &view);
         }
-        self.prof.add(Phase::Probe, t0);
     }
 
     /// One Poisson arrival: admission decision (direct / DRM / chain /
@@ -530,13 +573,8 @@ impl<'a> SimWorld<'a> {
                     now,
                 ) {
                     Some(CopyLaunch::FromServer { source, stream }) => {
-                        self.sched.rearm(
-                            &mut self.engines[source.index()],
-                            now,
-                            false,
-                            false,
-                            &self.prof,
-                        );
+                        self.sched
+                            .arm(&self.engines[source.index()], now, false, &self.prof);
                         self.prof.emit(
                             probes,
                             now,
@@ -584,10 +622,9 @@ impl<'a> SimWorld<'a> {
             }
         }
         for sid in touched {
-            self.sched.rearm(
-                &mut self.engines[sid.index()],
+            self.sched.arm(
+                &self.engines[sid.index()],
                 now,
-                true,
                 self.config.check_invariants,
                 &self.prof,
             );
@@ -677,13 +714,8 @@ impl<'a> SimWorld<'a> {
             );
         }
         for sid in outcome.touched {
-            self.sched.rearm(
-                &mut self.engines[sid.index()],
-                now,
-                false,
-                false,
-                &self.prof,
-            );
+            self.sched
+                .arm(&self.engines[sid.index()], now, false, &self.prof);
         }
     }
 
@@ -706,11 +738,14 @@ impl<'a> SimWorld<'a> {
             now,
             &SimEvent::ServerDown {
                 server,
-                relocated: evac.relocated.len() as u32,
+                relocated: (evac.relocated.len() + evac.restarted.len()) as u32,
                 dropped: evac.dropped.len() as u32,
             },
         );
-        for &(stream, to) in &evac.relocated {
+        // Best-effort restarts are relocations too (just non-seamless),
+        // so they share the emergency-migration event; the stats split
+        // them out via `restarted_on_failure`.
+        for &(stream, to) in evac.relocated.iter().chain(&evac.restarted) {
             self.prof.emit(
                 probes,
                 now,
@@ -726,10 +761,9 @@ impl<'a> SimWorld<'a> {
             self.loc_hint.remove(&stream.0);
         }
         for sid in evac.touched {
-            self.sched.rearm(
-                &mut self.engines[sid.index()],
+            self.sched.arm(
+                &self.engines[sid.index()],
                 now,
-                true,
                 self.config.check_invariants,
                 &self.prof,
             );

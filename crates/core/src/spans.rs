@@ -99,11 +99,43 @@ enum Expect {
     },
 }
 
+/// Fold-time form of a [`Span`]: the scalar fields plus an intrusive
+/// segment chain into the probe's arena. Materialised into the wire
+/// [`Span`] (with its owned `segments` vector) only by
+/// [`SpanProbe::finish`] — per-span vectors would cost one heap
+/// allocation per request on the per-event hot path, which the bench's
+/// probe-overhead gate budgets at 5 % of a bare trial.
+struct FoldSpan {
+    stream: u64,
+    video: u32,
+    kind: SpanKind,
+    start_secs: f64,
+    end_secs: Option<f64>,
+    outcome: SpanOutcome,
+    admit_via: Option<AdmitVia>,
+    hops: u32,
+    /// First segment in the arena chain (`NO_SEG` = none yet).
+    seg_head: u32,
+    /// Last segment in the arena chain (`NO_SEG` = none yet).
+    seg_tail: u32,
+}
+
+/// One arena slot: a segment plus the index of its span's next segment.
+struct SegNode {
+    seg: Segment,
+    next: u32,
+}
+
+/// Sentinel for "no segment" in [`FoldSpan`] chains.
+const NO_SEG: u32 = u32::MAX;
+
 /// A pure [`Probe`] that folds the event stream into per-request
 /// lifecycle [`Span`]s with [`CausalEdge`]s. Reduce with
 /// [`SpanProbe::finish`] after the run.
 pub struct SpanProbe {
-    spans: Vec<Span>,
+    spans: Vec<FoldSpan>,
+    /// Shared segment storage; spans chain through [`SegNode::next`].
+    segs: Vec<SegNode>,
     /// Span index per stream id (`NO_SPAN` = none). The loop hands out
     /// ids from one dense counter, so a flat vector beats hashing on
     /// the per-event hot path (the bench gates the probe's overhead).
@@ -132,12 +164,15 @@ impl Default for SpanProbe {
 impl SpanProbe {
     /// An empty probe, ready to attach to `Simulation::run_with_probes`.
     pub fn new() -> Self {
+        // Seed capacities large enough for a typical trial so the first
+        // thousand requests never pay a growth-reallocation memcpy.
         SpanProbe {
-            spans: Vec::new(),
-            by_stream: Vec::new(),
+            spans: Vec::with_capacity(1024),
+            segs: Vec::with_capacity(2048),
+            by_stream: Vec::with_capacity(2048),
             waiting: VecDeque::new(),
             tertiary: HashSet::new(),
-            edges: Vec::new(),
+            edges: Vec::with_capacity(256),
             marks: Vec::new(),
             expect: Expect::Nothing,
             last_freed: None,
@@ -148,9 +183,33 @@ impl SpanProbe {
     /// duration) closes open spans in exports.
     pub fn finish(mut self, horizon_secs: f64) -> SpanSet {
         self.spans.sort_by_key(|s| s.stream);
+        let spans = self
+            .spans
+            .iter()
+            .map(|f| {
+                let mut segments = Vec::new();
+                let mut at = f.seg_head;
+                while at != NO_SEG {
+                    let node = &self.segs[at as usize];
+                    segments.push(node.seg);
+                    at = node.next;
+                }
+                Span {
+                    stream: f.stream,
+                    video: f.video,
+                    kind: f.kind,
+                    start_secs: f.start_secs,
+                    end_secs: f.end_secs,
+                    outcome: f.outcome,
+                    admit_via: f.admit_via,
+                    hops: f.hops,
+                    segments,
+                }
+            })
+            .collect();
         SpanSet {
             horizon_secs,
-            spans: self.spans,
+            spans,
             edges: self.edges,
             marks: self.marks,
         }
@@ -167,7 +226,7 @@ impl SpanProbe {
 
     fn open_span(&mut self, stream: u64, video: u32, kind: SpanKind, t: f64) -> usize {
         let idx = self.spans.len();
-        self.spans.push(Span {
+        self.spans.push(FoldSpan {
             stream,
             video,
             kind,
@@ -176,7 +235,8 @@ impl SpanProbe {
             outcome: SpanOutcome::Open,
             admit_via: None,
             hops: 0,
-            segments: Vec::new(),
+            seg_head: NO_SEG,
+            seg_tail: NO_SEG,
         });
         let slot = stream as usize;
         if slot >= self.by_stream.len() {
@@ -186,8 +246,16 @@ impl SpanProbe {
         idx
     }
 
+    /// The span's most recent segment, if any.
+    fn last_segment(&self, idx: usize) -> Option<&Segment> {
+        let tail = self.spans[idx].seg_tail;
+        (tail != NO_SEG).then(|| &self.segs[tail as usize].seg)
+    }
+
     fn end_segment(&mut self, idx: usize, t: f64) {
-        if let Some(seg) = self.spans[idx].segments.last_mut() {
+        let tail = self.spans[idx].seg_tail;
+        if tail != NO_SEG {
+            let seg = &mut self.segs[tail as usize].seg;
             if seg.end_secs.is_none() {
                 seg.end_secs = Some(t);
             }
@@ -195,12 +263,23 @@ impl SpanProbe {
     }
 
     fn start_segment(&mut self, idx: usize, kind: SegmentKind, server: Option<u16>, t: f64) {
-        self.spans[idx].segments.push(Segment {
-            kind,
-            server,
-            start_secs: t,
-            end_secs: None,
+        let at = self.segs.len() as u32;
+        self.segs.push(SegNode {
+            seg: Segment {
+                kind,
+                server,
+                start_secs: t,
+                end_secs: None,
+            },
+            next: NO_SEG,
         });
+        let span = &mut self.spans[idx];
+        if span.seg_tail == NO_SEG {
+            span.seg_head = at;
+        } else {
+            self.segs[span.seg_tail as usize].next = at;
+        }
+        self.spans[idx].seg_tail = at;
     }
 
     fn close_span(&mut self, idx: usize, t: f64, outcome: SpanOutcome) {
@@ -216,9 +295,8 @@ impl SpanProbe {
             let span = &self.spans[idx];
             let on_server = span.end_secs.is_none()
                 && span.kind == SpanKind::Viewer
-                && span
-                    .segments
-                    .last()
+                && self
+                    .last_segment(idx)
                     .is_some_and(|seg| seg.end_secs.is_none() && seg.server == Some(server));
             if on_server {
                 self.close_span(idx, t, SpanOutcome::Dropped);
@@ -357,9 +435,8 @@ impl Probe for SpanProbe {
                     _ => {}
                 }
                 if let Some(idx) = self.span_of(stream) {
-                    let kind = self.spans[idx]
-                        .segments
-                        .last()
+                    let kind = self
+                        .last_segment(idx)
                         .filter(|seg| seg.end_secs.is_none())
                         .map_or(SegmentKind::Serve, |seg| seg.kind);
                     self.end_segment(idx, t);

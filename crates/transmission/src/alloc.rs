@@ -19,10 +19,11 @@
 //! [`allocate`] mutates the streams' rates in place and returns the spare
 //! bandwidth that could not be used (all buffers full / caps reached).
 
-use crate::stream::Stream;
+use crate::stream::{Stream, StreamId};
 use crate::EPS_MB;
 use sct_simcore::SimTime;
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 
 /// Which minimum-flow allocation policy a server runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -139,6 +140,215 @@ pub fn allocate(
         }
         SchedulerKind::ProportionalShare => {
             spare -= waterfill(spare, now, streams, &candidates);
+        }
+    }
+    spare.max(0.0)
+}
+
+/// Reusable scratch for [`allocate_incremental`]: the cached
+/// spare-distribution order from the previous allocation plus
+/// struct-of-arrays columns for the current one.
+///
+/// Each server engine owns one of these. The cached order makes repeated
+/// allocations on a slowly-changing stream population cheap: most events
+/// add, remove, pause, or fill exactly one stream, which perturbs the
+/// EFTF/LFF candidate order by at most one entry — the repair pass
+/// verifies the survivors are still sorted and splices the newcomers in,
+/// falling back to a full sort only when the relative order actually
+/// changed. The SoA columns (`finish`, `candidate`) are gathered in one
+/// linear pass so the ordering checks never chase back into the wide
+/// `Stream` structs.
+#[derive(Clone, Debug, Default)]
+pub struct AllocScratch {
+    /// Previous allocation's spare order: `(index, id)` sorted by the
+    /// scheduler key. The id doubles as the validity token — an entry
+    /// counts only while the same stream still sits at the same index.
+    order: Vec<(u32, StreamId)>,
+    /// Order under (re)construction; kept to reuse its allocation.
+    next_order: Vec<(u32, StreamId)>,
+    /// Per-index scheduler key (`projected_finish`) for this call.
+    finish: Vec<SimTime>,
+    /// Per-index candidacy (`!buffer_full`) for this call.
+    candidate: Vec<bool>,
+    /// Per-index marker: already present in the surviving order.
+    in_order: Vec<bool>,
+    /// Candidate index list reused by the waterfill path.
+    indices: Vec<usize>,
+}
+
+/// Strict "allocates before" test under `kind`'s spare order. Keys are
+/// unique (the id breaks finish-time ties), so this is a total order.
+#[inline]
+fn key_less(kind: SchedulerKind, a: (SimTime, StreamId), b: (SimTime, StreamId)) -> bool {
+    let ord = a.0.cmp(&b.0).then(a.1.cmp(&b.1));
+    match kind {
+        SchedulerKind::Eftf => ord == Ordering::Less,
+        SchedulerKind::LatestFinishFirst => ord == Ordering::Greater,
+        _ => unreachable!("only the ordered schedulers maintain a spare order"),
+    }
+}
+
+/// Rebuilds `scratch.order` to the sorted candidate list for this call,
+/// reusing the previous order when its relative ordering still holds.
+fn repair_order(kind: SchedulerKind, now: SimTime, streams: &[Stream], scratch: &mut AllocScratch) {
+    let n = streams.len();
+    let AllocScratch {
+        order,
+        next_order,
+        finish,
+        candidate,
+        in_order,
+        ..
+    } = scratch;
+    finish.clear();
+    candidate.clear();
+    in_order.clear();
+    for s in streams {
+        finish.push(s.projected_finish(now));
+        candidate.push(!s.buffer_full(now));
+        in_order.push(false);
+    }
+    // Filter the cached order down to entries that still name the same
+    // live stream and are still candidates, verifying the survivors
+    // remain sorted under the fresh keys.
+    next_order.clear();
+    let mut survivors_sorted = true;
+    for &(iu, id) in order.iter() {
+        let i = iu as usize;
+        if i >= n || streams[i].id != id || !candidate[i] {
+            continue;
+        }
+        if let Some(&(last, last_id)) = next_order.last() {
+            if !key_less(kind, (finish[last as usize], last_id), (finish[i], id)) {
+                survivors_sorted = false;
+                break;
+            }
+        }
+        next_order.push((iu, id));
+        in_order[i] = true;
+    }
+    if survivors_sorted {
+        // Splice in streams missing from the cached order: new arrivals,
+        // index moves from swap_remove, buffers that drained back below
+        // full. Usually zero or one per event.
+        for i in 0..n {
+            if candidate[i] && !in_order[i] {
+                let k = (finish[i], streams[i].id);
+                let pos = next_order
+                    .partition_point(|&(j, jid)| key_less(kind, (finish[j as usize], jid), k));
+                next_order.insert(pos, (i as u32, streams[i].id));
+            }
+        }
+    } else {
+        // The surviving candidates' relative order changed — the one case
+        // where incremental repair must fall back to a full sort.
+        next_order.clear();
+        next_order.extend(
+            (0..n)
+                .filter(|&i| candidate[i])
+                .map(|i| (i as u32, streams[i].id)),
+        );
+        next_order.sort_unstable_by(|&(a, aid), &(b, bid)| {
+            let ord = finish[a as usize]
+                .cmp(&finish[b as usize])
+                .then(aid.cmp(&bid));
+            if kind == SchedulerKind::LatestFinishFirst {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+    }
+    std::mem::swap(order, next_order);
+}
+
+/// [`allocate`], but with incremental repair of the spare-distribution
+/// order across calls via `scratch`. Produces **bit-identical** rates to
+/// the full allocator: phase 1 is the same arithmetic in the same
+/// iteration order, and phase 2 walks the same uniquely-sorted candidate
+/// sequence — the only thing cached is *how that sequence is obtained*.
+/// Debug builds cross-check every call against [`allocate`] on a clone.
+pub fn allocate_incremental(
+    kind: SchedulerKind,
+    capacity_mbps: f64,
+    now: SimTime,
+    streams: &mut [Stream],
+    scratch: &mut AllocScratch,
+) -> f64 {
+    let idle = allocate_incremental_inner(kind, capacity_mbps, now, streams, scratch);
+    #[cfg(debug_assertions)]
+    {
+        let mut full: Vec<Stream> = streams.to_vec();
+        let idle_full = allocate(kind, capacity_mbps, now, &mut full);
+        debug_assert!(
+            idle.to_bits() == idle_full.to_bits(),
+            "incremental repair diverged from the full allocator: idle {idle} vs {idle_full}"
+        );
+        for (inc, reference) in streams.iter().zip(&full) {
+            debug_assert!(
+                inc.rate().to_bits() == reference.rate().to_bits(),
+                "incremental repair diverged from the full allocator on stream {:?}: {} vs {}",
+                inc.id,
+                inc.rate(),
+                reference.rate()
+            );
+        }
+    }
+    idle
+}
+
+fn allocate_incremental_inner(
+    kind: SchedulerKind,
+    capacity_mbps: f64,
+    now: SimTime,
+    streams: &mut [Stream],
+    scratch: &mut AllocScratch,
+) -> f64 {
+    // Phase 1: minimum flow — identical to `allocate`.
+    let mut used = 0.0;
+    for s in streams.iter_mut() {
+        debug_assert!(!s.is_finished(), "finished streams must be reaped first");
+        let min = if s.is_paused() { 0.0 } else { s.view_rate };
+        s.set_rate(min);
+        used += min;
+    }
+    let mut spare = capacity_mbps - used;
+    debug_assert!(
+        spare >= -EPS_MB,
+        "admission let through too many streams: used {used} of {capacity_mbps}"
+    );
+    if spare <= EPS_MB {
+        // The cached order may be stale now, but it is self-validating
+        // (id check + sorted check), so leaving it is safe.
+        return spare.max(0.0);
+    }
+
+    match kind {
+        SchedulerKind::NoWorkahead => {}
+        SchedulerKind::Eftf | SchedulerKind::LatestFinishFirst => {
+            repair_order(kind, now, streams, scratch);
+            for &(i, _) in &scratch.order {
+                if spare <= EPS_MB {
+                    break;
+                }
+                let s = &mut streams[i as usize];
+                let headroom = s.client.receive_cap_mbps - s.rate();
+                let give = spare.min(headroom).max(0.0);
+                s.set_rate(s.rate() + give);
+                spare -= give;
+            }
+        }
+        SchedulerKind::ProportionalShare => {
+            // The waterfill sorts internally by (headroom, index) — its
+            // result is independent of candidate input order, so index
+            // order (what `allocate` passes) needs no repair machinery.
+            scratch.indices.clear();
+            for (i, s) in streams.iter().enumerate() {
+                if !s.buffer_full(now) {
+                    scratch.indices.push(i);
+                }
+            }
+            spare -= waterfill(spare, now, streams, &scratch.indices);
         }
     }
     spare.max(0.0)

@@ -17,7 +17,7 @@
 //! `reschedule` invalidates previously scheduled wakes, so the global
 //! event queue never needs to delete entries.
 
-use crate::alloc::{allocate, SchedulerKind};
+use crate::alloc::{allocate_incremental, AllocScratch, SchedulerKind};
 use crate::stream::{Stream, StreamId};
 use crate::{EPS_MB, EPS_SECS};
 use sct_cluster::ServerId;
@@ -53,6 +53,13 @@ pub struct ServerEngine {
     /// Whether the server is up. Offline servers admit nothing and hold no
     /// streams; see [`ServerEngine::fail`].
     online: bool,
+    /// Incremental-allocation scratch (cached spare order + SoA columns).
+    scratch: AllocScratch,
+    /// The wake time computed by the last [`ServerEngine::reschedule`]
+    /// (absolute, so it stays valid under pure time advancement). Lets
+    /// post-admission re-arm sites reuse the schedule instead of
+    /// re-scanning every stream.
+    last_wake: Option<SimTime>,
 }
 
 impl ServerEngine {
@@ -71,6 +78,8 @@ impl ServerEngine {
             generation: 0,
             committed_mbps: 0.0,
             online: true,
+            scratch: AllocScratch::default(),
+            last_wake: None,
         }
     }
 
@@ -169,6 +178,7 @@ impl ServerEngine {
         self.generation += 1;
         self.online = false;
         self.committed_mbps = 0.0;
+        self.last_wake = None;
         std::mem::take(&mut self.streams)
     }
 
@@ -181,6 +191,7 @@ impl ServerEngine {
         );
         self.generation += 1;
         self.online = true;
+        self.last_wake = None;
     }
 
     /// Integrates all stream states from the engine clock to `now`.
@@ -293,8 +304,24 @@ impl ServerEngine {
             "reschedule before advancing"
         );
         self.generation += 1;
-        allocate(self.scheduler, self.capacity_mbps, now, &mut self.streams);
-        self.next_event_after(now).map(|(t, _)| t)
+        allocate_incremental(
+            self.scheduler,
+            self.capacity_mbps,
+            now,
+            &mut self.streams,
+            &mut self.scratch,
+        );
+        self.last_wake = self.next_event_after(now).map(|(t, _)| t);
+        self.last_wake
+    }
+
+    /// The wake time the most recent [`ServerEngine::reschedule`]
+    /// reported. Valid until the stream set or a rate changes — i.e. the
+    /// caller may rely on it only while it has performed no engine
+    /// mutation since that reschedule (pure `advance_to` is fine: the
+    /// cached time is absolute).
+    pub fn last_wake(&self) -> Option<SimTime> {
+        self.last_wake
     }
 
     /// When (and why) this server next changes state on its own.

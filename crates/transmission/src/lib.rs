@@ -32,7 +32,7 @@ pub mod alloc;
 pub mod engine;
 pub mod stream;
 
-pub use alloc::{allocate, SchedulerKind};
+pub use alloc::{allocate, allocate_incremental, AllocScratch, SchedulerKind};
 pub use engine::{EngineEvent, ServerEngine};
 pub use stream::{Stream, StreamId};
 

@@ -253,6 +253,25 @@ impl Stream {
         self.paused = false;
     }
 
+    /// Best-effort evacuation restart: rewinds the transmission point to
+    /// the playback point, discarding the workahead parked in the
+    /// client's staging buffer (a failed hand-off invalidates it), and
+    /// zeroes the allocated rate. Playback position and pause state are
+    /// untouched; the caller re-admits the stream elsewhere and re-runs
+    /// the allocator. Returns the megabits of staged workahead discarded
+    /// — that data will be transmitted a second time by the new server.
+    pub fn restart_from_playback(&mut self, now: SimTime) -> f64 {
+        debug_assert!(
+            (now - self.last_update).abs() <= EPS_SECS,
+            "restart on stale state"
+        );
+        let viewed = self.viewed_mb(now);
+        let flushed = (self.sent_mb - viewed).max(0.0);
+        self.sent_mb = viewed;
+        self.rate = 0.0;
+        flushed
+    }
+
     /// Integrates the current rate from `last_update` to `now`, updating
     /// `sent_mb`. Caps at the object size (the allocator schedules a
     /// completion event exactly at the crossing; the cap absorbs float

@@ -6,7 +6,10 @@ use proptest::prelude::*;
 use sct_cluster::ServerId;
 use sct_media::{ClientProfile, VideoId};
 use sct_simcore::{Rng, SimTime};
-use sct_transmission::{allocate, SchedulerKind, ServerEngine, Stream, StreamId, EPS_MB};
+use sct_transmission::{
+    allocate, allocate_incremental, AllocScratch, SchedulerKind, ServerEngine, Stream, StreamId,
+    EPS_MB,
+};
 
 /// Description of one synthetic stream for the allocator properties.
 #[derive(Clone, Debug)]
@@ -210,6 +213,94 @@ proptest! {
             reaped_mb,
             in_flight
         );
+    }
+
+    /// Incremental repair vs the full allocator: a random event walk
+    /// (arrivals, departures, pauses, resumes, time advances) over a
+    /// persistent stream population, with ONE scratch surviving the whole
+    /// walk — so the cached spare order crosses every kind of mutation,
+    /// including `swap_remove` index churn. After every event the
+    /// incremental path must produce bit-identical rate vectors and idle
+    /// bandwidth to the full sort, for every scheduler.
+    #[test]
+    fn incremental_allocation_matches_full(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let capacity = 32.0 * VIEW;
+        for kind in SchedulerKind::ALL {
+            let mut scratch = AllocScratch::default();
+            let mut streams: Vec<Stream> = Vec::new();
+            let mut now = SimTime::ZERO;
+            let mut next_id = 0u64;
+            for _ in 0..80 {
+                // Advance sim time; reap anything that finished en route.
+                now += rng.range_f64(0.0, 15.0);
+                for s in streams.iter_mut() {
+                    s.advance_to(now);
+                }
+                streams.retain(|s| !s.is_finished());
+                // One random structural event.
+                let committed: f64 = streams
+                    .iter()
+                    .filter(|s| !s.is_paused())
+                    .map(|s| s.view_rate)
+                    .sum();
+                match rng.below(4) {
+                    0 | 3 if committed + VIEW <= capacity && streams.len() < 30 => {
+                        let staging = if rng.chance(0.3) {
+                            0.0
+                        } else {
+                            rng.range_f64(1.0, 500.0)
+                        };
+                        streams.push(Stream::new(
+                            StreamId(next_id),
+                            VideoId(next_id as u32),
+                            rng.range_f64(30.0, 600.0),
+                            VIEW,
+                            ClientProfile::new(staging, rng.range_f64(VIEW, 10.0 * VIEW)),
+                            now,
+                        ));
+                        next_id += 1;
+                    }
+                    1 if !streams.is_empty() => {
+                        // Same index churn as the engine's reap path.
+                        let i = rng.below(streams.len());
+                        streams.swap_remove(i);
+                    }
+                    2 if !streams.is_empty() => {
+                        let i = rng.below(streams.len());
+                        if streams[i].is_paused() {
+                            streams[i].resume(now);
+                        } else {
+                            streams[i].pause(now);
+                        }
+                    }
+                    _ => {}
+                }
+                let mut full = streams.clone();
+                let idle_inc =
+                    allocate_incremental(kind, capacity, now, &mut streams, &mut scratch);
+                let idle_full = allocate(kind, capacity, now, &mut full);
+                prop_assert_eq!(
+                    idle_inc.to_bits(),
+                    idle_full.to_bits(),
+                    "{:?}: idle diverged: {} vs {}",
+                    kind,
+                    idle_inc,
+                    idle_full
+                );
+                for (inc, reference) in streams.iter().zip(&full) {
+                    prop_assert_eq!(
+                        inc.rate().to_bits(),
+                        reference.rate().to_bits(),
+                        "{:?} stream {:?} diverged: {} vs {}",
+                        kind,
+                        inc.id,
+                        inc.rate(),
+                        reference.rate()
+                    );
+                }
+            }
+        }
     }
 
     /// Migration mid-flight preserves stream progress exactly: the same

@@ -190,6 +190,7 @@ fn pinned_pause_resume_scenario_passes_the_oracle() {
             scheduler,
             migration_on: false,
             chain2_on: false,
+            restart_on: false,
             client: ClientProfile::no_staging(30.0),
             holders: vec![vec![ServerId(0)], vec![ServerId(0), ServerId(1)]],
             replication: None,
@@ -244,6 +245,7 @@ fn controller_props_regression_scenario_passes_the_oracle() {
         scheduler: SchedulerKind::Eftf,
         migration_on: false,
         chain2_on: false,
+        restart_on: false,
         client: ClientProfile::new(300.0, 30.0),
         holders: vec![vec![ServerId(0)], vec![ServerId(1)]],
         replication: None,
@@ -317,6 +319,7 @@ fn theorem1_regression_scenario_passes_the_oracle() {
             scheduler,
             migration_on: false,
             chain2_on: false,
+            restart_on: false,
             client: ClientProfile::unbounded(),
             holders: (0..reqs.len()).map(|_| vec![ServerId(0)]).collect(),
             replication: None,
@@ -444,6 +447,7 @@ fn pinned_replication_copy_scenario_passes_the_oracle() {
             scheduler,
             migration_on: false,
             chain2_on: false,
+            restart_on: false,
             client: ClientProfile::no_staging(30.0),
             holders: vec![vec![ServerId(0)]],
             replication: Some(ReplicationSpec {
@@ -493,6 +497,7 @@ fn pinned_waitlist_serve_scenario_passes_the_oracle() {
             scheduler,
             migration_on: false,
             chain2_on: false,
+            restart_on: false,
             client: ClientProfile::no_staging(30.0),
             holders: vec![vec![ServerId(0)]],
             replication: None,
@@ -552,6 +557,7 @@ fn pinned_chain2_migration_scenario_passes_the_oracle() {
             scheduler,
             migration_on: true,
             chain2_on: true,
+            restart_on: false,
             client: ClientProfile::no_staging(30.0),
             holders: vec![
                 vec![ServerId(0)],
@@ -602,6 +608,7 @@ fn pinned_chain2_waitlist_scenario_passes_the_oracle() {
             scheduler,
             migration_on: true,
             chain2_on: true,
+            restart_on: false,
             client: ClientProfile::no_staging(30.0),
             holders: vec![
                 vec![ServerId(0)],
@@ -643,5 +650,83 @@ fn pinned_chain2_waitlist_scenario_passes_the_oracle() {
         );
         assert_eq!(out.waiters_expired, 0, "{scheduler:?}");
         assert_eq!(out.completions, 7, "{scheduler:?}");
+    }
+}
+
+/// The headline evacuation bug pinned through the oracle: one v1 stream
+/// is playing on s0 (with workahead staged) when s0 fails. Migration is
+/// disabled, so a seamless hand-off is impossible — the strict policy
+/// drops the stream even though s1 holds the same video with free slots.
+/// The best-effort policy restarts it from the playback point on s1
+/// instead (flushing the staged workahead), and the stream then runs to
+/// completion. Both policies must track the analytic reference exactly
+/// through the failure, the restart rewind, and the repair.
+#[test]
+fn pinned_evacuation_restart_scenario_passes_the_oracle() {
+    for scheduler in SchedulerKind::ALL {
+        for restart_on in [false, true] {
+            let sc = OracleScenario {
+                seed: 0xE7AC,
+                n_servers: 2,
+                slots_per_server: 2,
+                view_rate: 3.0,
+                scheduler,
+                migration_on: false,
+                chain2_on: false,
+                restart_on,
+                client: ClientProfile::new(1e6, 30.0),
+                holders: vec![vec![ServerId(0)], vec![ServerId(0), ServerId(1)]],
+                replication: None,
+                waitlist: None,
+                trace: vec![
+                    // Least-loaded placement ties to the lowest id: s0.
+                    (
+                        SimTime::from_secs(0.0),
+                        TraceOp::Arrival {
+                            video: VideoId(1),
+                            size_mb: 600.0,
+                        },
+                    ),
+                    // Mid-transfer: the stream has viewed 150 Mb and
+                    // (under the workahead schedulers) staged well past
+                    // that.
+                    (SimTime::from_secs(50.0), TraceOp::Fail(ServerId(0))),
+                    (SimTime::from_secs(80.0), TraceOp::Repair(ServerId(0))),
+                ],
+            };
+            let out = run_differential(&sc)
+                .unwrap_or_else(|d| panic!("{scheduler:?} restart_on={restart_on}: {d}"));
+            assert_eq!(out.arrivals, 1, "{scheduler:?} restart_on={restart_on}");
+            assert_eq!(
+                out.accepted_direct, 1,
+                "{scheduler:?} restart_on={restart_on}"
+            );
+            // The observable difference between the policies: a dropped
+            // stream never finishes; a restarted one does.
+            assert_eq!(
+                out.completions,
+                u64::from(restart_on),
+                "{scheduler:?} restart_on={restart_on}: the stream must {} complete",
+                if restart_on { "" } else { "not" }
+            );
+        }
+    }
+}
+
+/// Generated scenarios with bit 7 of the seed set run the best-effort
+/// evacuation restart policy against the reference — the randomized
+/// counterpart of the pinned scenario above (the 104-seed matrix keeps
+/// the historical strict-policy corpus bit-for-bit).
+#[test]
+fn generated_restart_scenarios_produce_zero_divergences() {
+    for seed in 128..144u64 {
+        let sc = OracleScenario::generate(seed);
+        assert!(
+            sc.restart_on,
+            "seed {seed}: bit 7 must arm the restart policy"
+        );
+        if let Err(d) = run_differential(&sc) {
+            panic!("seed {seed}: {d}");
+        }
     }
 }

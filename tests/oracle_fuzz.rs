@@ -129,6 +129,7 @@ impl Plan {
             scheduler: SchedulerKind::ALL[self.scheduler % 4],
             migration_on,
             chain2_on: migration_on && self.migration == 2,
+            restart_on: false,
             client: match self.client % 3 {
                 0 => ClientProfile::unbounded(),
                 1 => ClientProfile::no_staging(30.0),

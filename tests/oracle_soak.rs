@@ -29,6 +29,7 @@ fn lone_drain(hours: f64) -> OracleScenario {
         scheduler: SchedulerKind::Eftf,
         migration_on: false,
         chain2_on: false,
+        restart_on: false,
         client: ClientProfile::no_staging(30.0),
         holders: vec![vec![ServerId(0)], vec![ServerId(0), ServerId(1)]],
         replication: None,
