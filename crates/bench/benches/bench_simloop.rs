@@ -37,6 +37,23 @@ struct GridRow {
 }
 
 #[derive(Serialize)]
+struct HugeRow {
+    shards: usize,
+    events: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct HugeReport {
+    simulated_hours: f64,
+    theta: f64,
+    seed: u64,
+    concurrent_slots: usize,
+    rows: Vec<HugeRow>,
+}
+
+#[derive(Serialize)]
 struct ProbeOverhead {
     bare_wall_secs: f64,
     spans_wall_secs: f64,
@@ -48,6 +65,7 @@ struct ProbeOverhead {
 struct Report {
     scenario: ScenarioInfo,
     grid: Vec<GridRow>,
+    huge: HugeReport,
     probe_overhead: ProbeOverhead,
     /// Monotone throughput ratchet: the highest `RATCHET_FRACTION ×
     /// min(grid events/s)` any committed run has observed. CI fails when
@@ -55,11 +73,23 @@ struct Report {
     /// machine-variance allowance — see the workflow), so hot-path
     /// regressions cannot land silently; the floor only ever rises.
     floor_events_per_sec: f64,
+    /// Ratchet for the Huge (million-slot) scenario, maintained the same
+    /// way over the minimum events/s across its shard-count rows. Huge
+    /// trials run seconds, not milliseconds, so its rows are single runs
+    /// and the CI allowance (see the workflow) absorbs the extra jitter.
+    huge_floor_events_per_sec: f64,
 }
 
 const SIM_HOURS: f64 = 2.0;
 const THETA: f64 = 0.271;
 const SEED: u64 = 5;
+
+/// Huge is ~10^6 concurrent slots; even a few simulated minutes drives
+/// hundreds of thousands of events, and one trial already costs seconds
+/// of wall time. Keep the simulated span short so the whole bench stays
+/// affordable.
+const HUGE_SIM_HOURS: f64 = 0.05;
+const HUGE_SHARDS: [usize; 2] = [1, 4];
 const RESULT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_sim.json");
 
 /// Fraction of the measured minimum used when advancing the floor: a
@@ -78,6 +108,28 @@ fn prior_floor() -> Option<f64> {
     let text = std::fs::read_to_string(RESULT_PATH).ok()?;
     let prior: Prior = serde_json::from_str(&text).ok()?;
     Some(prior.floor_events_per_sec)
+}
+
+/// Same lookup for the Huge ratchet; reports written before the Huge
+/// scenario existed lack the field and bootstrap from the current run.
+fn prior_huge_floor() -> Option<f64> {
+    #[derive(Deserialize)]
+    struct Prior {
+        huge_floor_events_per_sec: f64,
+    }
+    let text = std::fs::read_to_string(RESULT_PATH).ok()?;
+    let prior: Prior = serde_json::from_str(&text).ok()?;
+    Some(prior.huge_floor_events_per_sec)
+}
+
+fn huge_config(shards: usize) -> SimConfig {
+    SimConfig::builder(SystemSpec::huge())
+        .theta(THETA)
+        .duration_hours(HUGE_SIM_HOURS)
+        .warmup_hours(0.0)
+        .seed(SEED)
+        .shards(shards)
+        .build()
 }
 
 fn grid_config(scheduler: SchedulerKind, migration: MigrationPolicy) -> SimConfig {
@@ -147,6 +199,27 @@ fn bench_simloop(c: &mut Criterion) {
         }
     }
 
+    // The million-slot Huge scenario, monolithic and sharded. Each trial
+    // costs seconds, so one run per shard count; determinism makes the
+    // event count identical across rows.
+    let mut huge_rows = Vec::new();
+    for shards in HUGE_SHARDS {
+        let cfg = huge_config(shards);
+        let (_, profile) = Simulation::run_profiled(black_box(&cfg), &mut []);
+        println!(
+            "simloop: huge shards={shards} {:>8} events  {:.4} s  ({:.0} events/s)",
+            profile.events,
+            profile.wall_secs,
+            profile.events as f64 / profile.wall_secs
+        );
+        huge_rows.push(HugeRow {
+            shards,
+            events: profile.events,
+            wall_secs: profile.wall_secs,
+            events_per_sec: profile.events as f64 / profile.wall_secs,
+        });
+    }
+
     // SpanProbe attachment cost on the busiest cell (EFTF + migration,
     // the paper's own configuration). Trials run a few milliseconds, so
     // the two sides are interleaved and each takes its minimum over many
@@ -179,6 +252,18 @@ fn bench_simloop(c: &mut Criterion) {
         "simloop: grid floor {min_eps:.0} events/s, ratchet {floor_events_per_sec:.0} events/s"
     );
 
+    let huge_min_eps = huge_rows
+        .iter()
+        .map(|row| row.events_per_sec)
+        .fold(f64::INFINITY, f64::min);
+    let huge_floor_events_per_sec = prior_huge_floor()
+        .unwrap_or(0.0)
+        .max(RATCHET_FRACTION * huge_min_eps);
+    println!(
+        "simloop: huge floor {huge_min_eps:.0} events/s, ratchet \
+         {huge_floor_events_per_sec:.0} events/s"
+    );
+
     let report = Report {
         scenario: ScenarioInfo {
             name: "small_paper",
@@ -187,6 +272,16 @@ fn bench_simloop(c: &mut Criterion) {
             seed: SEED,
         },
         grid,
+        huge: HugeReport {
+            simulated_hours: HUGE_SIM_HOURS,
+            theta: THETA,
+            seed: SEED,
+            concurrent_slots: {
+                let spec = SystemSpec::huge();
+                spec.n_servers * spec.svbr()
+            },
+            rows: huge_rows,
+        },
         probe_overhead: ProbeOverhead {
             bare_wall_secs,
             spans_wall_secs,
@@ -194,6 +289,7 @@ fn bench_simloop(c: &mut Criterion) {
             overhead_pct,
         },
         floor_events_per_sec,
+        huge_floor_events_per_sec,
     };
     std::fs::write(
         RESULT_PATH,

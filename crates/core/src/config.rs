@@ -167,6 +167,10 @@ pub struct SimConfig {
     pub sample_interval_secs: Option<f64>,
     /// Track per-video arrival/rejection counts (small extra memory).
     pub track_per_video: bool,
+    /// Event-loop shards the cluster is partitioned into (1 = the
+    /// monolithic loop). Outcomes are identical for every value; shards
+    /// change batching and accounting, never behaviour.
+    pub shards: usize,
     /// Root seed for all randomness in the trial.
     pub seed: u64,
     /// Run (expensive) invariant checks while simulating.
@@ -224,6 +228,7 @@ impl SimConfigBuilder {
                 waitlist: None,
                 sample_interval_secs: None,
                 track_per_video: false,
+                shards: 1,
                 seed: 0,
                 check_invariants: false,
             },
@@ -365,6 +370,14 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Partitions the event loop into `n` shards (1 = monolithic). The
+    /// shard map clamps `n` to the server count; outcomes do not depend
+    /// on it.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.cfg.shards = n;
+        self
+    }
+
     /// Sets the seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.seed = seed;
@@ -401,6 +414,7 @@ impl SimConfigBuilder {
         if let Some((_, spread)) = c.heterogeneity {
             assert!((0.0..1.0).contains(&spread), "spread must be in [0,1)");
         }
+        assert!(c.shards >= 1, "at least one shard");
         self.cfg
     }
 }

@@ -150,6 +150,52 @@ pub enum SimEvent {
         /// Utilization of the window just closed.
         utilization: f64,
     },
+    /// A causal-edge interaction crossed a shard boundary (sharded loop
+    /// only, `shards > 1`): the explicit cross-shard channel record.
+    /// Never emitted by the monolithic loop, and ignored by the metrics
+    /// and span probes, so outcomes and span sets are identical for
+    /// every shard count.
+    CrossShard {
+        /// The moving (or copying) stream.
+        stream: u64,
+        /// Server the stream left (or copies from).
+        from: u16,
+        /// Server the stream moved to (or copies toward).
+        to: u16,
+        /// Shard owning `from`.
+        from_shard: u16,
+        /// Shard owning `to`.
+        to_shard: u16,
+        /// Which causal edge crossed.
+        edge: CrossShardEdge,
+    },
+}
+
+/// The four causal-edge interactions a [`SimEvent::CrossShard`] record
+/// can carry — exactly the edges the span layer's dependency graph
+/// tracks, which is why they are the only places shards must
+/// synchronize.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrossShardEdge {
+    /// A DRM victim displaced at admission time.
+    Displacement,
+    /// The inner (second) hop of a two-step migration chain.
+    ChainInnerHop,
+    /// A cluster-sourced replication copy toward its target.
+    ReplicationCopy,
+    /// A stream rescued (relocated or restarted) off a failed server.
+    EvacuationRescue,
+}
+
+impl From<sct_admission::RelocationKind> for CrossShardEdge {
+    fn from(kind: sct_admission::RelocationKind) -> Self {
+        match kind {
+            sct_admission::RelocationKind::Displacement => CrossShardEdge::Displacement,
+            sct_admission::RelocationKind::ChainInnerHop => CrossShardEdge::ChainInnerHop,
+            sct_admission::RelocationKind::ReplicationCopy => CrossShardEdge::ReplicationCopy,
+            sct_admission::RelocationKind::EvacuationRescue => CrossShardEdge::EvacuationRescue,
+        }
+    }
 }
 
 impl SimEvent {
@@ -157,7 +203,7 @@ impl SimEvent {
     /// [`SimEvent::kind`] so both fail to compile when a variant is
     /// added without updating them; `tests/probe_coverage.rs` asserts
     /// every probe accounts for every entry.
-    pub const KINDS: [&'static str; 14] = [
+    pub const KINDS: [&'static str; 15] = [
         "Admitted",
         "Rejected",
         "Completed",
@@ -172,6 +218,7 @@ impl SimEvent {
         "WaitlistServed",
         "WaitlistExpired",
         "WindowSample",
+        "CrossShard",
     ];
 
     /// The variant name as it appears on the wire (the JSONL tag).
@@ -191,6 +238,7 @@ impl SimEvent {
             SimEvent::WaitlistServed { .. } => "WaitlistServed",
             SimEvent::WaitlistExpired { .. } => "WaitlistExpired",
             SimEvent::WindowSample { .. } => "WindowSample",
+            SimEvent::CrossShard { .. } => "CrossShard",
         }
     }
 }

@@ -44,7 +44,7 @@ pub mod simulation;
 pub mod spans;
 
 pub use config::{SimConfig, SimConfigBuilder, StagingSpec};
-pub use events::{AdmitPath, JsonlTraceProbe, MetricsProbe, Probe, SimEvent};
+pub use events::{AdmitPath, CrossShardEdge, JsonlTraceProbe, MetricsProbe, Probe, SimEvent};
 pub use metrics::{Histogram, MetricsRegistry, StateView, TelemetryProbe, TimeWeightedGauge};
 pub use policies::Policy;
 pub use profile::{LoopProfile, LoopProfiler, PhaseStat};

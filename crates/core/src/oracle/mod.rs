@@ -52,1077 +52,29 @@
 //! Only compiled with the `differential` feature (which also unlocks the
 //! introspection hooks in `sct-transmission` / `sct-admission`).
 
-use std::fmt;
+mod legality;
+mod mirror;
+mod scenario;
+mod stepper;
+
+pub use legality::{audit_engines, Divergence, DivergenceKind};
+pub use scenario::{shrink_divergence, shrink_trace, OracleScenario, TraceOp};
+pub use stepper::{
+    default_stepper, exact_slice, RefStepper, SliceState, EPS_SECS, ORACLE_DT_SECS, ORACLE_TOL_MB,
+    ORACLE_TOL_MBPS,
+};
+
+use legality::{cross_check, diverge};
+use mirror::{mirror_relocation, RefCluster, RefStream};
 
 use sct_admission::{
     Admission, AssignmentPolicy, Controller, CopyLaunch, CopySource, EvacuationPolicy,
-    MigrationPolicy, ReplicationManager, ReplicationSpec, Waitlist, WaitlistSpec,
+    ReplicationManager, Waitlist,
 };
 use sct_cluster::{ClusterSpec, ReplicaMap, ServerId};
-use sct_media::{ClientProfile, VideoId};
+use sct_media::ClientProfile;
 use sct_simcore::{Rng, SimTime};
-use sct_transmission::{SchedulerKind, ServerEngine, Stream, StreamId, EPS_MB};
-
-/// Reference integration step (seconds). Small enough that the slice sum
-/// reproduces the engines' exact piecewise-linear integrals to well below
-/// [`ORACLE_TOL_MB`]; large enough to keep replays fast.
-pub const ORACLE_DT_SECS: f64 = 0.01;
-
-/// Divergence threshold for data-volume comparisons, in megabits.
-pub const ORACLE_TOL_MB: f64 = 1e-6;
-
-/// Divergence threshold for rate comparisons, in Mb/s.
-pub const ORACLE_TOL_MBPS: f64 = 1e-6;
-
-/// Playback-time epsilon (seconds): a playout-end boundary closer than
-/// this is treated as already reached by the crossing-time solver, so
-/// float residue left after landing exactly on a crossing cannot spawn
-/// further sub-slices.
-pub const EPS_SECS: f64 = 1e-9;
-
-// ---------------------------------------------------------------------------
-// The reference stepper
-// ---------------------------------------------------------------------------
-
-/// How the reference cluster integrates between event boundaries.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub enum RefStepper {
-    /// One closed-form slice per event boundary, sub-sliced at
-    /// stream-finish and playout-end crossings solved from the linear
-    /// dynamics. Exact, and O(#events) regardless of simulated duration.
-    Exact,
-    /// Fixed-timestep spot-check integrator: O(duration / Δt).
-    Naive {
-        /// Integration step in seconds.
-        dt_secs: f64,
-    },
-}
-
-/// The stepper the oracle entry points use: [`RefStepper::Exact`], or the
-/// fixed-[`ORACLE_DT_SECS`] integrator when the crate is built with the
-/// `naive-stepper` feature.
-pub fn default_stepper() -> RefStepper {
-    if cfg!(feature = "naive-stepper") {
-        RefStepper::Naive {
-            dt_secs: ORACLE_DT_SECS,
-        }
-    } else {
-        RefStepper::Exact
-    }
-}
-
-/// Per-stream state the crossing-time solver needs. Between event
-/// boundaries `sent` grows linearly at `rate` until `remaining_mb`
-/// reaches zero, and playback consumes wall time one-for-one until
-/// `play_left_secs` reaches zero (unless paused).
-#[derive(Clone, Copy, Debug)]
-pub struct SliceState {
-    /// Allocated transmission rate, Mb/s.
-    pub rate: f64,
-    /// Megabits still to transmit.
-    pub remaining_mb: f64,
-    /// Whether playback is frozen.
-    pub paused: bool,
-    /// Seconds of playback left until the clip's playout end.
-    pub play_left_secs: f64,
-}
-
-/// The largest step `dt ≤ left` that crosses no stream-finish or
-/// playout-end boundary: the minimum over `left`, every transmitting
-/// stream's finish crossing `remaining_mb / rate`, and every playing
-/// stream's playout residue `play_left_secs`. Boundaries within
-/// [`EPS_MB`] / [`EPS_SECS`] of the current state count as already
-/// crossed, so each boundary binds at most once per integration — at
-/// most `2·n_streams + 1` slices per reference integration call.
-/// Capacity changes need no crossing term: they only happen at trace
-/// events, which bound `left` by construction.
-pub fn exact_slice(left: f64, streams: &[SliceState]) -> f64 {
-    let mut dt = left;
-    for s in streams {
-        if s.rate > 0.0 && s.remaining_mb > EPS_MB {
-            dt = dt.min(s.remaining_mb / s.rate);
-        }
-        if !s.paused && s.play_left_secs > EPS_SECS {
-            dt = dt.min(s.play_left_secs);
-        }
-    }
-    dt
-}
-
-// ---------------------------------------------------------------------------
-// Scenarios
-// ---------------------------------------------------------------------------
-
-/// One operation of a replayable trace.
-#[derive(Clone, Debug)]
-pub enum TraceOp {
-    /// A viewer requests `video` (`size_mb` megabits at the view rate).
-    Arrival {
-        /// Requested video.
-        video: VideoId,
-        /// Clip size in megabits.
-        size_mb: f64,
-    },
-    /// A server crashes; the controller evacuates what it can.
-    Fail(ServerId),
-    /// A failed server comes back online, empty.
-    Repair(ServerId),
-    /// The viewer of the stream admitted by arrival number `.0` pauses
-    /// playback (stream ids equal arrival indices). Pausing a stream that
-    /// finished, was dropped, or was never admitted is a client-side no-op.
-    Pause(StreamId),
-    /// The same viewer resumes playback.
-    Resume(StreamId),
-    /// Directs the replication manager to attempt a cluster-sourced copy
-    /// of `video` (`size_mb` megabits). A launch admits a real copy
-    /// stream into the source engine, which the reference mirrors at the
-    /// copy rate; `CopyDone` is observed via the engine reap path and
-    /// must install the replica in the shared map. A no-op when the
-    /// manager declines (no eligible target/source, cap, or cooldown) or
-    /// when the scenario has no replication spec.
-    StartCopy {
-        /// Video to replicate.
-        video: VideoId,
-        /// Object size in megabits.
-        size_mb: f64,
-    },
-}
-
-/// A self-contained random scenario: cluster shape, policies, and a
-/// timed trace. Fully determined by the seed passed to
-/// [`OracleScenario::generate`].
-#[derive(Clone, Debug)]
-pub struct OracleScenario {
-    /// The generating seed (echoed in divergence reports).
-    pub seed: u64,
-    /// Number of data servers.
-    pub n_servers: usize,
-    /// Minimum-flow slots per server (capacity = slots × view rate).
-    pub slots_per_server: usize,
-    /// View bandwidth `b_view` in Mb/s.
-    pub view_rate: f64,
-    /// Spare-bandwidth policy under test.
-    pub scheduler: SchedulerKind,
-    /// Whether dynamic request migration is enabled.
-    pub migration_on: bool,
-    /// Whether two-step migration chains are enabled (implies
-    /// `migration_on`; the policy becomes [`MigrationPolicy::chain2`] and
-    /// the waitlist, if any, serves through the full admission path).
-    pub chain2_on: bool,
-    /// Whether evacuation restarts streams that cannot hand off
-    /// seamlessly (best-effort policy). Seed bit 7, *inverted*: off for
-    /// every seed below 128, so the strict paper-faithful policy remains
-    /// the default across the historical scenario corpus.
-    pub restart_on: bool,
-    /// Client staging/receive profile shared by all viewers.
-    pub client: ClientProfile,
-    /// Holder set per video (index = video id).
-    pub holders: Vec<Vec<ServerId>>,
-    /// Cluster-sourced dynamic replication, driven by
-    /// [`TraceOp::StartCopy`] directives ([`CopySource::Tertiary`] is
-    /// rejected — the reference only mirrors copies that consume real
-    /// engine bandwidth).
-    pub replication: Option<ReplicationSpec>,
-    /// Patience-bounded wait queue served after departures and repairs.
-    pub waitlist: Option<WaitlistSpec>,
-    /// Time-ordered operations.
-    pub trace: Vec<(SimTime, TraceOp)>,
-}
-
-impl OracleScenario {
-    /// Deterministically derives a scenario from `seed`. The scheduler and
-    /// migration switch are also seed-derived (`seed % 4` cycles the four
-    /// [`SchedulerKind`]s, bit 2 toggles migration), so a contiguous seed
-    /// range covers every configuration.
-    pub fn generate(seed: u64) -> OracleScenario {
-        let mut rng = Rng::new(seed).fork(0x0AC1E);
-        Self::generate_inner(seed, &mut rng)
-    }
-
-    fn generate_inner(seed: u64, rng: &mut Rng) -> OracleScenario {
-        let scheduler = SchedulerKind::ALL[(seed % 4) as usize];
-        let migration_on = (seed / 4).is_multiple_of(2);
-        // Bits 3 and 4 toggle the replication and waitlist extensions, so
-        // a contiguous seed range still covers every combination.
-        let replication_on = (seed / 8).is_multiple_of(2);
-        let waitlist_on = (seed / 16).is_multiple_of(2);
-        // Bit 5 arms two-step chains (meaningful only with migration on,
-        // so chain-off seeds keep generating byte-identical scenarios);
-        // bit 6 appends an hours-long lone drain the exact stepper must
-        // cross in O(1) slices.
-        let chain2_on = migration_on && (seed / 32).is_multiple_of(2);
-        let long_drain = (seed / 64).is_multiple_of(2);
-        // Bit 7 arms the best-effort evacuation restart — inverted so it
-        // stays off (paper-faithful) for the whole historical seed range.
-        let restart_on = !(seed / 128).is_multiple_of(2);
-        let n_servers = if chain2_on {
-            // The deterministic chain pressure wave needs three distinct
-            // servers (full → full → open).
-            rng.range_usize(3, 5)
-        } else {
-            rng.range_usize(2, 5)
-        };
-        let slots_per_server = rng.range_usize(3, 7);
-        let view_rate = 3.0;
-        let n_videos = if chain2_on {
-            rng.range_usize(3, 7)
-        } else {
-            rng.range_usize(2, 7)
-        };
-
-        // Client profile: mix bounded, unbounded, and zero staging.
-        let client = match rng.below(5) {
-            0 => ClientProfile::unbounded(),
-            1 => ClientProfile::no_staging(30.0),
-            _ => ClientProfile::new(rng.range_f64(30.0, 400.0), 30.0),
-        };
-
-        // Non-empty holder set per video. Chain-2 scenarios use a ring
-        // instead: video 0 lives only on s0, video v ≥ 1 straddles the
-        // edge {s_{(v-1) mod n}, s_{v mod n}} — the topology where a
-        // depth-2 chain can free a slot that no single hop can.
-        let holders: Vec<Vec<ServerId>> = if chain2_on {
-            (0..n_videos)
-                .map(|v| {
-                    if v == 0 {
-                        vec![ServerId(0)]
-                    } else {
-                        vec![
-                            ServerId(((v - 1) % n_servers) as u16),
-                            ServerId((v % n_servers) as u16),
-                        ]
-                    }
-                })
-                .collect()
-        } else {
-            (0..n_videos)
-                .map(|_| {
-                    let k = rng.range_usize(1, n_servers + 1);
-                    let mut picked = rng.sample_indices(n_servers, k);
-                    picked.sort_unstable();
-                    picked.into_iter().map(|i| ServerId(i as u16)).collect()
-                })
-                .collect()
-        };
-
-        // Arrivals with occasional zero gaps (the shrunken regression
-        // scenarios showed simultaneous arrivals are where bugs hide).
-        let n_arrivals = rng.range_usize(10, 26);
-        let mut trace: Vec<(SimTime, TraceOp)> = Vec::with_capacity(n_arrivals + 2);
-        let mut t = 0.0f64;
-        for _ in 0..n_arrivals {
-            if !rng.chance(0.25) {
-                t += rng.range_f64(0.0, 30.0);
-            }
-            let video = VideoId(rng.below(n_videos) as u32);
-            let size_mb = if rng.chance(0.2) {
-                30.0
-            } else {
-                rng.range_f64(30.0, 600.0)
-            };
-            trace.push((SimTime::from_secs(t), TraceOp::Arrival { video, size_mb }));
-        }
-
-        // Sometimes a failure + repair lands mid-trace. Skipped when the
-        // scenario also replicates: evacuating an in-flight copy stream
-        // would strand the manager's bookkeeping on the dead source,
-        // which is interplay the reference does not model.
-        if !replication_on && rng.chance(0.35) {
-            let victim = ServerId(rng.below(n_servers) as u16);
-            let t_fail = rng.range_f64(0.0, t.max(1.0));
-            let t_repair = t_fail + rng.range_f64(10.0, 200.0);
-            trace.push((SimTime::from_secs(t_fail), TraceOp::Fail(victim)));
-            trace.push((SimTime::from_secs(t_repair), TraceOp::Repair(victim)));
-            trace.sort_by_key(|a| a.0);
-        }
-
-        // Sometimes viewers pause and resume mid-trace: the reference's
-        // `paused` flag freezes playback while the engines drop the
-        // stream's rate to zero, and both must agree on the data volumes
-        // either way. Targets are arrival indices; a pause landing before
-        // its arrival (or on a rejected request) is a no-op on both sides.
-        if rng.chance(0.5) {
-            let k = rng.range_usize(1, 4);
-            let mut targets = rng.sample_indices(n_arrivals, k);
-            targets.sort_unstable();
-            for idx in targets {
-                let t_pause = rng.range_f64(0.0, t.max(1.0));
-                let t_resume = t_pause + rng.range_f64(5.0, 120.0);
-                let sid = StreamId(idx as u64);
-                trace.push((SimTime::from_secs(t_pause), TraceOp::Pause(sid)));
-                trace.push((SimTime::from_secs(t_resume), TraceOp::Resume(sid)));
-            }
-            // Stable by time, so same-instant ops keep their push order.
-            trace.sort_by_key(|a| a.0);
-        }
-
-        // Replication scenarios sprinkle copy directives through the
-        // trace. The copy rate is two view slots, so a launch needs a
-        // holder with real spare capacity — plenty of directives are
-        // declined, which exercises the gating paths too.
-        let replication = replication_on.then_some(ReplicationSpec {
-            copy_rate_mbps: 2.0 * view_rate,
-            max_concurrent: 2,
-            cooldown_secs: 15.0,
-            source: CopySource::Cluster,
-        });
-        if replication.is_some() {
-            let k = rng.range_usize(1, 4);
-            for _ in 0..k {
-                let video = VideoId(rng.below(n_videos) as u32);
-                let size_mb = rng.range_f64(30.0, 240.0);
-                let t_copy = rng.range_f64(0.0, t.max(1.0));
-                trace.push((
-                    SimTime::from_secs(t_copy),
-                    TraceOp::StartCopy { video, size_mb },
-                ));
-            }
-            trace.sort_by_key(|a| a.0);
-        }
-
-        // Waitlist scenarios park rejected viewers in a patience-bounded
-        // queue; departures then re-admit them as fresh streams the
-        // reference must pick up mid-replay.
-        let waitlist = waitlist_on.then(|| {
-            let patience = rng.range_f64(30.0, 240.0);
-            if rng.chance(0.3) {
-                WaitlistSpec::batching(patience, 8)
-            } else {
-                WaitlistSpec::new(patience, 8)
-            }
-        });
-
-        // Chain-2 pressure wave, appended once the random prefix has
-        // provably drained (prefix streams last ≤ 200 s plus ≤ 120 s of
-        // pause and ≤ 240 s of waitlist patience; repairs land by
-        // t + 200). Two video-2 arrivals land one each on s1 and s2 by
-        // least-loaded tie-break, then 2·slots − 1 video-1 arrivals fill
-        // s0 and s1 exactly, leaving s2 the only server with room. A
-        // video-0 chaser then fails direct (s0 full) and single-hop
-        // (s1, the only other v1 holder, is full), so admission must
-        // chain: the v2 stream on s1 moves to s2, a v1 stream on s0
-        // moves into the freed s1 slot, and the chaser lands on s0.
-        // Later chasers find no v2 left on s1 and exercise the
-        // reject-implies-no-plan check (queueing when a waitlist runs).
-        if chain2_on {
-            let mut tw = t + 700.0;
-            for _ in 0..2 {
-                trace.push((
-                    SimTime::from_secs(tw),
-                    TraceOp::Arrival {
-                        video: VideoId(2),
-                        size_mb: rng.range_f64(3_000.0, 6_000.0),
-                    },
-                ));
-            }
-            for _ in 0..(2 * slots_per_server - 1) {
-                trace.push((
-                    SimTime::from_secs(tw),
-                    TraceOp::Arrival {
-                        video: VideoId(1),
-                        size_mb: rng.range_f64(3_000.0, 6_000.0),
-                    },
-                ));
-            }
-            for _ in 0..rng.range_usize(1, 4) {
-                tw += 2.0;
-                trace.push((
-                    SimTime::from_secs(tw),
-                    TraceOp::Arrival {
-                        video: VideoId(0),
-                        size_mb: rng.range_f64(3_000.0, 6_000.0),
-                    },
-                ));
-            }
-            t = tw;
-        }
-
-        // Hours-long lone drain: one final viewer whose clip plays for
-        // 2-4 simulated hours after everything else has wound down. The
-        // exact stepper crosses the whole tail in a handful of slices;
-        // the naive spot-check pays duration / Δt.
-        if long_drain {
-            let t_tail = t + 4_000.0;
-            trace.push((
-                SimTime::from_secs(t_tail),
-                TraceOp::Arrival {
-                    video: VideoId(0),
-                    size_mb: rng.range_f64(21_600.0, 43_200.0),
-                },
-            ));
-        }
-
-        OracleScenario {
-            seed,
-            n_servers,
-            slots_per_server,
-            view_rate,
-            scheduler,
-            migration_on,
-            chain2_on,
-            restart_on,
-            client,
-            holders,
-            replication,
-            waitlist,
-            trace,
-        }
-    }
-
-    /// The migration policy this scenario runs under.
-    pub fn migration_policy(&self) -> MigrationPolicy {
-        if self.migration_on {
-            let base = if self.chain2_on {
-                MigrationPolicy::chain2()
-            } else {
-                MigrationPolicy::single_hop()
-            };
-            MigrationPolicy {
-                handoff_latency_secs: 0.0,
-                ..base
-            }
-        } else {
-            MigrationPolicy::disabled()
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Divergence reports
-// ---------------------------------------------------------------------------
-
-/// What kind of disagreement was detected.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum DivergenceKind {
-    /// Per-stream transmitted volume disagrees.
-    SentMb,
-    /// Per-stream allocated rate disagrees.
-    Rate,
-    /// Per-stream staging-buffer occupancy disagrees.
-    StagedMb,
-    /// Per-server committed bandwidth ledger disagrees or drifted.
-    CommittedMbps,
-    /// Per-server allocated rates exceed capacity.
-    Capacity,
-    /// An unpaused stream fell below the minimum flow.
-    MinFlow,
-    /// Global transmitted volume disagrees with the reference ledger.
-    Conservation,
-    /// The two sides disagree about which streams exist / where they live.
-    StreamSet,
-    /// An admission decision was illegal for the observable state.
-    Admission,
-}
-
-/// The first point where the event-driven simulator and the reference
-/// integrator disagree. `seed` + `time` + `stream` make the failure
-/// replayable: regenerate the scenario from the seed and break at `time`.
-#[derive(Clone, Debug)]
-pub struct Divergence {
-    /// Scenario seed ([`OracleScenario::generate`] reproduces the run).
-    pub seed: u64,
-    /// Simulation time of the check that failed.
-    pub time: SimTime,
-    /// Offending stream, when the check is stream-scoped.
-    pub stream: Option<StreamId>,
-    /// Offending server, when known.
-    pub server: Option<ServerId>,
-    /// Check category.
-    pub kind: DivergenceKind,
-    /// Human-readable magnitude / expectation.
-    pub detail: String,
-}
-
-impl fmt::Display for Divergence {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "divergence[seed={} t={}", self.seed, self.time)?;
-        if let Some(s) = self.stream {
-            write!(f, " stream={s}")?;
-        }
-        if let Some(s) = self.server {
-            write!(f, " server={s}")?;
-        }
-        write!(f, "] {:?}: {}", self.kind, self.detail)
-    }
-}
-
-// ---------------------------------------------------------------------------
-// The naive reference model
-// ---------------------------------------------------------------------------
-
-#[derive(Clone, Debug)]
-struct RefStream {
-    id: StreamId,
-    video: VideoId,
-    server: usize,
-    size_mb: f64,
-    view_rate: f64,
-    sent_mb: f64,
-    played_secs: f64,
-    /// Kahan compensation terms for `sent_mb` / `played_secs`. The
-    /// exact stepper takes too few slices to drift, but the naive
-    /// spot-check stepper makes ~10⁶ tiny adds over a multi-hour drain
-    /// — enough plain-summation round-off to trip the conservation
-    /// tolerance (`ORACLE_TOL_MB`), so both accumulators compensate.
-    sent_comp: f64,
-    played_comp: f64,
-    rate: f64,
-    paused: bool,
-    client: ClientProfile,
-}
-
-impl RefStream {
-    fn remaining_mb(&self) -> f64 {
-        (self.size_mb - self.sent_mb).max(0.0)
-    }
-
-    fn length_secs(&self) -> f64 {
-        self.size_mb / self.view_rate
-    }
-
-    fn staged_mb(&self) -> f64 {
-        (self.sent_mb - self.played_secs * self.view_rate).max(0.0)
-    }
-
-    fn buffer_full(&self) -> bool {
-        !self.client.is_unbounded_staging()
-            && self.staged_mb() >= self.client.staging_capacity_mb - EPS_MB
-    }
-
-    /// Projected finish offset (seconds from now) at the minimum flow —
-    /// the EFTF ordering key.
-    fn finish_offset(&self) -> f64 {
-        self.remaining_mb() / self.view_rate
-    }
-}
-
-/// The reference cluster: flat stream list, fixed-timestep integration,
-/// and an independently written spare-bandwidth allocator.
-struct RefCluster {
-    scheduler: SchedulerKind,
-    stepper: RefStepper,
-    capacity: Vec<f64>,
-    online: Vec<bool>,
-    streams: Vec<RefStream>,
-    clock: SimTime,
-    /// Integration slices performed so far (one per closed-form segment
-    /// in exact mode, one per Δt step in naive mode). Exposed through
-    /// [`OracleOutcome::ref_slices`] so tests can assert the exact
-    /// stepper's slice count is horizon-independent.
-    slices: u64,
-    /// Megabits transmitted to streams that have since left the cluster
-    /// (finished or dropped). `retired_mb + Σ live sent` is the
-    /// conservation ledger; summing per-slice deltas instead would
-    /// accumulate float drift over millions of steps.
-    retired_mb: f64,
-}
-
-impl RefCluster {
-    fn new(
-        n_servers: usize,
-        capacity_mbps: f64,
-        scheduler: SchedulerKind,
-        stepper: RefStepper,
-    ) -> RefCluster {
-        RefCluster {
-            scheduler,
-            stepper,
-            capacity: vec![capacity_mbps; n_servers],
-            online: vec![true; n_servers],
-            streams: Vec::new(),
-            clock: SimTime::ZERO,
-            slices: 0,
-            retired_mb: 0.0,
-        }
-    }
-
-    /// Total megabits ever transmitted, live plus retired.
-    fn total_sent_mb(&self) -> f64 {
-        self.retired_mb + self.streams.iter().map(|s| s.sent_mb).sum::<f64>()
-    }
-
-    /// Integrates from the internal clock to `t`. Per-slice updates are
-    /// the closed forms `sent += min(rate·dt, remaining)` and
-    /// `played = min(played + dt, length)`; both are exact for any `dt`
-    /// that crosses no boundary, so the exact stepper takes one maximal
-    /// boundary-free slice at a time while the naive stepper grinds
-    /// through fixed Δt sub-steps of the very same update.
-    fn integrate_to(&mut self, t: SimTime) {
-        // Slice against a compensated local elapsed-time accumulator
-        // rather than `self.clock += step`: a naive multi-hour drain
-        // takes ~10⁶ steps, and plain clock accumulation drifts the
-        // total integrated duration by enough that the closing
-        // `self.clock = t` snap silently drops ~µs of transmission.
-        let total = t - self.clock;
-        let mut advanced = 0.0f64;
-        let mut advanced_comp = 0.0f64;
-        loop {
-            let left = total - advanced;
-            if left <= 0.0 {
-                break;
-            }
-            let step = match self.stepper {
-                RefStepper::Naive { dt_secs } => dt_secs.min(left),
-                RefStepper::Exact => {
-                    let states: Vec<SliceState> = self
-                        .streams
-                        .iter()
-                        .map(|s| SliceState {
-                            rate: s.rate,
-                            remaining_mb: s.remaining_mb(),
-                            paused: s.paused,
-                            play_left_secs: (s.length_secs() - s.played_secs).max(0.0),
-                        })
-                        .collect();
-                    let dt = exact_slice(left, &states);
-                    // Sub-epsilon residues are excluded from the solver,
-                    // so dt > 0 whenever left > 0; the fallback merely
-                    // guards against a denormal-degenerate slice looping.
-                    if dt > 0.0 {
-                        dt
-                    } else {
-                        left
-                    }
-                }
-            };
-            for s in &mut self.streams {
-                let delta = (s.rate * step).min(s.remaining_mb());
-                let y = delta - s.sent_comp;
-                let sum = s.sent_mb + y;
-                s.sent_comp = (sum - s.sent_mb) - y;
-                s.sent_mb = sum;
-                if !s.paused {
-                    let y = step - s.played_comp;
-                    let sum = s.played_secs + y;
-                    s.played_comp = (sum - s.played_secs) - y;
-                    s.played_secs = sum;
-                    if s.played_secs >= s.length_secs() {
-                        s.played_secs = s.length_secs();
-                        s.played_comp = 0.0;
-                    }
-                }
-            }
-            self.slices += 1;
-            let y = step - advanced_comp;
-            let sum = advanced + y;
-            advanced_comp = (sum - advanced) - y;
-            advanced = sum;
-        }
-        self.clock = t;
-    }
-
-    /// Independent reimplementation of the minimum-flow allocation for one
-    /// server. Written *differently* from `sct_transmission::allocate` on
-    /// purpose: repeated best-candidate extraction instead of a sorted
-    /// sweep, and a bisected water level instead of the progressive-share
-    /// fill. Agreement is therefore evidence, not tautology.
-    fn reallocate(&mut self, server: usize) {
-        let capacity = self.capacity[server];
-        let members: Vec<usize> = (0..self.streams.len())
-            .filter(|&i| self.streams[i].server == server)
-            .collect();
-        let mut used = 0.0;
-        for &i in &members {
-            let s = &mut self.streams[i];
-            s.rate = if s.paused { 0.0 } else { s.view_rate };
-            used += s.rate;
-        }
-        let mut spare = capacity - used;
-        if spare <= EPS_MB {
-            return;
-        }
-        let mut candidates: Vec<usize> = members
-            .iter()
-            .copied()
-            .filter(|&i| !self.streams[i].buffer_full())
-            .collect();
-        match self.scheduler {
-            SchedulerKind::NoWorkahead => {}
-            SchedulerKind::Eftf | SchedulerKind::LatestFinishFirst => {
-                // Repeatedly extract the best candidate instead of sorting.
-                while spare > EPS_MB && !candidates.is_empty() {
-                    let mut best = 0;
-                    for c in 1..candidates.len() {
-                        let a = &self.streams[candidates[c]];
-                        let b = &self.streams[candidates[best]];
-                        let ord = a
-                            .finish_offset()
-                            .total_cmp(&b.finish_offset())
-                            .then(a.id.cmp(&b.id));
-                        let better = if self.scheduler == SchedulerKind::Eftf {
-                            ord == std::cmp::Ordering::Less
-                        } else {
-                            ord == std::cmp::Ordering::Greater
-                        };
-                        if better {
-                            best = c;
-                        }
-                    }
-                    let i = candidates.swap_remove(best);
-                    let s = &mut self.streams[i];
-                    let headroom = s.client.receive_cap_mbps - s.rate;
-                    let give = spare.min(headroom).max(0.0);
-                    s.rate += give;
-                    spare -= give;
-                }
-            }
-            SchedulerKind::ProportionalShare => {
-                let heads: Vec<(usize, f64)> = candidates
-                    .iter()
-                    .map(|&i| {
-                        let s = &self.streams[i];
-                        (i, (s.client.receive_cap_mbps - s.rate).max(0.0))
-                    })
-                    .collect();
-                let total: f64 = heads.iter().map(|&(_, h)| h).sum();
-                if total <= spare {
-                    for &(i, h) in &heads {
-                        self.streams[i].rate += h;
-                    }
-                } else {
-                    // Bisect the water level L: Σ min(h_i, L) = spare.
-                    // L never exceeds `spare` (with total headroom above
-                    // spare, Σ min(h_i, spare) ≥ spare already), so the
-                    // bracket stays finite even for unbounded receive caps.
-                    let mut lo = 0.0f64;
-                    let mut hi = spare;
-                    for _ in 0..80 {
-                        let mid = 0.5 * (lo + hi);
-                        let given: f64 = heads.iter().map(|&(_, h)| h.min(mid)).sum();
-                        if given < spare {
-                            lo = mid;
-                        } else {
-                            hi = mid;
-                        }
-                    }
-                    let level = 0.5 * (lo + hi);
-                    for &(i, h) in &heads {
-                        self.streams[i].rate += h.min(level);
-                    }
-                }
-            }
-        }
-    }
-
-    fn find(&self, id: StreamId) -> Option<usize> {
-        self.streams.iter().position(|s| s.id == id)
-    }
-
-    fn remove(&mut self, id: StreamId) -> Option<RefStream> {
-        let removed = self.find(id).map(|i| self.streams.swap_remove(i));
-        if let Some(r) = &removed {
-            self.retired_mb += r.sent_mb;
-        }
-        removed
-    }
-
-    fn committed_mbps(&self, server: usize) -> f64 {
-        self.streams
-            .iter()
-            .filter(|s| s.server == server)
-            .map(|s| s.view_rate)
-            .sum()
-    }
-}
-
-// ---------------------------------------------------------------------------
-// The auditor
-// ---------------------------------------------------------------------------
-
-macro_rules! diverge {
-    ($seed:expr, $time:expr, $stream:expr, $server:expr, $kind:expr, $($arg:tt)+) => {
-        return Err(Box::new(Divergence {
-            seed: $seed,
-            time: $time,
-            stream: $stream,
-            server: $server,
-            kind: $kind,
-            detail: format!($($arg)+),
-        }))
-    };
-}
-
-/// Mirrors one migration hop in the reference: `victim` must be known,
-/// must live on `from`, and `to` must hold its video; its reference
-/// placement then moves to `to`. Shared by single-hop admissions,
-/// chain-2 admissions (two calls, inner hop first — the order the
-/// controller applies them), and assisted waitlist serves.
-fn mirror_relocation(
-    seed: u64,
-    now: SimTime,
-    reference: &mut RefCluster,
-    map: &ReplicaMap,
-    victim: StreamId,
-    from: ServerId,
-    to: ServerId,
-) -> Result<(), Box<Divergence>> {
-    let Some(vi) = reference.find(victim) else {
-        diverge!(
-            seed,
-            now,
-            Some(victim),
-            Some(from),
-            DivergenceKind::StreamSet,
-            "migration victim unknown to the reference"
-        );
-    };
-    let v = &mut reference.streams[vi];
-    if v.server != from.index() {
-        diverge!(
-            seed,
-            now,
-            Some(victim),
-            Some(from),
-            DivergenceKind::Admission,
-            "victim lived on server {} per the reference",
-            v.server
-        );
-    }
-    if !map.holds(to, v.video) {
-        diverge!(
-            seed,
-            now,
-            Some(victim),
-            Some(to),
-            DivergenceKind::Admission,
-            "victim moved to a non-holder of its video"
-        );
-    }
-    v.server = to.index();
-    Ok(())
-}
-
-/// Standalone invariant audit of live engines — the half of the oracle
-/// that needs no reference replay. Checks the commitment ledger against
-/// the stream list, the capacity bound, the minimum-flow guarantee, and
-/// staging-buffer bounds. Cheap enough to call at every event of any
-/// property test.
-pub fn audit_engines(
-    seed: u64,
-    now: SimTime,
-    engines: &[ServerEngine],
-) -> Result<(), Box<Divergence>> {
-    for e in engines {
-        let sid = Some(e.id());
-        let mut committed = 0.0;
-        let mut total_rate = 0.0;
-        for s in e.streams() {
-            committed += s.view_rate;
-            total_rate += s.rate();
-            if !s.is_paused() && !s.is_finished() && s.rate() < s.view_rate - ORACLE_TOL_MBPS {
-                diverge!(
-                    seed,
-                    now,
-                    Some(s.id),
-                    sid,
-                    DivergenceKind::MinFlow,
-                    "rate {} below view rate {}",
-                    s.rate(),
-                    s.view_rate
-                );
-            }
-            let staged = s.staged_mb(now.max(e.clock()));
-            if staged < -ORACLE_TOL_MB {
-                diverge!(
-                    seed,
-                    now,
-                    Some(s.id),
-                    sid,
-                    DivergenceKind::StagedMb,
-                    "negative staging occupancy {staged}"
-                );
-            }
-            if !s.client.is_unbounded_staging()
-                && staged > s.client.staging_capacity_mb + s.view_rate * 1e-6 + ORACLE_TOL_MB
-            {
-                diverge!(
-                    seed,
-                    now,
-                    Some(s.id),
-                    sid,
-                    DivergenceKind::StagedMb,
-                    "staging overflow: {staged} > cap {}",
-                    s.client.staging_capacity_mb
-                );
-            }
-        }
-        let n = e.streams().len() as f64;
-        if (committed - e.committed_mbps()).abs() > ORACLE_TOL_MBPS * (1.0 + n) {
-            diverge!(
-                seed,
-                now,
-                None,
-                sid,
-                DivergenceKind::CommittedMbps,
-                "ledger {} vs stream sum {committed}",
-                e.committed_mbps()
-            );
-        }
-        if total_rate > e.capacity_mbps() + ORACLE_TOL_MBPS * (1.0 + n) {
-            diverge!(
-                seed,
-                now,
-                None,
-                sid,
-                DivergenceKind::Capacity,
-                "allocated {total_rate} exceeds capacity {}",
-                e.capacity_mbps()
-            );
-        }
-        if !e.is_online() && !e.streams().is_empty() {
-            diverge!(
-                seed,
-                now,
-                None,
-                sid,
-                DivergenceKind::StreamSet,
-                "offline server holds {} streams",
-                e.streams().len()
-            );
-        }
-    }
-    Ok(())
-}
-
-fn cross_check(
-    seed: u64,
-    now: SimTime,
-    engines: &[ServerEngine],
-    reference: &RefCluster,
-) -> Result<(), Box<Divergence>> {
-    audit_engines(seed, now, engines)?;
-
-    let live: usize = engines.iter().map(|e| e.streams().len()).sum();
-    if live != reference.streams.len() {
-        diverge!(
-            seed,
-            now,
-            None,
-            None,
-            DivergenceKind::StreamSet,
-            "engines hold {live} streams, reference holds {}",
-            reference.streams.len()
-        );
-    }
-
-    for (idx, e) in engines.iter().enumerate() {
-        let sid = Some(e.id());
-        if (reference.capacity[idx] - e.capacity_mbps()).abs() > ORACLE_TOL_MBPS {
-            diverge!(
-                seed,
-                now,
-                None,
-                sid,
-                DivergenceKind::Capacity,
-                "capacity {} vs reference {}",
-                e.capacity_mbps(),
-                reference.capacity[idx]
-            );
-        }
-        if reference.online[idx] != e.is_online() {
-            diverge!(
-                seed,
-                now,
-                None,
-                sid,
-                DivergenceKind::StreamSet,
-                "online={} but reference says {}",
-                e.is_online(),
-                reference.online[idx]
-            );
-        }
-        let ref_committed = reference.committed_mbps(idx);
-        let n = e.streams().len() as f64;
-        if (ref_committed - e.committed_mbps()).abs() > ORACLE_TOL_MBPS * (1.0 + n) {
-            diverge!(
-                seed,
-                now,
-                None,
-                sid,
-                DivergenceKind::CommittedMbps,
-                "committed {} vs reference {ref_committed}",
-                e.committed_mbps()
-            );
-        }
-        for s in e.streams() {
-            let Some(r) = reference.find(s.id).map(|i| &reference.streams[i]) else {
-                diverge!(
-                    seed,
-                    now,
-                    Some(s.id),
-                    sid,
-                    DivergenceKind::StreamSet,
-                    "stream unknown to the reference"
-                );
-            };
-            if r.server != idx {
-                diverge!(
-                    seed,
-                    now,
-                    Some(s.id),
-                    sid,
-                    DivergenceKind::StreamSet,
-                    "reference places it on server {}",
-                    r.server
-                );
-            }
-            if (r.sent_mb - s.sent_mb()).abs() > ORACLE_TOL_MB {
-                diverge!(
-                    seed,
-                    now,
-                    Some(s.id),
-                    sid,
-                    DivergenceKind::SentMb,
-                    "sent {} vs reference {} (Δ={:+.3e})",
-                    s.sent_mb(),
-                    r.sent_mb,
-                    s.sent_mb() - r.sent_mb
-                );
-            }
-            if (r.rate - s.rate()).abs() > ORACLE_TOL_MBPS {
-                diverge!(
-                    seed,
-                    now,
-                    Some(s.id),
-                    sid,
-                    DivergenceKind::Rate,
-                    "rate {} vs reference {} (Δ={:+.3e})",
-                    s.rate(),
-                    r.rate,
-                    s.rate() - r.rate
-                );
-            }
-            let staged = s.staged_mb(now.max(e.clock()));
-            if (r.staged_mb() - staged).abs() > ORACLE_TOL_MB {
-                diverge!(
-                    seed,
-                    now,
-                    Some(s.id),
-                    sid,
-                    DivergenceKind::StagedMb,
-                    "staged {} vs reference {}",
-                    staged,
-                    r.staged_mb()
-                );
-            }
-        }
-    }
-
-    let transmitted: f64 = engines.iter().map(|e| e.transmitted_mb()).sum();
-    let ledger = reference.total_sent_mb();
-    if (transmitted - ledger).abs() > ORACLE_TOL_MB {
-        diverge!(
-            seed,
-            now,
-            None,
-            None,
-            DivergenceKind::Conservation,
-            "cluster transmitted {transmitted} vs reference ledger {ledger} (Δ={:+.3e})",
-            transmitted - ledger
-        );
-    }
-    Ok(())
-}
+use sct_transmission::{ServerEngine, Stream, StreamId, EPS_MB};
 
 // ---------------------------------------------------------------------------
 // The differential driver
@@ -1919,103 +871,6 @@ fn run_differential_full(
     drain_until!(far);
     out.ref_slices = reference.slices;
     Ok(out)
-}
-
-// ---------------------------------------------------------------------------
-// Divergence shrinking
-// ---------------------------------------------------------------------------
-
-/// `true` when every [`TraceOp::Fail`] lands on an online server and
-/// every [`TraceOp::Repair`] on a failed one — the engines assert on
-/// double faults, so trace shrinking must never produce an unpaired op.
-fn trace_valid(trace: &[(SimTime, TraceOp)], n_servers: usize) -> bool {
-    let mut online = vec![true; n_servers];
-    for (_, op) in trace {
-        match op {
-            TraceOp::Fail(s) => {
-                if s.index() >= n_servers || !online[s.index()] {
-                    return false;
-                }
-                online[s.index()] = false;
-            }
-            TraceOp::Repair(s) => {
-                if s.index() >= n_servers || online[s.index()] {
-                    return false;
-                }
-                online[s.index()] = true;
-            }
-            _ => {}
-        }
-    }
-    true
-}
-
-/// Shrinks a diverging scenario's trace while `check` keeps reporting a
-/// divergence: first drops every op strictly after the divergence time,
-/// then delta-debugs the rest with halving chunk sizes down to single
-/// ops, skipping candidates that would unpair a fail/repair. Returns the
-/// locally minimal scenario together with its divergence, or `None` when
-/// `check` already passes on the input. The surviving divergence may
-/// differ in kind or time from the original — any reproducible
-/// divergence is an acceptable shrink target.
-pub fn shrink_trace<F>(
-    scenario: &OracleScenario,
-    mut check: F,
-) -> Option<(OracleScenario, Box<Divergence>)>
-where
-    F: FnMut(&OracleScenario) -> Option<Box<Divergence>>,
-{
-    let mut best = scenario.clone();
-    let mut div = check(&best)?;
-    // Ops strictly after the divergence time cannot have contributed.
-    let cut: Vec<(SimTime, TraceOp)> = best
-        .trace
-        .iter()
-        .filter(|(t, _)| *t <= div.time)
-        .cloned()
-        .collect();
-    if cut.len() < best.trace.len() && trace_valid(&cut, best.n_servers) {
-        let mut cand = best.clone();
-        cand.trace = cut;
-        if let Some(d) = check(&cand) {
-            best = cand;
-            div = d;
-        }
-    }
-    let mut chunk = best.trace.len().div_ceil(2).max(1);
-    loop {
-        let mut progressed = false;
-        let mut start = 0;
-        while start < best.trace.len() {
-            let end = (start + chunk).min(best.trace.len());
-            let mut cand = best.clone();
-            cand.trace.drain(start..end);
-            if trace_valid(&cand.trace, cand.n_servers) {
-                if let Some(d) = check(&cand) {
-                    best = cand;
-                    div = d;
-                    progressed = true;
-                    // The window now frames fresh ops; retry it.
-                    continue;
-                }
-            }
-            start = end;
-        }
-        if chunk > 1 {
-            chunk = chunk.div_ceil(2).max(1);
-        } else if !progressed {
-            break;
-        }
-    }
-    Some((best, div))
-}
-
-/// [`shrink_trace`] against the plain differential replay: reduces a
-/// diverging scenario to a locally minimal reproduction whose report is
-/// the replayable (seed, time, stream) triple to file. `None` when the
-/// scenario replays clean.
-pub fn shrink_divergence(scenario: &OracleScenario) -> Option<(OracleScenario, Box<Divergence>)> {
-    shrink_trace(scenario, |sc| run_differential(sc).err())
 }
 
 #[cfg(test)]

@@ -1,0 +1,447 @@
+//! Replayable scenarios: the trace operation vocabulary, the seeded
+//! scenario generator, and divergence shrinking (delta-debugging a
+//! failing trace to a locally minimal reproduction).
+
+use sct_admission::{CopySource, MigrationPolicy, ReplicationSpec, WaitlistSpec};
+use sct_cluster::ServerId;
+use sct_media::{ClientProfile, VideoId};
+use sct_simcore::{Rng, SimTime};
+use sct_transmission::{SchedulerKind, StreamId};
+
+use super::legality::Divergence;
+use super::run_differential;
+
+// ---------------------------------------------------------------------------
+// Scenarios
+// ---------------------------------------------------------------------------
+
+/// One operation of a replayable trace.
+#[derive(Clone, Debug)]
+pub enum TraceOp {
+    /// A viewer requests `video` (`size_mb` megabits at the view rate).
+    Arrival {
+        /// Requested video.
+        video: VideoId,
+        /// Clip size in megabits.
+        size_mb: f64,
+    },
+    /// A server crashes; the controller evacuates what it can.
+    Fail(ServerId),
+    /// A failed server comes back online, empty.
+    Repair(ServerId),
+    /// The viewer of the stream admitted by arrival number `.0` pauses
+    /// playback (stream ids equal arrival indices). Pausing a stream that
+    /// finished, was dropped, or was never admitted is a client-side no-op.
+    Pause(StreamId),
+    /// The same viewer resumes playback.
+    Resume(StreamId),
+    /// Directs the replication manager to attempt a cluster-sourced copy
+    /// of `video` (`size_mb` megabits). A launch admits a real copy
+    /// stream into the source engine, which the reference mirrors at the
+    /// copy rate; `CopyDone` is observed via the engine reap path and
+    /// must install the replica in the shared map. A no-op when the
+    /// manager declines (no eligible target/source, cap, or cooldown) or
+    /// when the scenario has no replication spec.
+    StartCopy {
+        /// Video to replicate.
+        video: VideoId,
+        /// Object size in megabits.
+        size_mb: f64,
+    },
+}
+
+/// A self-contained random scenario: cluster shape, policies, and a
+/// timed trace. Fully determined by the seed passed to
+/// [`OracleScenario::generate`].
+#[derive(Clone, Debug)]
+pub struct OracleScenario {
+    /// The generating seed (echoed in divergence reports).
+    pub seed: u64,
+    /// Number of data servers.
+    pub n_servers: usize,
+    /// Minimum-flow slots per server (capacity = slots × view rate).
+    pub slots_per_server: usize,
+    /// View bandwidth `b_view` in Mb/s.
+    pub view_rate: f64,
+    /// Spare-bandwidth policy under test.
+    pub scheduler: SchedulerKind,
+    /// Whether dynamic request migration is enabled.
+    pub migration_on: bool,
+    /// Whether two-step migration chains are enabled (implies
+    /// `migration_on`; the policy becomes [`MigrationPolicy::chain2`] and
+    /// the waitlist, if any, serves through the full admission path).
+    pub chain2_on: bool,
+    /// Whether evacuation restarts streams that cannot hand off
+    /// seamlessly (best-effort policy). Seed bit 7, *inverted*: off for
+    /// every seed below 128, so the strict paper-faithful policy remains
+    /// the default across the historical scenario corpus.
+    pub restart_on: bool,
+    /// Client staging/receive profile shared by all viewers.
+    pub client: ClientProfile,
+    /// Holder set per video (index = video id).
+    pub holders: Vec<Vec<ServerId>>,
+    /// Cluster-sourced dynamic replication, driven by
+    /// [`TraceOp::StartCopy`] directives ([`CopySource::Tertiary`] is
+    /// rejected — the reference only mirrors copies that consume real
+    /// engine bandwidth).
+    pub replication: Option<ReplicationSpec>,
+    /// Patience-bounded wait queue served after departures and repairs.
+    pub waitlist: Option<WaitlistSpec>,
+    /// Time-ordered operations.
+    pub trace: Vec<(SimTime, TraceOp)>,
+}
+
+impl OracleScenario {
+    /// Deterministically derives a scenario from `seed`. The scheduler and
+    /// migration switch are also seed-derived (`seed % 4` cycles the four
+    /// [`SchedulerKind`]s, bit 2 toggles migration), so a contiguous seed
+    /// range covers every configuration.
+    pub fn generate(seed: u64) -> OracleScenario {
+        let mut rng = Rng::new(seed).fork(0x0AC1E);
+        Self::generate_inner(seed, &mut rng)
+    }
+
+    fn generate_inner(seed: u64, rng: &mut Rng) -> OracleScenario {
+        let scheduler = SchedulerKind::ALL[(seed % 4) as usize];
+        let migration_on = (seed / 4).is_multiple_of(2);
+        // Bits 3 and 4 toggle the replication and waitlist extensions, so
+        // a contiguous seed range still covers every combination.
+        let replication_on = (seed / 8).is_multiple_of(2);
+        let waitlist_on = (seed / 16).is_multiple_of(2);
+        // Bit 5 arms two-step chains (meaningful only with migration on,
+        // so chain-off seeds keep generating byte-identical scenarios);
+        // bit 6 appends an hours-long lone drain the exact stepper must
+        // cross in O(1) slices.
+        let chain2_on = migration_on && (seed / 32).is_multiple_of(2);
+        let long_drain = (seed / 64).is_multiple_of(2);
+        // Bit 7 arms the best-effort evacuation restart — inverted so it
+        // stays off (paper-faithful) for the whole historical seed range.
+        let restart_on = !(seed / 128).is_multiple_of(2);
+        let n_servers = if chain2_on {
+            // The deterministic chain pressure wave needs three distinct
+            // servers (full → full → open).
+            rng.range_usize(3, 5)
+        } else {
+            rng.range_usize(2, 5)
+        };
+        let slots_per_server = rng.range_usize(3, 7);
+        let view_rate = 3.0;
+        let n_videos = if chain2_on {
+            rng.range_usize(3, 7)
+        } else {
+            rng.range_usize(2, 7)
+        };
+
+        // Client profile: mix bounded, unbounded, and zero staging.
+        let client = match rng.below(5) {
+            0 => ClientProfile::unbounded(),
+            1 => ClientProfile::no_staging(30.0),
+            _ => ClientProfile::new(rng.range_f64(30.0, 400.0), 30.0),
+        };
+
+        // Non-empty holder set per video. Chain-2 scenarios use a ring
+        // instead: video 0 lives only on s0, video v ≥ 1 straddles the
+        // edge {s_{(v-1) mod n}, s_{v mod n}} — the topology where a
+        // depth-2 chain can free a slot that no single hop can.
+        let holders: Vec<Vec<ServerId>> = if chain2_on {
+            (0..n_videos)
+                .map(|v| {
+                    if v == 0 {
+                        vec![ServerId(0)]
+                    } else {
+                        vec![
+                            ServerId(((v - 1) % n_servers) as u16),
+                            ServerId((v % n_servers) as u16),
+                        ]
+                    }
+                })
+                .collect()
+        } else {
+            (0..n_videos)
+                .map(|_| {
+                    let k = rng.range_usize(1, n_servers + 1);
+                    let mut picked = rng.sample_indices(n_servers, k);
+                    picked.sort_unstable();
+                    picked.into_iter().map(|i| ServerId(i as u16)).collect()
+                })
+                .collect()
+        };
+
+        // Arrivals with occasional zero gaps (the shrunken regression
+        // scenarios showed simultaneous arrivals are where bugs hide).
+        let n_arrivals = rng.range_usize(10, 26);
+        let mut trace: Vec<(SimTime, TraceOp)> = Vec::with_capacity(n_arrivals + 2);
+        let mut t = 0.0f64;
+        for _ in 0..n_arrivals {
+            if !rng.chance(0.25) {
+                t += rng.range_f64(0.0, 30.0);
+            }
+            let video = VideoId(rng.below(n_videos) as u32);
+            let size_mb = if rng.chance(0.2) {
+                30.0
+            } else {
+                rng.range_f64(30.0, 600.0)
+            };
+            trace.push((SimTime::from_secs(t), TraceOp::Arrival { video, size_mb }));
+        }
+
+        // Sometimes a failure + repair lands mid-trace. Skipped when the
+        // scenario also replicates: evacuating an in-flight copy stream
+        // would strand the manager's bookkeeping on the dead source,
+        // which is interplay the reference does not model.
+        if !replication_on && rng.chance(0.35) {
+            let victim = ServerId(rng.below(n_servers) as u16);
+            let t_fail = rng.range_f64(0.0, t.max(1.0));
+            let t_repair = t_fail + rng.range_f64(10.0, 200.0);
+            trace.push((SimTime::from_secs(t_fail), TraceOp::Fail(victim)));
+            trace.push((SimTime::from_secs(t_repair), TraceOp::Repair(victim)));
+            trace.sort_by_key(|a| a.0);
+        }
+
+        // Sometimes viewers pause and resume mid-trace: the reference's
+        // `paused` flag freezes playback while the engines drop the
+        // stream's rate to zero, and both must agree on the data volumes
+        // either way. Targets are arrival indices; a pause landing before
+        // its arrival (or on a rejected request) is a no-op on both sides.
+        if rng.chance(0.5) {
+            let k = rng.range_usize(1, 4);
+            let mut targets = rng.sample_indices(n_arrivals, k);
+            targets.sort_unstable();
+            for idx in targets {
+                let t_pause = rng.range_f64(0.0, t.max(1.0));
+                let t_resume = t_pause + rng.range_f64(5.0, 120.0);
+                let sid = StreamId(idx as u64);
+                trace.push((SimTime::from_secs(t_pause), TraceOp::Pause(sid)));
+                trace.push((SimTime::from_secs(t_resume), TraceOp::Resume(sid)));
+            }
+            // Stable by time, so same-instant ops keep their push order.
+            trace.sort_by_key(|a| a.0);
+        }
+
+        // Replication scenarios sprinkle copy directives through the
+        // trace. The copy rate is two view slots, so a launch needs a
+        // holder with real spare capacity — plenty of directives are
+        // declined, which exercises the gating paths too.
+        let replication = replication_on.then_some(ReplicationSpec {
+            copy_rate_mbps: 2.0 * view_rate,
+            max_concurrent: 2,
+            cooldown_secs: 15.0,
+            source: CopySource::Cluster,
+        });
+        if replication.is_some() {
+            let k = rng.range_usize(1, 4);
+            for _ in 0..k {
+                let video = VideoId(rng.below(n_videos) as u32);
+                let size_mb = rng.range_f64(30.0, 240.0);
+                let t_copy = rng.range_f64(0.0, t.max(1.0));
+                trace.push((
+                    SimTime::from_secs(t_copy),
+                    TraceOp::StartCopy { video, size_mb },
+                ));
+            }
+            trace.sort_by_key(|a| a.0);
+        }
+
+        // Waitlist scenarios park rejected viewers in a patience-bounded
+        // queue; departures then re-admit them as fresh streams the
+        // reference must pick up mid-replay.
+        let waitlist = waitlist_on.then(|| {
+            let patience = rng.range_f64(30.0, 240.0);
+            if rng.chance(0.3) {
+                WaitlistSpec::batching(patience, 8)
+            } else {
+                WaitlistSpec::new(patience, 8)
+            }
+        });
+
+        // Chain-2 pressure wave, appended once the random prefix has
+        // provably drained (prefix streams last ≤ 200 s plus ≤ 120 s of
+        // pause and ≤ 240 s of waitlist patience; repairs land by
+        // t + 200). Two video-2 arrivals land one each on s1 and s2 by
+        // least-loaded tie-break, then 2·slots − 1 video-1 arrivals fill
+        // s0 and s1 exactly, leaving s2 the only server with room. A
+        // video-0 chaser then fails direct (s0 full) and single-hop
+        // (s1, the only other v1 holder, is full), so admission must
+        // chain: the v2 stream on s1 moves to s2, a v1 stream on s0
+        // moves into the freed s1 slot, and the chaser lands on s0.
+        // Later chasers find no v2 left on s1 and exercise the
+        // reject-implies-no-plan check (queueing when a waitlist runs).
+        if chain2_on {
+            let mut tw = t + 700.0;
+            for _ in 0..2 {
+                trace.push((
+                    SimTime::from_secs(tw),
+                    TraceOp::Arrival {
+                        video: VideoId(2),
+                        size_mb: rng.range_f64(3_000.0, 6_000.0),
+                    },
+                ));
+            }
+            for _ in 0..(2 * slots_per_server - 1) {
+                trace.push((
+                    SimTime::from_secs(tw),
+                    TraceOp::Arrival {
+                        video: VideoId(1),
+                        size_mb: rng.range_f64(3_000.0, 6_000.0),
+                    },
+                ));
+            }
+            for _ in 0..rng.range_usize(1, 4) {
+                tw += 2.0;
+                trace.push((
+                    SimTime::from_secs(tw),
+                    TraceOp::Arrival {
+                        video: VideoId(0),
+                        size_mb: rng.range_f64(3_000.0, 6_000.0),
+                    },
+                ));
+            }
+            t = tw;
+        }
+
+        // Hours-long lone drain: one final viewer whose clip plays for
+        // 2-4 simulated hours after everything else has wound down. The
+        // exact stepper crosses the whole tail in a handful of slices;
+        // the naive spot-check pays duration / Δt.
+        if long_drain {
+            let t_tail = t + 4_000.0;
+            trace.push((
+                SimTime::from_secs(t_tail),
+                TraceOp::Arrival {
+                    video: VideoId(0),
+                    size_mb: rng.range_f64(21_600.0, 43_200.0),
+                },
+            ));
+        }
+
+        OracleScenario {
+            seed,
+            n_servers,
+            slots_per_server,
+            view_rate,
+            scheduler,
+            migration_on,
+            chain2_on,
+            restart_on,
+            client,
+            holders,
+            replication,
+            waitlist,
+            trace,
+        }
+    }
+
+    /// The migration policy this scenario runs under.
+    pub fn migration_policy(&self) -> MigrationPolicy {
+        if self.migration_on {
+            let base = if self.chain2_on {
+                MigrationPolicy::chain2()
+            } else {
+                MigrationPolicy::single_hop()
+            };
+            MigrationPolicy {
+                handoff_latency_secs: 0.0,
+                ..base
+            }
+        } else {
+            MigrationPolicy::disabled()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Divergence shrinking
+// ---------------------------------------------------------------------------
+
+/// `true` when every [`TraceOp::Fail`] lands on an online server and
+/// every [`TraceOp::Repair`] on a failed one — the engines assert on
+/// double faults, so trace shrinking must never produce an unpaired op.
+fn trace_valid(trace: &[(SimTime, TraceOp)], n_servers: usize) -> bool {
+    let mut online = vec![true; n_servers];
+    for (_, op) in trace {
+        match op {
+            TraceOp::Fail(s) => {
+                if s.index() >= n_servers || !online[s.index()] {
+                    return false;
+                }
+                online[s.index()] = false;
+            }
+            TraceOp::Repair(s) => {
+                if s.index() >= n_servers || online[s.index()] {
+                    return false;
+                }
+                online[s.index()] = true;
+            }
+            _ => {}
+        }
+    }
+    true
+}
+
+/// Shrinks a diverging scenario's trace while `check` keeps reporting a
+/// divergence: first drops every op strictly after the divergence time,
+/// then delta-debugs the rest with halving chunk sizes down to single
+/// ops, skipping candidates that would unpair a fail/repair. Returns the
+/// locally minimal scenario together with its divergence, or `None` when
+/// `check` already passes on the input. The surviving divergence may
+/// differ in kind or time from the original — any reproducible
+/// divergence is an acceptable shrink target.
+pub fn shrink_trace<F>(
+    scenario: &OracleScenario,
+    mut check: F,
+) -> Option<(OracleScenario, Box<Divergence>)>
+where
+    F: FnMut(&OracleScenario) -> Option<Box<Divergence>>,
+{
+    let mut best = scenario.clone();
+    let mut div = check(&best)?;
+    // Ops strictly after the divergence time cannot have contributed.
+    let cut: Vec<(SimTime, TraceOp)> = best
+        .trace
+        .iter()
+        .filter(|(t, _)| *t <= div.time)
+        .cloned()
+        .collect();
+    if cut.len() < best.trace.len() && trace_valid(&cut, best.n_servers) {
+        let mut cand = best.clone();
+        cand.trace = cut;
+        if let Some(d) = check(&cand) {
+            best = cand;
+            div = d;
+        }
+    }
+    let mut chunk = best.trace.len().div_ceil(2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < best.trace.len() {
+            let end = (start + chunk).min(best.trace.len());
+            let mut cand = best.clone();
+            cand.trace.drain(start..end);
+            if trace_valid(&cand.trace, cand.n_servers) {
+                if let Some(d) = check(&cand) {
+                    best = cand;
+                    div = d;
+                    progressed = true;
+                    // The window now frames fresh ops; retry it.
+                    continue;
+                }
+            }
+            start = end;
+        }
+        if chunk > 1 {
+            chunk = chunk.div_ceil(2).max(1);
+        } else if !progressed {
+            break;
+        }
+    }
+    Some((best, div))
+}
+
+/// [`shrink_trace`] against the plain differential replay: reduces a
+/// diverging scenario to a locally minimal reproduction whose report is
+/// the replayable (seed, time, stream) triple to file. `None` when the
+/// scenario replays clean.
+pub fn shrink_divergence(scenario: &OracleScenario) -> Option<(OracleScenario, Box<Divergence>)> {
+    shrink_trace(scenario, |sc| run_differential(sc).err())
+}

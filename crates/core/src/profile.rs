@@ -41,9 +41,13 @@ pub enum Phase {
     Wake,
     /// Per-event state publication to the attached probes.
     Probe,
+    /// Sharded loop only: barrier work between runs — electing the next
+    /// shard and recomputing the cross-shard horizon. Zero on the
+    /// monolithic (`shards = 1`) fast path.
+    Barrier,
 }
 
-const N_PHASES: usize = 4;
+const N_PHASES: usize = 5;
 
 #[derive(Default)]
 struct PhaseCell {
@@ -142,6 +146,7 @@ impl LoopProfiler {
             alloc: stat(Phase::Alloc),
             wake: stat(Phase::Wake),
             probe: stat(Phase::Probe),
+            barrier: stat(Phase::Barrier),
         }
     }
 }
@@ -172,13 +177,44 @@ pub struct LoopProfile {
     pub wake: PhaseStat,
     /// Per-event state publication to the attached probes.
     pub probe: PhaseStat,
+    /// Sharded-loop barrier work (shard election + horizon recompute);
+    /// zero when `shards = 1`.
+    pub barrier: PhaseStat,
 }
 
 impl LoopProfile {
     /// Handler time not explained by the instrumented sub-phases: pure
     /// dispatch logic (event decode, counters, branch selection).
+    /// Barrier time sits *between* dispatch windows and is excluded.
     pub fn self_secs(&self) -> f64 {
         (self.dispatch.secs - self.alloc.secs - self.wake.secs - self.probe.secs).max(0.0)
+    }
+
+    /// Reduces per-shard profiles to one trial-wide profile: phase times
+    /// and counts sum (the shards multiplex one thread, so their busy
+    /// times are disjoint) while the wall clock — every shard profiler
+    /// spans the whole loop — is the maximum.
+    pub fn merge(shards: &[LoopProfile]) -> LoopProfile {
+        let add = |f: fn(&LoopProfile) -> PhaseStat| PhaseStat {
+            secs: shards.iter().map(|p| f(p).secs).sum(),
+            calls: shards.iter().map(|p| f(p).calls).sum(),
+        };
+        let wall_secs = shards.iter().map(|p| p.wall_secs).fold(0.0, f64::max);
+        let events: u64 = shards.iter().map(|p| p.events).sum();
+        LoopProfile {
+            wall_secs,
+            events,
+            events_per_sec: if wall_secs > 0.0 {
+                events as f64 / wall_secs
+            } else {
+                0.0
+            },
+            dispatch: add(|p| p.dispatch),
+            alloc: add(|p| p.alloc),
+            wake: add(|p| p.wake),
+            probe: add(|p| p.probe),
+            barrier: add(|p| p.barrier),
+        }
     }
 
     /// A fixed-width text rendering for terminal output.
@@ -194,6 +230,9 @@ impl LoopProfile {
         out.push_str(&row("alloc", &self.alloc));
         out.push_str(&row("wake", &self.wake));
         out.push_str(&row("probe", &self.probe));
+        if self.barrier.calls > 0 {
+            out.push_str(&row("barrier", &self.barrier));
+        }
         out.push_str(&format!("  {:<10} {:>10.6} s\n", "self", self.self_secs()));
         out
     }
@@ -244,8 +283,47 @@ mod tests {
                 secs: 0.0,
                 calls: 0,
             },
+            barrier: PhaseStat {
+                secs: 0.0,
+                calls: 0,
+            },
         };
         assert_eq!(profile.self_secs(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_phases_and_keeps_max_wall() {
+        let stat = |secs: f64, calls: u64| PhaseStat { secs, calls };
+        let a = LoopProfile {
+            wall_secs: 2.0,
+            events: 10,
+            events_per_sec: 5.0,
+            dispatch: stat(0.5, 10),
+            alloc: stat(0.2, 10),
+            wake: stat(0.1, 10),
+            probe: stat(0.05, 10),
+            barrier: stat(0.01, 4),
+        };
+        let b = LoopProfile {
+            wall_secs: 1.5,
+            events: 6,
+            events_per_sec: 4.0,
+            dispatch: stat(0.25, 6),
+            alloc: stat(0.1, 6),
+            wake: stat(0.05, 6),
+            probe: stat(0.02, 6),
+            barrier: stat(0.02, 3),
+        };
+        let m = LoopProfile::merge(&[a, b]);
+        assert_eq!(m.wall_secs, 2.0);
+        assert_eq!(m.events, 16);
+        assert_eq!(m.events_per_sec, 8.0);
+        assert_eq!(m.dispatch.calls, 16);
+        assert!((m.dispatch.secs - 0.75).abs() < 1e-12);
+        assert_eq!(m.barrier.calls, 7);
+        assert!((m.barrier.secs - 0.03).abs() < 1e-12);
+        let text = m.to_text();
+        assert!(text.contains("barrier"), "{text}");
     }
 
     #[test]

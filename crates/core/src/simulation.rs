@@ -31,17 +31,35 @@
 //!
 //! Between events every stream's `sent` grows linearly at its allocated
 //! rate, so engines integrate state exactly (no time-stepping error).
+//!
+//! # Sharded loop
+//!
+//! With `SimConfig::shards > 1` the queue is partitioned by a
+//! [`ShardMap`]: server-owned events (wakes, failures, repairs) live on
+//! the shard owning their server, pause/resume events on the shard of
+//! the admitting server, and controller-plane events (arrivals, samples,
+//! waitlist expiries, tertiary copy completions) on shard 0. Shards
+//! advance under the conservative barrier of
+//! [`sct_simcore::ShardedQueue`], multiplexed deterministically on one
+//! thread; because the merged pop order equals the single-queue order,
+//! outcomes are identical for every shard count (and `shards = 1` is the
+//! exact pre-sharding loop). The four causal-edge interactions that
+//! *span* shards — DRM displacement, chain-2 inner hops, cluster-sourced
+//! replication copies, evacuation rescues — are surfaced on the explicit
+//! cross-shard channel as [`SimEvent::CrossShard`] records; probe output
+//! needs no reordering at barriers since events are already globally
+//! ordered.
 
 use crate::config::SimConfig;
 use crate::events::{AdmitPath, MetricsProbe, Probe, SimEvent};
 use crate::profile::{LoopProfile, LoopProfiler, Phase};
 use sct_admission::{
-    Admission, AdmissionStats, Controller, CopyLaunch, ReplicationManager, ReplicationStats,
-    Waitlist, WaitlistStats,
+    Admission, AdmissionStats, Controller, CopyLaunch, Relocation, ReplicationManager,
+    ReplicationStats, Waitlist, WaitlistStats,
 };
-use sct_cluster::{ClusterSpec, ReplicaMap, ServerId};
+use sct_cluster::{ClusterSpec, ReplicaMap, ServerId, ShardMap};
 use sct_media::{Catalog, ClientProfile};
-use sct_simcore::{EventQueue, Exponential, Rng, SimTime, ZipfLike};
+use sct_simcore::{Exponential, Rng, ShardedQueue, SimTime, ZipfLike};
 use sct_transmission::{ServerEngine, Stream, StreamId};
 use sct_workload::{calibrated_rate, RequestGenerator};
 use serde::{Deserialize, Serialize};
@@ -119,19 +137,44 @@ impl SimOutcome {
     }
 }
 
-/// The one place wake events are armed. Owns the global queue and the
-/// horizon, and encapsulates the advance/reschedule/generation/push
-/// idiom that every handler needs after touching an engine's schedule.
+/// The one place wake events are armed. Owns the sharded queue, the
+/// shard map, and the horizon, and encapsulates the
+/// advance/reschedule/generation/push idiom that every handler needs
+/// after touching an engine's schedule.
 struct WakeScheduler {
-    queue: EventQueue<Event>,
+    queue: ShardedQueue<Event>,
+    /// Static server→shard partition (single-shard when `shards = 1`).
+    map: ShardMap,
     end: SimTime,
 }
 
 impl WakeScheduler {
+    /// The shard an event is dispatched on: server-owned events go to
+    /// their server's shard, everything else to the controller plane
+    /// (shard 0). Pause/resume are routed explicitly by the caller via
+    /// [`WakeScheduler::push_at_on`] — they follow the admitting server.
+    fn shard_for(&self, ev: &Event) -> usize {
+        match *ev {
+            Event::Wake { server, .. } | Event::ServerDown(server) | Event::ServerUp(server) => {
+                self.map.shard_of(ServerId(server))
+            }
+            _ => 0,
+        }
+    }
+
     /// Enqueues `ev` at `t` unless it falls past the horizon.
     fn push_at(&mut self, t: SimTime, ev: Event) {
         if t <= self.end {
-            self.queue.push(t, ev);
+            let shard = self.shard_for(&ev);
+            self.queue.push(shard, t, ev);
+        }
+    }
+
+    /// Enqueues on an explicit shard (pause/resume events follow their
+    /// stream's admitting server, which only the caller knows).
+    fn push_at_on(&mut self, shard: usize, t: SimTime, ev: Event) {
+        if t <= self.end {
+            self.queue.push(shard, t, ev);
         }
     }
 
@@ -160,6 +203,7 @@ impl WakeScheduler {
                 let t1 = LoopProfiler::clock();
                 prof.add_between(Phase::Alloc, t0, t1);
                 self.queue.push(
+                    self.map.shard_of(engine.id()),
                     wake,
                     Event::Wake {
                         server: engine.id().0,
@@ -196,6 +240,7 @@ impl WakeScheduler {
             if wake <= self.end {
                 let t1 = LoopProfiler::clock();
                 self.queue.push(
+                    self.map.shard_of(engine.id()),
                     wake,
                     Event::Wake {
                         server: engine.id().0,
@@ -243,8 +288,12 @@ struct SimWorld<'a> {
     last_time: SimTime,
     last_sample_mb: f64,
     sample_index: u32,
-    /// Always-on wall-clock phase timers (see [`crate::profile`]).
-    prof: LoopProfiler,
+    /// Always-on wall-clock phase timers, one per shard (a single entry
+    /// on the monolithic loop); handlers charge
+    /// `profs[cur_shard]`. See [`crate::profile`].
+    profs: Vec<LoopProfiler>,
+    /// The shard whose run is currently executing events.
+    cur_shard: usize,
 }
 
 impl<'a> SimWorld<'a> {
@@ -305,8 +354,11 @@ impl<'a> SimWorld<'a> {
         let mut controller = Controller::new(config.assignment, config.migration);
         controller.evacuation = config.evacuation;
 
+        let shard_map = ShardMap::new(engines.len(), config.shards);
+        let n_shards = shard_map.n_shards();
         let mut sched = WakeScheduler {
-            queue: EventQueue::with_capacity(1024),
+            queue: ShardedQueue::new(n_shards, 1024),
+            map: shard_map,
             end: config.duration,
         };
         sched.push_at(generator.peek_time(), Event::Arrival);
@@ -363,43 +415,95 @@ impl<'a> SimWorld<'a> {
             last_time: SimTime::ZERO,
             last_sample_mb: 0.0,
             sample_index: 0,
-            prof: LoopProfiler::new(),
+            profs: (0..n_shards).map(|_| LoopProfiler::new()).collect(),
+            cur_shard: 0,
         }
     }
 
-    /// Pops and dispatches events until the queue drains. Staleness of
-    /// wakes is decided here, before the event counts as processed.
+    /// Pops and dispatches events until every shard drains. Execution
+    /// alternates barriers (shard election + horizon, charged to
+    /// [`Phase::Barrier`] on the elected shard) and runs that drain the
+    /// elected shard up to its cross-shard horizon; with one shard the
+    /// barrier is vacuous and a single run drains the whole queue.
+    /// Staleness of wakes is decided here, before the event counts as
+    /// processed.
     fn run_loop(&mut self, probes: &mut [&mut dyn Probe]) {
-        while let Some(entry) = self.sched.queue.pop() {
-            let now = entry.time;
-            debug_assert!(now >= self.last_time, "event order violated");
-            self.last_time = now;
-            if let Event::Wake { server, generation } = entry.payload {
-                if generation != self.engines[server as usize].generation() {
-                    continue; // superseded by a later reallocation
+        let multi = self.sched.queue.n_shards() > 1;
+        loop {
+            let tb = if multi {
+                Some(LoopProfiler::clock())
+            } else {
+                None
+            };
+            let Some(shard) = self.sched.queue.begin_run() else {
+                break;
+            };
+            self.cur_shard = shard;
+            if let Some(tb) = tb {
+                self.profs[shard].add(Phase::Barrier, tb);
+            }
+            while let Some(entry) = self.sched.queue.pop_run() {
+                let now = entry.time;
+                debug_assert!(now >= self.last_time, "event order violated");
+                self.last_time = now;
+                if let Event::Wake { server, generation } = entry.payload {
+                    if generation != self.engines[server as usize].generation() {
+                        continue; // superseded by a later reallocation
+                    }
                 }
+                self.events_processed += 1;
+                let t0 = LoopProfiler::clock();
+                match entry.payload {
+                    Event::Arrival => self.on_arrival(now, probes),
+                    Event::Wake { server, .. } => self.on_wake(now, server, probes),
+                    Event::ServerDown(server) => self.on_server_down(now, server, probes),
+                    Event::ServerUp(server) => self.on_server_up(now, server, probes),
+                    Event::CopyDone(id) => self.on_copy_done(now, id, probes),
+                    Event::WaitlistExpiry => self.on_waitlist_expiry(now, probes),
+                    Event::Sample => self.on_sample(now, probes),
+                    Event::PauseStream(id) => self.on_pause_resume(now, id, true, probes),
+                    Event::ResumeStream(id) => self.on_pause_resume(now, id, false, probes),
+                }
+                // The publish window ends where the dispatch window does,
+                // so the two phases share the closing timestamp (one
+                // clock read saved per event).
+                let t1 = LoopProfiler::clock();
+                self.publish_state(now, probes);
+                let t2 = LoopProfiler::clock();
+                self.profs[self.cur_shard].add_between(Phase::Probe, t1, t2);
+                self.profs[self.cur_shard].add_between(Phase::Dispatch, t0, t2);
             }
-            self.events_processed += 1;
-            let t0 = LoopProfiler::clock();
-            match entry.payload {
-                Event::Arrival => self.on_arrival(now, probes),
-                Event::Wake { server, .. } => self.on_wake(now, server, probes),
-                Event::ServerDown(server) => self.on_server_down(now, server, probes),
-                Event::ServerUp(server) => self.on_server_up(now, server, probes),
-                Event::CopyDone(id) => self.on_copy_done(now, id, probes),
-                Event::WaitlistExpiry => self.on_waitlist_expiry(now, probes),
-                Event::Sample => self.on_sample(now, probes),
-                Event::PauseStream(id) => self.on_pause_resume(now, id, true, probes),
-                Event::ResumeStream(id) => self.on_pause_resume(now, id, false, probes),
+            self.sched.queue.end_run();
+        }
+    }
+
+    /// Surfaces the cross-shard slice of `relocs` on the explicit
+    /// channel: one [`SimEvent::CrossShard`] per relocation whose
+    /// endpoints live on different shards. A no-op on the monolithic
+    /// loop, so `shards = 1` traces are bit-identical to the
+    /// pre-sharding ones.
+    fn emit_cross_shard(&self, relocs: &[Relocation], now: SimTime, probes: &mut [&mut dyn Probe]) {
+        if self.sched.queue.n_shards() <= 1 {
+            return;
+        }
+        for r in relocs {
+            let from_shard = self.sched.map.shard_of(r.from);
+            let to_shard = self.sched.map.shard_of(r.to);
+            if from_shard == to_shard {
+                continue;
             }
-            // The publish window ends where the dispatch window does, so
-            // the two phases share the closing timestamp (one clock read
-            // saved per event).
-            let t1 = LoopProfiler::clock();
-            self.publish_state(now, probes);
-            let t2 = LoopProfiler::clock();
-            self.prof.add_between(Phase::Probe, t1, t2);
-            self.prof.add_between(Phase::Dispatch, t0, t2);
+            self.profs[self.cur_shard].emit(
+                probes,
+                now,
+                &SimEvent::CrossShard {
+                    stream: r.stream.0,
+                    from: r.from.0,
+                    to: r.to.0,
+                    from_shard: from_shard as u16,
+                    to_shard: to_shard as u16,
+                    edge: r.kind.into(),
+                },
+            );
         }
     }
 
@@ -452,7 +556,7 @@ impl<'a> SimWorld<'a> {
                 if track_hints {
                     self.loc_hint.insert(stream_id, server.0);
                 }
-                self.prof.emit(
+                self.profs[self.cur_shard].emit(
                     probes,
                     now,
                     &SimEvent::Admitted {
@@ -468,7 +572,7 @@ impl<'a> SimWorld<'a> {
                     self.loc_hint.insert(stream_id, server.0);
                     self.loc_hint.insert(victim.0, to.0);
                 }
-                self.prof.emit(
+                self.profs[self.cur_shard].emit(
                     probes,
                     now,
                     &SimEvent::Admitted {
@@ -478,7 +582,7 @@ impl<'a> SimWorld<'a> {
                         path: AdmitPath::Migrated,
                     },
                 );
-                self.prof.emit(
+                self.profs[self.cur_shard].emit(
                     probes,
                     now,
                     &SimEvent::Migrated {
@@ -499,7 +603,7 @@ impl<'a> SimWorld<'a> {
                     self.loc_hint.insert(first.0 .0, first.1 .0);
                     self.loc_hint.insert(second.0 .0, second.1 .0);
                 }
-                self.prof.emit(
+                self.profs[self.cur_shard].emit(
                     probes,
                     now,
                     &SimEvent::Admitted {
@@ -509,7 +613,7 @@ impl<'a> SimWorld<'a> {
                         path: AdmitPath::Chained,
                     },
                 );
-                self.prof.emit(
+                self.profs[self.cur_shard].emit(
                     probes,
                     now,
                     &SimEvent::Migrated {
@@ -519,7 +623,7 @@ impl<'a> SimWorld<'a> {
                         emergency: false,
                     },
                 );
-                self.prof.emit(
+                self.profs[self.cur_shard].emit(
                     probes,
                     now,
                     &SimEvent::Migrated {
@@ -531,7 +635,7 @@ impl<'a> SimWorld<'a> {
                 );
             }
             Admission::Rejected => {
-                self.prof.emit(
+                self.profs[self.cur_shard].emit(
                     probes,
                     now,
                     &SimEvent::Rejected {
@@ -541,6 +645,7 @@ impl<'a> SimWorld<'a> {
                 );
             }
         }
+        self.emit_cross_shard(&admission.relocations(), now, probes);
         if !admission.accepted() {
             if let Some(wl) = self.waitlist.as_mut() {
                 if let Some(expires) = wl.enqueue(
@@ -552,7 +657,7 @@ impl<'a> SimWorld<'a> {
                     now,
                 ) {
                     self.sched.push_at(expires, Event::WaitlistExpiry);
-                    self.prof.emit(
+                    self.profs[self.cur_shard].emit(
                         probes,
                         now,
                         &SimEvent::WaitlistQueued {
@@ -562,6 +667,7 @@ impl<'a> SimWorld<'a> {
                     );
                 }
             }
+            let mut copy_reloc: Option<Relocation> = None;
             if let Some(mgr) = self.replication.as_mut() {
                 match mgr.maybe_replicate(
                     req.video,
@@ -573,9 +679,18 @@ impl<'a> SimWorld<'a> {
                     now,
                 ) {
                     Some(CopyLaunch::FromServer { source, stream }) => {
-                        self.sched
-                            .arm(&self.engines[source.index()], now, false, &self.prof);
-                        self.prof.emit(
+                        copy_reloc = mgr
+                            .in_flight()
+                            .iter()
+                            .find(|p| p.stream == stream)
+                            .and_then(|p| p.relocation());
+                        self.sched.arm(
+                            &self.engines[source.index()],
+                            now,
+                            false,
+                            &self.profs[self.cur_shard],
+                        );
+                        self.profs[self.cur_shard].emit(
                             probes,
                             now,
                             &SimEvent::CopyStarted {
@@ -593,7 +708,7 @@ impl<'a> SimWorld<'a> {
                         // simply never materialise.
                         self.sched
                             .push_at(now + done_in_secs, Event::CopyDone(token.0));
-                        self.prof.emit(
+                        self.profs[self.cur_shard].emit(
                             probes,
                             now,
                             &SimEvent::CopyStarted {
@@ -606,8 +721,11 @@ impl<'a> SimWorld<'a> {
                     None => {}
                 }
             }
+            if let Some(r) = copy_reloc {
+                self.emit_cross_shard(&[r], now, probes);
+            }
         }
-        if admission.accepted() {
+        if let Some(admit_server) = admission.server() {
             if let Some(ps) = self.config.interactivity {
                 if self.pause_rng.chance(ps.probability) {
                     let at = now + self.pause_rng.range_f64(0.0, length_secs);
@@ -615,8 +733,14 @@ impl<'a> SimWorld<'a> {
                         .pause_rng
                         .range_f64(ps.min_pause_secs, ps.max_pause_secs);
                     if at <= self.sched.end {
-                        self.sched.push_at(at, Event::PauseStream(stream_id));
-                        self.sched.push_at(at + dur, Event::ResumeStream(stream_id));
+                        // Pause/resume follow the admitting server's
+                        // shard; the handler's scan fallback still covers
+                        // streams that migrated after admission.
+                        let shard = self.sched.map.shard_of(admit_server);
+                        self.sched
+                            .push_at_on(shard, at, Event::PauseStream(stream_id));
+                        self.sched
+                            .push_at_on(shard, at + dur, Event::ResumeStream(stream_id));
                     }
                 }
             }
@@ -626,7 +750,7 @@ impl<'a> SimWorld<'a> {
                 &self.engines[sid.index()],
                 now,
                 self.config.check_invariants,
-                &self.prof,
+                &self.profs[self.cur_shard],
             );
         }
         self.sched
@@ -639,7 +763,7 @@ impl<'a> SimWorld<'a> {
         let t0 = LoopProfiler::clock();
         let e = &mut self.engines[server as usize];
         e.advance_to(now);
-        self.prof.add(Phase::Alloc, t0);
+        self.profs[self.cur_shard].add(Phase::Alloc, t0);
         let e = &mut self.engines[server as usize];
         let mut slots_freed = false;
         for done in e.reap_finished(now) {
@@ -650,7 +774,7 @@ impl<'a> SimWorld<'a> {
                     .as_mut()
                     .and_then(|mgr| mgr.on_copy_finished(done.id, &mut self.replica_map))
                     .is_some();
-                self.prof.emit(
+                self.profs[self.cur_shard].emit(
                     probes,
                     now,
                     &SimEvent::CopyDone {
@@ -660,7 +784,7 @@ impl<'a> SimWorld<'a> {
                 );
             } else {
                 self.loc_hint.remove(&done.id.0);
-                self.prof.emit(
+                self.profs[self.cur_shard].emit(
                     probes,
                     now,
                     &SimEvent::Completed {
@@ -678,7 +802,7 @@ impl<'a> SimWorld<'a> {
             now,
             false,
             self.config.check_invariants,
-            &self.prof,
+            &self.profs[self.cur_shard],
         );
     }
 
@@ -691,7 +815,7 @@ impl<'a> SimWorld<'a> {
         };
         let expired = wl.expire(now);
         if expired > 0 {
-            self.prof.emit(
+            self.profs[self.cur_shard].emit(
                 probes,
                 now,
                 &SimEvent::WaitlistExpired {
@@ -701,7 +825,7 @@ impl<'a> SimWorld<'a> {
         }
         let outcome = wl.try_serve(&mut self.engines, &self.replica_map, now);
         for w in &outcome.served {
-            self.prof.emit(
+            self.profs[self.cur_shard].emit(
                 probes,
                 now,
                 &SimEvent::WaitlistServed {
@@ -714,8 +838,12 @@ impl<'a> SimWorld<'a> {
             );
         }
         for sid in outcome.touched {
-            self.sched
-                .arm(&self.engines[sid.index()], now, false, &self.prof);
+            self.sched.arm(
+                &self.engines[sid.index()],
+                now,
+                false,
+                &self.profs[self.cur_shard],
+            );
         }
     }
 
@@ -733,7 +861,7 @@ impl<'a> SimWorld<'a> {
             &self.replica_map,
             now,
         );
-        self.prof.emit(
+        self.profs[self.cur_shard].emit(
             probes,
             now,
             &SimEvent::ServerDown {
@@ -746,7 +874,7 @@ impl<'a> SimWorld<'a> {
         // so they share the emergency-migration event; the stats split
         // them out via `restarted_on_failure`.
         for &(stream, to) in evac.relocated.iter().chain(&evac.restarted) {
-            self.prof.emit(
+            self.profs[self.cur_shard].emit(
                 probes,
                 now,
                 &SimEvent::Migrated {
@@ -757,6 +885,7 @@ impl<'a> SimWorld<'a> {
                 },
             );
         }
+        self.emit_cross_shard(&evac.relocations(ServerId(server)), now, probes);
         for stream in &evac.dropped {
             self.loc_hint.remove(&stream.0);
         }
@@ -765,7 +894,7 @@ impl<'a> SimWorld<'a> {
                 &self.engines[sid.index()],
                 now,
                 self.config.check_invariants,
-                &self.prof,
+                &self.profs[self.cur_shard],
             );
         }
         let repair = self
@@ -781,7 +910,7 @@ impl<'a> SimWorld<'a> {
     /// the fresh capacity and schedule the next failure.
     fn on_server_up(&mut self, now: SimTime, server: u16, probes: &mut [&mut dyn Probe]) {
         self.engines[server as usize].repair(now);
-        self.prof.emit(probes, now, &SimEvent::ServerUp { server });
+        self.profs[self.cur_shard].emit(probes, now, &SimEvent::ServerUp { server });
         self.serve_from_waitlist(now, probes);
         let up_time = self
             .failure_dists
@@ -799,7 +928,7 @@ impl<'a> SimWorld<'a> {
             let installed = mgr
                 .on_copy_finished(StreamId(id), &mut self.replica_map)
                 .is_some();
-            self.prof.emit(
+            self.profs[self.cur_shard].emit(
                 probes,
                 now,
                 &SimEvent::CopyDone {
@@ -815,7 +944,7 @@ impl<'a> SimWorld<'a> {
         if let Some(wl) = self.waitlist.as_mut() {
             let expired = wl.expire(now);
             if expired > 0 {
-                self.prof.emit(
+                self.profs[self.cur_shard].emit(
                     probes,
                     now,
                     &SimEvent::WaitlistExpired {
@@ -837,11 +966,11 @@ impl<'a> SimWorld<'a> {
         for e in self.engines.iter_mut() {
             e.advance_to(now);
         }
-        self.prof.add(Phase::Alloc, t0);
+        self.profs[self.cur_shard].add(Phase::Alloc, t0);
         let total: f64 = self.engines.iter().map(|e| e.measured_mb()).sum();
         let utilization =
             (total - self.last_sample_mb) / (self.cluster.total_bandwidth_mbps() * dt);
-        self.prof.emit(
+        self.profs[self.cur_shard].emit(
             probes,
             now,
             &SimEvent::WindowSample {
@@ -881,7 +1010,7 @@ impl<'a> SimWorld<'a> {
             }
         }
         if let Some(server) = found {
-            self.prof.emit(
+            self.profs[self.cur_shard].emit(
                 probes,
                 now,
                 &if paused {
@@ -895,7 +1024,7 @@ impl<'a> SimWorld<'a> {
                 now,
                 false,
                 self.config.check_invariants,
-                &self.prof,
+                &self.profs[self.cur_shard],
             );
         } else {
             // Stream finished (or was dropped) before the pause point — a
@@ -1002,6 +1131,18 @@ impl Simulation {
         config: &SimConfig,
         extra: &mut [&mut dyn Probe],
     ) -> (SimOutcome, LoopProfile) {
+        let (outcome, merged, _) = Self::run_profiled_sharded(config, extra);
+        (outcome, merged)
+    }
+
+    /// Like [`Simulation::run_profiled`], but additionally returns the
+    /// per-shard profiles the merged report was reduced from (one entry
+    /// per event-loop shard, in shard order). With `shards = 1` the slice
+    /// has one entry equal to the merged profile minus rounding.
+    pub fn run_profiled_sharded(
+        config: &SimConfig,
+        extra: &mut [&mut dyn Probe],
+    ) -> (SimOutcome, LoopProfile, Vec<LoopProfile>) {
         let mut world = SimWorld::new(config);
         let mut metrics = MetricsProbe::new(world.catalog.len(), config.track_per_video);
         {
@@ -1012,8 +1153,9 @@ impl Simulation {
             }
             world.run_loop(&mut hub);
         }
-        let profile = world.prof.report();
-        (world.finish(metrics), profile)
+        let per_shard: Vec<LoopProfile> = world.profs.iter().map(LoopProfiler::report).collect();
+        let profile = LoopProfile::merge(&per_shard);
+        (world.finish(metrics), profile, per_shard)
     }
 }
 

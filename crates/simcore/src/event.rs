@@ -14,12 +14,22 @@
 //! sequence — bucket count, bucket width, and resize history cannot
 //! change it.
 //!
+//! Resizing is hysteretic: the calendar grows at `len > 2·days` and
+//! shrinks only below `days / 8`, so a workload hovering at one
+//! threshold cannot alternate O(len) rebuilds. Width derivation samples
+//! the *earliest* entries (see `rebuild`), and a pop that had to fall
+//! back to the full far-future sweep re-centers the calendar on the
+//! surviving tail — both guards exist because an alternating
+//! near/far-future spacing pattern used to collapse the dense head into
+//! one bucket and pay an O(len) scan on every pop.
+//!
 //! Cancellation is handled by the *generation* pattern at the call site
 //! (each server keeps a wake-generation counter and ignores stale wakes)
 //! rather than by tombstones inside the queue — that keeps this structure
 //! trivial and allocation-free per operation after warm-up.
 
 use crate::time::SimTime;
+use std::cell::Cell;
 use std::cmp::Ordering;
 
 /// An event scheduled at a point in simulated time.
@@ -61,6 +71,22 @@ impl<T> Ord for EventEntry<T> {
 const MIN_BUCKETS: usize = 8;
 /// Narrowest bucket width (seconds); bounds the slot index range.
 const MIN_WIDTH: f64 = 1e-9;
+/// Head-sample size for width derivation: the earliest `WIDTH_SAMPLE`
+/// entries set the working timescale, so one far-future outlier cannot
+/// inflate the width and collapse the dense head into a single bucket.
+const WIDTH_SAMPLE: usize = 64;
+
+/// Work counters for the calendar's internal scans; used by regression
+/// tests to pin amortized cost, not by the simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueCounters {
+    /// Entries examined across all `locate` scans.
+    pub scanned: u64,
+    /// Times `locate` fell back to the O(len) full sweep.
+    pub sweeps: u64,
+    /// Bucket-array rebuilds (grow, shrink, or sweep re-centering).
+    pub rebuilds: u64,
+}
 
 /// A min-priority queue of timed events with FIFO tie-breaking, backed by
 /// a calendar queue.
@@ -77,6 +103,10 @@ pub struct EventQueue<T> {
     /// from. Invariant: no pending entry lives in an earlier day —
     /// `push` rewinds the cursor when scheduling into the past.
     cursor_slot: i64,
+    /// Scan-work counters (`Cell` so `locate` can stay `&self`).
+    scanned: Cell<u64>,
+    sweeps: Cell<u64>,
+    rebuilds: u64,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -100,6 +130,9 @@ impl<T> EventQueue<T> {
             next_seq: 0,
             width: 1.0,
             cursor_slot: 0,
+            scanned: Cell::new(0),
+            sweeps: Cell::new(0),
+            rebuilds: 0,
         }
     }
 
@@ -114,12 +147,21 @@ impl<T> EventQueue<T> {
     /// Schedules `payload` at `time`. Panics on non-finite times — an
     /// infinite wake must be expressed by *not* scheduling.
     pub fn push(&mut self, time: SimTime, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.push_with_seq(time, seq, payload);
+    }
+
+    /// Schedules `payload` at `time` under an externally-assigned `seq`.
+    /// Used by [`crate::sharded::ShardedQueue`], which allocates sequence
+    /// numbers globally so the merged pop order across shard queues
+    /// equals the single-queue order. The caller must keep `seq` unique
+    /// and monotone across all queues sharing the namespace.
+    pub(crate) fn push_with_seq(&mut self, time: SimTime, seq: u64, payload: T) {
         assert!(
             time.is_finite(),
             "cannot schedule an event at infinite time"
         );
-        let seq = self.next_seq;
-        self.next_seq += 1;
         let slot = self.slot_of(time);
         // Scheduling into the past (relative to the last pop) is legal:
         // rewind the cursor so the scan cannot skip the new entry.
@@ -135,18 +177,21 @@ impl<T> EventQueue<T> {
     }
 
     /// Finds the pending entry with the minimum `(time, seq)` key:
-    /// `(bucket index, position in bucket, its day)`. Scans at most one
-    /// calendar year from the cursor, then falls back to a direct sweep
-    /// for sparse far-future tails.
-    fn locate(&self) -> Option<(usize, usize, i64)> {
+    /// `(bucket index, position in bucket, its day, swept)`. Scans at
+    /// most one calendar year from the cursor, then falls back to a
+    /// direct sweep for sparse far-future tails (`swept = true`, so `pop`
+    /// can re-center the calendar on the surviving tail).
+    fn locate(&self) -> Option<(usize, usize, i64, bool)> {
         if self.len == 0 {
             return None;
         }
         let days = self.buckets.len() as i64;
+        let mut scanned = 0u64;
         for offset in 0..days {
             let slot = self.cursor_slot + offset;
             let bucket = slot.rem_euclid(days) as usize;
             let mut best: Option<usize> = None;
+            scanned += self.buckets[bucket].len() as u64;
             for (pos, e) in self.buckets[bucket].iter().enumerate() {
                 // Entries from later years share the bucket; skip them.
                 // The integer day test is exact, unlike a `time < edge`
@@ -166,11 +211,16 @@ impl<T> EventQueue<T> {
                 }
             }
             if let Some(pos) = best {
-                return Some((bucket, pos, slot));
+                self.scanned.set(self.scanned.get() + scanned);
+                return Some((bucket, pos, slot, false));
             }
         }
         // Nothing within a year of the cursor: sweep everything for the
-        // global minimum. Rare (a lone far-future event), and O(len).
+        // global minimum. O(len); the caller re-centers afterwards so a
+        // sparse far-future tail cannot pay this price per pop.
+        self.sweeps.set(self.sweeps.get() + 1);
+        self.scanned
+            .set(self.scanned.get() + scanned + self.len as u64);
         let mut best: Option<(usize, usize)> = None;
         for (b, bucket) in self.buckets.iter().enumerate() {
             for (pos, e) in bucket.iter().enumerate() {
@@ -186,17 +236,24 @@ impl<T> EventQueue<T> {
                 }
             }
         }
-        best.map(|(b, pos)| (b, pos, self.slot_of(self.buckets[b][pos].time)))
+        best.map(|(b, pos)| (b, pos, self.slot_of(self.buckets[b][pos].time), true))
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<EventEntry<T>> {
-        let (bucket, pos, slot) = self.locate()?;
+        let (bucket, pos, slot, swept) = self.locate()?;
         self.cursor_slot = slot;
         let entry = self.buckets[bucket].swap_remove(pos);
         self.len -= 1;
         let days = self.buckets.len();
-        if days > MIN_BUCKETS && self.len < days / 4 {
+        if swept && self.len > 1 {
+            // The head the width was derived from has drained and the
+            // survivors live beyond a calendar year: re-derive the width
+            // from them so the next pops walk days again instead of
+            // sweeping. Same O(len) as the sweep just paid, and it
+            // converts every following pop back to the cheap path.
+            self.rebuild(days);
+        } else if days > MIN_BUCKETS && self.len < days / 8 {
             self.rebuild(days / 2);
         }
         Some(entry)
@@ -204,25 +261,60 @@ impl<T> EventQueue<T> {
 
     /// The timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.locate().map(|(b, pos, _)| self.buckets[b][pos].time)
+        self.locate()
+            .map(|(b, pos, _, _)| self.buckets[b][pos].time)
+    }
+
+    /// The full `(time, seq)` key of the earliest pending event. Keys are
+    /// totally ordered (seq is unique), which is what the cross-shard
+    /// barrier compares when deciding how far a shard may advance.
+    pub fn peek_key(&self) -> Option<(SimTime, u64)> {
+        self.locate().map(|(b, pos, _, _)| {
+            let e = &self.buckets[b][pos];
+            (e.time, e.seq)
+        })
+    }
+
+    /// Internal scan-work counters (see [`QueueCounters`]).
+    pub fn counters(&self) -> QueueCounters {
+        QueueCounters {
+            scanned: self.scanned.get(),
+            sweeps: self.sweeps.get(),
+            rebuilds: self.rebuilds,
+        }
     }
 
     /// Redistributes every entry over `days` buckets, re-deriving the
     /// bucket width from the observed inter-event spacing (Brown's rule
-    /// of thumb: a day should hold a few events on average).
+    /// of thumb: a day should hold a few events on average). The width
+    /// comes from the *earliest* [`WIDTH_SAMPLE`] entries: a global
+    /// `(max - min) / len` estimate lets one far-future outlier inflate
+    /// the width until the whole dense head lands in a single bucket and
+    /// every pop degenerates to an O(len) bucket scan.
     fn rebuild(&mut self, days: usize) {
+        self.rebuilds += 1;
         let mut all: Vec<EventEntry<T>> = Vec::with_capacity(self.len);
         for b in &mut self.buckets {
             all.append(b);
         }
-        let mut min_t = f64::INFINITY;
-        let mut max_t = f64::NEG_INFINITY;
-        for e in &all {
-            min_t = min_t.min(e.time.as_secs());
-            max_t = max_t.max(e.time.as_secs());
-        }
-        if all.len() >= 2 && max_t > min_t {
-            self.width = (2.0 * (max_t - min_t) / all.len() as f64).max(MIN_WIDTH);
+        if all.len() >= 2 {
+            let mut times: Vec<f64> = all.iter().map(|e| e.time.as_secs()).collect();
+            let k = times.len().min(WIDTH_SAMPLE);
+            times.select_nth_unstable_by(k - 1, f64::total_cmp);
+            let head = &mut times[..k];
+            head.sort_by(f64::total_cmp);
+            let head_span = head[k - 1] - head[0];
+            if head_span > 0.0 {
+                self.width = (2.0 * head_span / k as f64).max(MIN_WIDTH);
+            } else {
+                // Degenerate head (an equal-time burst): fall back to the
+                // global span so the tail still spreads over the year.
+                let min_t = times[0];
+                let max_t = times.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                if max_t > min_t {
+                    self.width = (2.0 * (max_t - min_t) / all.len() as f64).max(MIN_WIDTH);
+                }
+            }
         }
         if self.buckets.len() != days {
             self.buckets.resize_with(days, Vec::new);
@@ -442,6 +534,96 @@ mod tests {
         assert_eq!(q.pop().unwrap().payload, "now");
         assert_eq!(q.pop().unwrap().payload, "soak");
         assert_eq!(q.pop().unwrap().payload, "soak2");
+    }
+
+    /// The pathological alternating-spacing workload: a dense head of
+    /// closely-spaced events interleaved with far-future outliers. Before
+    /// the head-sampled width derivation, every rebuild set
+    /// `width ≈ 2·(max−min)/len`, which the outliers inflated until the
+    /// whole head hashed into a single bucket — every pop then scanned
+    /// O(len) entries. This pins the amortized scan cost.
+    #[test]
+    fn alternating_spacing_stays_amortized() {
+        let mut q = EventQueue::new();
+        let mut ops = 0u64;
+        // Dense head: 1 s spacing. Outliers: ~30 years out, one per 40
+        // near events, far enough that the head's year never reaches
+        // them.
+        for i in 0..4000u64 {
+            q.push(SimTime::from_secs(i as f64), i);
+            ops += 1;
+            if i % 40 == 0 {
+                q.push(SimTime::from_secs(1e9 + i as f64), i);
+                ops += 1;
+            }
+        }
+        let mut last = (SimTime::ZERO, 0);
+        while let Some(e) = q.pop() {
+            ops += 1;
+            assert!((e.time, e.seq) >= last, "order violated");
+            last = (e.time, e.seq);
+        }
+        let c = q.counters();
+        assert!(
+            c.scanned < 64 * ops,
+            "amortized scan cost blew up: {} entries examined over {ops} ops ({c:?})",
+            c.scanned
+        );
+        // Rebuilds stay logarithmic-ish in the population, not per-op.
+        assert!(c.rebuilds < 64, "resize thrash: {c:?}");
+    }
+
+    /// A sparse far-future tail (the sweep fallback) must re-center
+    /// instead of sweeping once per pop: total sweeps stay O(1)-ish even
+    /// with hundreds of events spread over decades.
+    #[test]
+    fn far_future_tail_does_not_sweep_per_pop() {
+        let mut q = EventQueue::new();
+        // Dense head that fixes a ~seconds-scale width...
+        for i in 0..500u64 {
+            q.push(SimTime::from_secs(i as f64 * 0.25), i);
+        }
+        // ...and a tail of 400 events spread over ~12 years.
+        for i in 0..400u64 {
+            q.push(SimTime::from_secs(1e6 + i as f64 * 1e3), 1000 + i);
+        }
+        let mut n = 0;
+        let mut last = (SimTime::ZERO, 0);
+        while let Some(e) = q.pop() {
+            assert!((e.time, e.seq) >= last);
+            last = (e.time, e.seq);
+            n += 1;
+        }
+        assert_eq!(n, 900);
+        let c = q.counters();
+        assert!(
+            c.sweeps <= 4,
+            "far-future tail swept {} times over 900 pops ({c:?})",
+            c.sweeps
+        );
+    }
+
+    /// Hysteresis: a push/pop workload hovering exactly at the growth
+    /// threshold must not rebuild on every oscillation.
+    #[test]
+    fn resize_hysteresis_under_alternating_push_pop() {
+        let mut q = EventQueue::new();
+        // Fill to just past a growth trigger so `days` settles.
+        for i in 0..1025u64 {
+            q.push(SimTime::from_secs(i as f64), i);
+        }
+        let base = q.counters().rebuilds;
+        // Alternate push/pop right at the settled size for many rounds.
+        for i in 0..2000u64 {
+            q.push(SimTime::from_secs(2000.0 + i as f64), i);
+            q.pop();
+        }
+        let c = q.counters();
+        assert!(
+            c.rebuilds - base <= 2,
+            "alternating push/pop rebuilt {} times ({c:?})",
+            c.rebuilds - base
+        );
     }
 
     /// `clear` must not reset the sequence counter: events pushed after a

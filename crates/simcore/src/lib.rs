@@ -7,6 +7,9 @@
 //!   seconds, with helpers for the units the paper uses (minutes, hours).
 //! * [`event`] — a deterministic event queue ([`EventQueue`]) with strict
 //!   FIFO tie-breaking so that runs are bit-for-bit reproducible.
+//! * [`sharded`] — per-shard event queues ([`ShardedQueue`]) under a
+//!   conservative lower-bound-timestamp barrier, preserving the global
+//!   pop order for any shard count.
 //! * [`rng`] — a self-contained xoshiro256\*\* PRNG ([`Rng`]) seeded via
 //!   SplitMix64. We implement the generator ourselves (rather than pulling
 //!   in `rand`) so that experiment outputs are stable across platforms and
@@ -26,11 +29,13 @@
 pub mod dist;
 pub mod event;
 pub mod rng;
+pub mod sharded;
 pub mod stats;
 pub mod time;
 
 pub use dist::{AliasTable, Exponential, UniformRange, ZipfLike};
-pub use event::{EventEntry, EventQueue};
+pub use event::{EventEntry, EventQueue, QueueCounters};
 pub use rng::Rng;
+pub use sharded::ShardedQueue;
 pub use stats::{OnlineStats, Summary};
 pub use time::SimTime;

@@ -93,6 +93,27 @@ impl SystemSpec {
         }
     }
 
+    /// A million-viewer stress system for the sharded event loop: 256
+    /// servers × 12 Gb/s gives 1 024 000 concurrent view slots at the
+    /// paper's 3 Mb/s view rate — three orders of magnitude past the
+    /// Large system, far beyond any cluster the paper measures. Short
+    /// 10–20 minute clips keep stream turnover (and thus event rate)
+    /// high, and the 1000-video catalog keeps per-video demand realistic
+    /// at this scale. Not a paper configuration.
+    pub fn huge() -> Self {
+        SystemSpec {
+            name: "huge".into(),
+            n_servers: 256,
+            server_bandwidth_mbps: 12_000.0,
+            server_disk_gb: 100.0,
+            n_videos: 1000,
+            video_length_secs: (10.0 * 60.0, 20.0 * 60.0),
+            view_rate_mbps: PAPER_VIEW_RATE_MBPS,
+            client_receive_cap_mbps: PAPER_RECEIVE_CAP_MBPS,
+            avg_copies: 2.2,
+        }
+    }
+
     /// A heterogeneity-study variant (§4.6): `n` servers sharing the same
     /// *total* bandwidth and storage as `n × (bw, disk)` of this spec.
     pub fn with_servers(&self, n: usize) -> SystemSpec {
@@ -238,6 +259,25 @@ mod tests {
         assert!((bw.total_bandwidth_mbps() - spec.total_bandwidth_mbps()).abs() < 1e-6);
         let st = spec.heterogeneous_cluster(HeterogeneityKind::Storage, 0.5, &mut rng);
         assert!((st.total_disk_mb() - spec.cluster().total_disk_mb()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn huge_spec_reaches_a_million_slots() {
+        let h = SystemSpec::huge();
+        assert_eq!(h.svbr(), 4000);
+        assert_eq!(h.n_servers * h.svbr(), 1_024_000);
+        // Disks must still hold the placement (bandwidth-bound).
+        let mut rng = Rng::new(5);
+        let catalog = h.catalog(&mut rng);
+        let per_server_load = catalog.total_size_mb() * h.avg_copies / h.n_servers as f64;
+        let disk = h
+            .cluster()
+            .server(sct_cluster::ServerId(0))
+            .disk_capacity_mb;
+        assert!(
+            per_server_load < disk * 0.5,
+            "placement should be bandwidth-bound: {per_server_load} vs {disk}"
+        );
     }
 
     #[test]

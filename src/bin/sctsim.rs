@@ -25,17 +25,19 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  sctsim run [--config FILE | --system small|large|tiny] [--policy P1..P8]\n\
+        "usage:\n  sctsim run [--config FILE | --system small|large|tiny|huge] [--policy P1..P8]\n\
          \x20          [--theta T] [--hours H] [--warmup H] [--trials N] [--seed S] [--out FILE]\n\
+         \x20          [--shards N]  (partition the event loop; outcomes are shard-invariant)\n\
          \x20          [--trace FILE]  (export a JSONL event trace; single trial only)\n\
          \x20          [--metrics FILE]  (export a telemetry snapshot, merged across trials)\n\
          \x20          [--spans FILE]  (export request-lifecycle spans; single trial only)\n\
-         \x20          [--profile]  (print the event loop's wall-clock phase profile)\n\
+         \x20          [--profile]  (print the event loop's wall-clock phase profile,\n\
+         \x20                        per shard when --shards > 1)\n\
          \x20 sctsim report FILE [--svg FILE]  (render a metrics snapshot as markdown + SVG)\n\
          \x20 sctsim spans FILE [--critical-path] [--perfetto OUT]  (analyse a span export)\n\
-         \x20 sctsim scenario --system small|large|tiny [--policy P..] [--theta T]\n\
+         \x20 sctsim scenario --system small|large|tiny|huge [--policy P..] [--theta T]\n\
          \x20 sctsim erlang --svbr K [--view-rate MBPS]\n\
-         \x20 sctsim trace --system small|large|tiny [--theta T] [--hours H] [--seed S]"
+         \x20 sctsim trace --system small|large|tiny|huge [--theta T] [--hours H] [--seed S]"
     );
     exit(2)
 }
@@ -96,8 +98,9 @@ fn system_by_name(name: &str) -> SystemSpec {
         "small" => SystemSpec::small_paper(),
         "large" => SystemSpec::large_paper(),
         "tiny" => SystemSpec::tiny_test(),
+        "huge" => SystemSpec::huge(),
         other => {
-            eprintln!("unknown system {other} (expected small|large|tiny)");
+            eprintln!("unknown system {other} (expected small|large|tiny|huge)");
             usage()
         }
     }
@@ -119,13 +122,22 @@ fn build_config(args: &Args) -> SimConfig {
             eprintln!("cannot read {path}: {e}");
             exit(1)
         });
-        return serde_json::from_str(&text).unwrap_or_else(|e| {
+        let mut config: SimConfig = serde_json::from_str(&text).unwrap_or_else(|e| {
             eprintln!("cannot parse {path}: {e}");
             exit(1)
         });
+        // --shards composes with --config: sharding is a loop-execution
+        // knob, not part of the experiment a config file describes.
+        if let Some(s) = args.get_f64("shards") {
+            config.shards = (s as usize).max(1);
+        }
+        return config;
     }
     let system = system_by_name(args.get("system").unwrap_or("small"));
     let mut b = SimConfig::builder(system);
+    if let Some(s) = args.get_f64("shards") {
+        b = b.shards((s as usize).max(1));
+    }
     if let Some(p) = args.get("policy") {
         b = b.policy(policy_by_name(p));
     }
@@ -200,9 +212,18 @@ fn cmd_run(args: &Args) {
                 if let Some(s) = span_probe.as_mut() {
                     hub.push(s);
                 }
-                let (outcome, loop_profile) = Simulation::run_profiled(&cfg, &mut hub);
+                let (outcome, loop_profile, per_shard) =
+                    Simulation::run_profiled_sharded(&cfg, &mut hub);
                 if profile {
                     eprint!("trial {i}: {}", loop_profile.to_text());
+                    // With a sharded loop the merged table above hides
+                    // imbalance; print each shard's own decomposition
+                    // (the barrier row is charged to the elected shard).
+                    if per_shard.len() > 1 {
+                        for (s, p) in per_shard.iter().enumerate() {
+                            eprint!("trial {i} shard {s}: {}", p.to_text());
+                        }
+                    }
                 }
                 outs.push(outcome);
                 if let Some(t) = telemetry {

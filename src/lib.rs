@@ -55,7 +55,9 @@ pub mod prelude {
     pub use sct_analysis::snapshot::MetricsSnapshot;
     pub use sct_cluster::placement::PlacementStrategy;
     pub use sct_core::config::{FailureSpec, PauseSpec, SimConfig, SimConfigBuilder, StagingSpec};
-    pub use sct_core::events::{AdmitPath, JsonlTraceProbe, MetricsProbe, Probe, SimEvent};
+    pub use sct_core::events::{
+        AdmitPath, CrossShardEdge, JsonlTraceProbe, MetricsProbe, Probe, SimEvent,
+    };
     pub use sct_core::experiments;
     pub use sct_core::metrics::{
         Histogram, MetricsRegistry, StateView, TelemetryProbe, TimeWeightedGauge,

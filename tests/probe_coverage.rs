@@ -100,6 +100,15 @@ fn coverage(event: &SimEvent) -> Coverage {
             metrics: true, // windowed-utilization series
             spans: false,  // no request is involved
         },
+        SimEvent::CrossShard { .. } => Coverage {
+            kind: "CrossShard",
+            // Loop plumbing, deliberately ignored by both folds: the
+            // underlying Migrated/CopyStarted events carry the causal
+            // edges, so outcomes and span sets stay identical across
+            // shard counts. Trace probes still record the channel.
+            metrics: false,
+            spans: false,
+        },
     }
 }
 
@@ -164,6 +173,14 @@ fn sample() -> Vec<SimEvent> {
         SimEvent::WindowSample {
             index: 0,
             utilization: 0.5,
+        },
+        SimEvent::CrossShard {
+            stream: 0,
+            from: 0,
+            to: 1,
+            from_shard: 0,
+            to_shard: 1,
+            edge: CrossShardEdge::Displacement,
         },
     ]
 }

@@ -1,0 +1,161 @@
+//! Shard-count invariance matrix.
+//!
+//! The sharded event loop's central claim: partitioning the queue by
+//! server changes *nothing observable*. The conservative barrier in
+//! `sct_simcore::ShardedQueue` multiplexes shards on one thread in
+//! exactly the merged single-queue order, so the RNG draw sequence, the
+//! event stream, and every outcome float are bit-identical for any
+//! shard count. This test runs the four golden scenarios (the same
+//! configs `golden_outcomes.rs` locks against pre-refactor fixtures)
+//! with `shards ∈ {1, 2, 4}` and asserts identical [`SimOutcome`]s
+//! *and* identical span sets — the strongest observable equality the
+//! probes expose.
+//!
+//! Combined with `golden_outcomes.rs` (which pins `shards = 1` to the
+//! pre-refactor snapshots), this transitively pins every shard count to
+//! the pre-refactor loop.
+
+use sct_core::spans::capture;
+use semi_continuous_vod::prelude::*;
+
+const SHARD_MATRIX: [usize; 3] = [1, 2, 4];
+
+/// Runs `build(shards)` for every shard count and asserts outcomes and
+/// span sets match the `shards = 1` baseline bit-for-bit.
+fn assert_shard_invariant(name: &str, build: impl Fn(usize) -> SimConfig) {
+    let (base_outcome, base_spans) = capture(&build(1));
+    assert!(
+        !base_spans.spans.is_empty(),
+        "{name}: scenario produced no spans — matrix would be vacuous"
+    );
+    for &shards in &SHARD_MATRIX[1..] {
+        let (outcome, spans) = capture(&build(shards));
+        assert_eq!(
+            outcome, base_outcome,
+            "{name}: SimOutcome diverged at shards = {shards}"
+        );
+        assert_eq!(
+            spans, base_spans,
+            "{name}: span set diverged at shards = {shards}"
+        );
+    }
+}
+
+#[test]
+fn shard_matrix_small_no_migration() {
+    assert_shard_invariant("small_no_migration", |shards| {
+        SimConfig::builder(SystemSpec::small_paper())
+            .duration_hours(3.0)
+            .warmup_hours(0.5)
+            .sample_interval_secs(900.0)
+            .track_per_video(true)
+            .shards(shards)
+            .seed(1001)
+            .build()
+    });
+}
+
+#[test]
+fn shard_matrix_small_migration_interactive() {
+    assert_shard_invariant("small_migration_interactive", |shards| {
+        SimConfig::builder(SystemSpec::small_paper())
+            .theta(0.0)
+            .migration(MigrationPolicy::single_hop())
+            .interactivity(0.3, 60.0, 600.0)
+            .waitlist(120.0, 50)
+            .shards(shards)
+            .seed(1002)
+            .duration_hours(3.0)
+            .warmup_hours(0.5)
+            .build()
+    });
+}
+
+#[test]
+fn shard_matrix_large_no_migration_replication() {
+    assert_shard_invariant("large_no_migration_replication", |shards| {
+        SimConfig::builder(SystemSpec::large_paper())
+            .theta(-0.5)
+            .replication(ReplicationSpec::default_paper_scale())
+            .shards(shards)
+            .seed(1003)
+            .duration_hours(2.0)
+            .warmup_hours(0.5)
+            .build()
+    });
+}
+
+#[test]
+fn shard_matrix_large_migration_failures() {
+    assert_shard_invariant("large_migration_failures", |shards| {
+        SimConfig::builder(SystemSpec::large_paper())
+            .migration(MigrationPolicy::single_hop())
+            .failures(4.0, 0.5)
+            .shards(shards)
+            .seed(1004)
+            .duration_hours(2.0)
+            .warmup_hours(0.5)
+            .build()
+    });
+}
+
+/// Oversharding clamps: more shards than servers behaves like one shard
+/// per server, and outcomes still match.
+#[test]
+fn shard_matrix_overshard_clamps() {
+    let build = |shards: usize| {
+        SimConfig::builder(SystemSpec::tiny_test())
+            .duration_hours(2.0)
+            .warmup_hours(0.25)
+            .shards(shards)
+            .seed(7)
+            .build()
+    };
+    let base = Simulation::run(&build(1));
+    // tiny_test has 3 servers; 64 shards must clamp to 3.
+    let over = Simulation::run(&build(64));
+    assert_eq!(over, base, "oversharded outcome diverged");
+}
+
+/// The cross-shard channel is observational: trace probes see
+/// `CrossShard` records iff `shards > 1` and a relocation actually
+/// crosses a boundary, and those records never perturb the run.
+#[test]
+fn cross_shard_channel_surfaces_only_when_sharded() {
+    struct CrossCounter(u64);
+    impl Probe for CrossCounter {
+        fn on_event(&mut self, _now: sct_simcore::SimTime, event: &SimEvent) {
+            if let SimEvent::CrossShard {
+                from_shard,
+                to_shard,
+                ..
+            } = event
+            {
+                assert_ne!(from_shard, to_shard, "same-shard relocation surfaced");
+                self.0 += 1;
+            }
+        }
+    }
+    // Migration-heavy config so displacements are guaranteed.
+    let build = |shards: usize| {
+        SimConfig::builder(SystemSpec::small_paper())
+            .theta(0.0)
+            .migration(MigrationPolicy::single_hop())
+            .shards(shards)
+            .seed(1002)
+            .duration_hours(2.0)
+            .warmup_hours(0.5)
+            .build()
+    };
+    let mut mono = CrossCounter(0);
+    let out_mono = Simulation::run_with_probes(&build(1), &mut [&mut mono]);
+    assert_eq!(mono.0, 0, "monolithic loop must emit no CrossShard records");
+
+    let mut sharded = CrossCounter(0);
+    let out_sharded = Simulation::run_with_probes(&build(4), &mut [&mut sharded]);
+    assert!(
+        sharded.0 > 0,
+        "4-shard migration-heavy run surfaced no cross-shard relocations"
+    );
+    assert_eq!(out_mono, out_sharded, "channel records perturbed the run");
+}
