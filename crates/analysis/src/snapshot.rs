@@ -90,6 +90,41 @@ impl HistogramSnapshot {
     }
 }
 
+/// One timed phase of the event loop's self-profile.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProfilePhase {
+    /// Phase name (`dispatch`, `alloc`, `wake`, `probe`, `barrier`).
+    pub name: String,
+    /// Wall seconds attributed to the phase.
+    pub secs: f64,
+    /// Timed intervals folded into `secs`.
+    pub calls: u64,
+}
+
+/// Wire form of one `LoopProfile` (the core's event-loop self-profile).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProfileSnapshot {
+    /// Total wall seconds inside the loop.
+    pub wall_secs: f64,
+    /// Events dispatched.
+    pub events: u64,
+    /// Throughput (`events / wall_secs`).
+    pub events_per_sec: f64,
+    /// The timed phases, in canonical order.
+    pub phases: Vec<ProfilePhase>,
+}
+
+/// Loop self-profiles attached to a metrics export: the cross-shard
+/// merge plus the per-shard breakdown (only populated when `shards > 1`;
+/// the monolithic loop has exactly one profile, already the merge).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LoopProfilesSnapshot {
+    /// All shards merged: phase seconds summed, wall = max across shards.
+    pub merged: ProfileSnapshot,
+    /// One profile per shard, in shard order (empty when `shards = 1`).
+    pub per_shard: Vec<ProfileSnapshot>,
+}
+
 /// A complete exported telemetry snapshot: one trial, or several trials
 /// merged exactly (counters add, buckets add keywise, gauge integrals and
 /// spans add).
@@ -105,6 +140,9 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<GaugeSnapshot>,
     /// Named histograms, in name order.
     pub histograms: Vec<HistogramSnapshot>,
+    /// Event-loop self-profiles (merged + per-shard), when the exporter
+    /// captured them. Serialised as `null` otherwise.
+    pub profile: Option<LoopProfilesSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -195,6 +233,46 @@ impl MetricsSnapshot {
             out.push_str("## Histograms\n\n");
             out.push_str(&t.to_markdown());
             out.push('\n');
+        }
+        if let Some(profile) = &self.profile {
+            out.push_str("## Loop profile\n\n");
+            let mut t = Table::new(vec!["profile", "wall (s)", "events", "events/s"]);
+            let mut rows: Vec<(String, &ProfileSnapshot)> =
+                vec![("merged".to_string(), &profile.merged)];
+            for (i, p) in profile.per_shard.iter().enumerate() {
+                rows.push((format!("shard {i}"), p));
+            }
+            for (label, p) in &rows {
+                t.push_row(vec![
+                    label.clone(),
+                    format!("{:.4}", p.wall_secs),
+                    p.events.to_string(),
+                    format!("{:.0}", p.events_per_sec),
+                ]);
+            }
+            out.push_str(&t.to_markdown());
+            out.push('\n');
+            let mut t = Table::new(vec!["phase (s)", "merged"]);
+            for i in 0..profile.per_shard.len() {
+                // Table wants String columns; build headers dynamically.
+                t.headers.push(format!("shard {i}"));
+            }
+            for (pi, phase) in profile.merged.phases.iter().enumerate() {
+                let mut row = vec![phase.name.clone(), format!("{:.4}", phase.secs)];
+                for p in &profile.per_shard {
+                    row.push(format!("{:.4}", p.phases[pi].secs));
+                }
+                t.push_row(row);
+            }
+            out.push_str(&t.to_markdown());
+            out.push('\n');
+            if !profile.per_shard.is_empty() {
+                out.push_str(
+                    "Phase seconds sum across shards; wall time is the max across \
+                     shards (they multiplex one thread), so merged wall is not the \
+                     per-shard total.\n\n",
+                );
+            }
         }
         out
     }
@@ -318,6 +396,43 @@ mod tests {
                     BucketSnapshot { key: 26, count: 3 },
                 ],
             }],
+            profile: None,
+        }
+    }
+
+    fn sample_profile() -> LoopProfilesSnapshot {
+        let phases = |scale: f64| {
+            ["dispatch", "alloc", "wake", "probe", "barrier"]
+                .iter()
+                .enumerate()
+                .map(|(i, name)| ProfilePhase {
+                    name: (*name).to_string(),
+                    secs: scale * (i + 1) as f64,
+                    calls: 10 * (i as u64 + 1),
+                })
+                .collect()
+        };
+        LoopProfilesSnapshot {
+            merged: ProfileSnapshot {
+                wall_secs: 2.0,
+                events: 1000,
+                events_per_sec: 500.0,
+                phases: phases(0.2),
+            },
+            per_shard: vec![
+                ProfileSnapshot {
+                    wall_secs: 2.0,
+                    events: 600,
+                    events_per_sec: 300.0,
+                    phases: phases(0.12),
+                },
+                ProfileSnapshot {
+                    wall_secs: 1.5,
+                    events: 400,
+                    events_per_sec: 267.0,
+                    phases: phases(0.08),
+                },
+            ],
         }
     }
 
@@ -354,6 +469,40 @@ mod tests {
         assert!(md.contains("| admitted_direct | 120 |"));
         assert!(md.contains("waitlist_wait_secs"));
         assert!(md.contains("2 trials"));
+        assert!(
+            !md.contains("## Loop profile"),
+            "no profile section without profiles"
+        );
+    }
+
+    #[test]
+    fn markdown_profile_section_lists_merged_and_per_shard() {
+        let mut snap = sample();
+        snap.profile = Some(sample_profile());
+        let md = snap.to_markdown();
+        assert!(md.contains("## Loop profile"));
+        assert!(md.contains("| merged |"));
+        assert!(md.contains("| shard 0 |"));
+        assert!(md.contains("| shard 1 |"));
+        assert!(md.contains("| barrier |"));
+        assert!(
+            md.contains("wall time is the max across"),
+            "merged-vs-per-shard wall note missing:\n{md}"
+        );
+        let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap, "profile must survive the JSON round trip");
+    }
+
+    #[test]
+    fn markdown_profile_section_without_shards_omits_the_wall_note() {
+        let mut snap = sample();
+        let mut profile = sample_profile();
+        profile.per_shard.clear();
+        snap.profile = Some(profile);
+        let md = snap.to_markdown();
+        assert!(md.contains("## Loop profile"));
+        assert!(!md.contains("| shard 0 |"));
+        assert!(!md.contains("wall time is the max across"));
     }
 
     #[test]

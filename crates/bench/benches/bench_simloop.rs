@@ -13,7 +13,7 @@ use sct_admission::MigrationPolicy;
 use sct_core::config::SimConfig;
 use sct_core::policies::Policy;
 use sct_core::simulation::Simulation;
-use sct_core::SpanProbe;
+use sct_core::{SpanProbe, TimeSeriesProbe};
 use sct_transmission::SchedulerKind;
 use sct_workload::SystemSpec;
 use serde::{Deserialize, Serialize};
@@ -59,6 +59,12 @@ struct ProbeOverhead {
     spans_wall_secs: f64,
     spans: usize,
     overhead_pct: f64,
+    /// Flight-recorder attachment cost, measured the same way: minimum
+    /// wall over interleaved repetitions with a `TimeSeriesProbe`
+    /// (900 s windows, default SLO policy) attached.
+    timeseries_wall_secs: f64,
+    windows: usize,
+    timeseries_overhead_pct: f64,
 }
 
 #[derive(Serialize)]
@@ -228,7 +234,9 @@ fn bench_simloop(c: &mut Criterion) {
     let cfg = grid_config(SchedulerKind::Eftf, MigrationPolicy::single_hop());
     let mut bare_wall_secs = f64::INFINITY;
     let mut spans_wall_secs = f64::INFINITY;
+    let mut timeseries_wall_secs = f64::INFINITY;
     let mut n_spans = 0;
+    let mut n_windows = 0;
     for _ in 0..31 {
         let (_, profile) = Simulation::run_profiled(black_box(&cfg), &mut []);
         bare_wall_secs = bare_wall_secs.min(profile.wall_secs);
@@ -236,11 +244,20 @@ fn bench_simloop(c: &mut Criterion) {
         let (_, profile) = Simulation::run_profiled(black_box(&cfg), &mut [&mut probe]);
         spans_wall_secs = spans_wall_secs.min(profile.wall_secs);
         n_spans = probe.finish(cfg.duration.as_secs()).spans.len();
+        let mut ts_probe = TimeSeriesProbe::new(&cfg, 900.0);
+        let (_, profile) = Simulation::run_profiled(black_box(&cfg), &mut [&mut ts_probe]);
+        timeseries_wall_secs = timeseries_wall_secs.min(profile.wall_secs);
+        n_windows = ts_probe.finish().windows.len();
     }
     let overhead_pct = (spans_wall_secs - bare_wall_secs) / bare_wall_secs * 100.0;
     println!(
         "simloop: span probe {spans_wall_secs:.4} s vs bare {bare_wall_secs:.4} s \
          ({n_spans} spans, {overhead_pct:+.2} %)"
+    );
+    let timeseries_overhead_pct = (timeseries_wall_secs - bare_wall_secs) / bare_wall_secs * 100.0;
+    println!(
+        "simloop: time-series probe {timeseries_wall_secs:.4} s vs bare {bare_wall_secs:.4} s \
+         ({n_windows} windows, {timeseries_overhead_pct:+.2} %)"
     );
 
     let min_eps = grid
@@ -287,6 +304,9 @@ fn bench_simloop(c: &mut Criterion) {
             spans_wall_secs,
             spans: n_spans,
             overhead_pct,
+            timeseries_wall_secs,
+            windows: n_windows,
+            timeseries_overhead_pct,
         },
         floor_events_per_sec,
         huge_floor_events_per_sec,

@@ -243,6 +243,34 @@ impl SimEvent {
     }
 }
 
+/// One barrier-to-barrier run of the sharded event loop, summarized for
+/// observability probes.
+///
+/// Emitted by the loop *only* when `shards > 1` (the monolithic loop has
+/// no barrier), after the run's last event and before the next barrier
+/// election. Every field is a pure function of virtual time and the
+/// deterministic queue protocol — no wall-clock quantities — so the
+/// summary stream is bit-identical across repeated runs of the same
+/// config at the same shard count.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunSummary {
+    /// The shard this run drained.
+    pub shard: u16,
+    /// Total shard count of the loop (constant per simulation).
+    pub n_shards: u16,
+    /// Virtual time of the run's first event (the elected head).
+    pub start: SimTime,
+    /// Barrier-horizon slack at election: how far (virtual seconds) the
+    /// earliest foreign work lay ahead of the elected head. `None` when
+    /// the run was unbounded (every other shard was empty).
+    pub slack_secs: Option<f64>,
+    /// Events dispatched during the run (stale wake-ups excluded).
+    pub events: u64,
+    /// `true` when the shard still held work at run end — it stalled at
+    /// the barrier horizon instead of draining.
+    pub stalled: bool,
+}
+
 /// An observer of the simulation's event stream.
 ///
 /// Probes receive every [`SimEvent`] in simulation-time order, stamped
@@ -256,12 +284,25 @@ pub trait Probe {
     /// state at the event boundary. Default: ignore (event-only probes
     /// need no state).
     fn on_state(&mut self, _now: SimTime, _view: &crate::metrics::StateView) {}
+
+    /// Called after each barrier-to-barrier run of the sharded loop
+    /// (`shards > 1` only) with that run's [`RunSummary`]. Default:
+    /// ignore — outcome-bearing probes must not depend on it, since the
+    /// monolithic loop never calls it.
+    fn on_run(&mut self, _summary: &RunSummary) {}
 }
 
 /// Fans one event out to every attached probe, in order.
 pub(crate) fn emit(probes: &mut [&mut dyn Probe], now: SimTime, event: &SimEvent) {
     for p in probes.iter_mut() {
         p.on_event(now, event);
+    }
+}
+
+/// Fans one run summary out to every attached probe, in order.
+pub(crate) fn emit_run(probes: &mut [&mut dyn Probe], summary: &RunSummary) {
+    for p in probes.iter_mut() {
+        p.on_run(summary);
     }
 }
 
@@ -330,6 +371,49 @@ impl Probe for MetricsProbe {
                 self.window_utilization.push(utilization);
             }
             _ => {}
+        }
+    }
+}
+
+/// Opt-in shard-locality counter: folds [`SimEvent::CrossShard`] channel
+/// records — and *only* those — into per-edge totals, quantifying how
+/// often a scenario's causality crosses shard boundaries.
+///
+/// The outcome-bearing probes deliberately ignore `CrossShard` (it only
+/// exists when `shards > 1`, and outcomes must be shard-invariant);
+/// attach this probe explicitly when locality is the question. On the
+/// monolithic loop every count stays zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CrossShardCounter {
+    /// All cross-shard edges observed.
+    pub total: u64,
+    /// DRM victims displaced across a boundary at admission time.
+    pub displacements: u64,
+    /// Inner hops of two-step migration chains.
+    pub chain_inner_hops: u64,
+    /// Cluster-sourced replication copies toward a foreign shard.
+    pub replication_copies: u64,
+    /// Streams rescued off a failed server onto a foreign shard.
+    pub evacuation_rescues: u64,
+}
+
+impl CrossShardCounter {
+    /// A fresh all-zero counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Probe for CrossShardCounter {
+    fn on_event(&mut self, _now: SimTime, event: &SimEvent) {
+        if let SimEvent::CrossShard { edge, .. } = event {
+            self.total += 1;
+            match edge {
+                CrossShardEdge::Displacement => self.displacements += 1,
+                CrossShardEdge::ChainInnerHop => self.chain_inner_hops += 1,
+                CrossShardEdge::ReplicationCopy => self.replication_copies += 1,
+                CrossShardEdge::EvacuationRescue => self.evacuation_rescues += 1,
+            }
         }
     }
 }

@@ -24,6 +24,10 @@
 //! * [`profile`] — the always-on [`profile::LoopProfiler`]: wall-clock
 //!   phase timers for the event loop itself (dispatch / allocator /
 //!   wake scheduling / probe emission).
+//! * [`timeseries`] — the flight recorder: [`timeseries::TimeSeriesProbe`]
+//!   folds the event stream, state views, and barrier run summaries into
+//!   fixed-width virtual-time windows with online SLO evaluation,
+//!   exported through `sct_analysis::timeseries`.
 //! * [`runner`] — deterministic parallel multi-trial execution.
 //! * [`experiments`] — one function per paper table/figure (and per
 //!   tech-report extension), producing [`sct_analysis::Series`]/tables.
@@ -42,12 +46,17 @@ pub mod profile;
 pub mod runner;
 pub mod simulation;
 pub mod spans;
+pub mod timeseries;
 
 pub use config::{SimConfig, SimConfigBuilder, StagingSpec};
-pub use events::{AdmitPath, CrossShardEdge, JsonlTraceProbe, MetricsProbe, Probe, SimEvent};
+pub use events::{
+    AdmitPath, CrossShardCounter, CrossShardEdge, JsonlTraceProbe, MetricsProbe, Probe, RunSummary,
+    SimEvent,
+};
 pub use metrics::{Histogram, MetricsRegistry, StateView, TelemetryProbe, TimeWeightedGauge};
 pub use policies::Policy;
 pub use profile::{LoopProfile, LoopProfiler, PhaseStat};
 pub use runner::{run_trials, utilization_summary, TrialPlan};
 pub use simulation::{SimOutcome, Simulation};
 pub use spans::SpanProbe;
+pub use timeseries::TimeSeriesProbe;

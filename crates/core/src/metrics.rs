@@ -430,13 +430,11 @@ impl<'a> StateView<'a> {
     }
 
     /// A server's currently allocated transmission rate (Σ stream rates),
-    /// Mb/s — the integrand of the utilization metric.
+    /// Mb/s — the integrand of the utilization metric. Reads the engine's
+    /// mutation-maintained aggregate, so probes pay O(1) per server per
+    /// state view instead of re-summing every stream.
     pub fn allocated_mbps(&self, server: usize) -> f64 {
-        self.engines[server]
-            .streams()
-            .iter()
-            .map(Stream::rate)
-            .sum()
+        self.engines[server].allocated_mbps()
     }
 
     /// Unfinished streams on a server (viewer streams and replica
@@ -598,6 +596,7 @@ impl MetricsRegistry {
                 .iter()
                 .map(|(name, h)| h.snapshot(name))
                 .collect(),
+            profile: None,
         }
     }
 }

@@ -217,6 +217,28 @@ impl LoopProfile {
         }
     }
 
+    /// Converts to the `sct-analysis` wire form, for attaching to a
+    /// [`sct_analysis::MetricsSnapshot`] (`sctsim report` renders it).
+    pub fn snapshot(&self) -> sct_analysis::snapshot::ProfileSnapshot {
+        let phase = |name: &str, s: &PhaseStat| sct_analysis::snapshot::ProfilePhase {
+            name: name.to_string(),
+            secs: s.secs,
+            calls: s.calls,
+        };
+        sct_analysis::snapshot::ProfileSnapshot {
+            wall_secs: self.wall_secs,
+            events: self.events,
+            events_per_sec: self.events_per_sec,
+            phases: vec![
+                phase("dispatch", &self.dispatch),
+                phase("alloc", &self.alloc),
+                phase("wake", &self.wake),
+                phase("probe", &self.probe),
+                phase("barrier", &self.barrier),
+            ],
+        }
+    }
+
     /// A fixed-width text rendering for terminal output.
     pub fn to_text(&self) -> String {
         let mut out = format!(
@@ -324,6 +346,58 @@ mod tests {
         assert!((m.barrier.secs - 0.03).abs() < 1e-12);
         let text = m.to_text();
         assert!(text.contains("barrier"), "{text}");
+    }
+
+    #[test]
+    fn merge_of_empty_slice_is_all_zeros() {
+        let m = LoopProfile::merge(&[]);
+        assert_eq!(m.wall_secs, 0.0);
+        assert_eq!(m.events, 0);
+        assert_eq!(m.events_per_sec, 0.0);
+        for s in [m.dispatch, m.alloc, m.wake, m.probe, m.barrier] {
+            assert_eq!(s.secs, 0.0);
+            assert_eq!(s.calls, 0);
+        }
+    }
+
+    #[test]
+    fn merge_of_singleton_is_identity() {
+        let stat = |secs: f64, calls: u64| PhaseStat { secs, calls };
+        let a = LoopProfile {
+            wall_secs: 2.0,
+            events: 10,
+            events_per_sec: 5.0,
+            dispatch: stat(0.5, 10),
+            alloc: stat(0.2, 10),
+            wake: stat(0.1, 10),
+            probe: stat(0.05, 10),
+            barrier: stat(0.0, 0),
+        };
+        // events_per_sec is recomputed from consistent inputs, so a
+        // singleton merge reproduces the profile exactly.
+        assert_eq!(LoopProfile::merge(&[a]), a);
+    }
+
+    #[test]
+    fn snapshot_carries_every_phase_in_order() {
+        let stat = |secs: f64, calls: u64| PhaseStat { secs, calls };
+        let p = LoopProfile {
+            wall_secs: 1.0,
+            events: 4,
+            events_per_sec: 4.0,
+            dispatch: stat(0.4, 4),
+            alloc: stat(0.3, 4),
+            wake: stat(0.2, 4),
+            probe: stat(0.1, 4),
+            barrier: stat(0.05, 2),
+        };
+        let snap = p.snapshot();
+        assert_eq!(snap.wall_secs, 1.0);
+        assert_eq!(snap.events, 4);
+        let names: Vec<&str> = snap.phases.iter().map(|ph| ph.name.as_str()).collect();
+        assert_eq!(names, ["dispatch", "alloc", "wake", "probe", "barrier"]);
+        assert_eq!(snap.phases[4].calls, 2);
+        assert_eq!(snap.phases[0].secs, 0.4);
     }
 
     #[test]

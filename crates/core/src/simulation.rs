@@ -439,9 +439,21 @@ impl<'a> SimWorld<'a> {
                 break;
             };
             self.cur_shard = shard;
+            // Election snapshot for the run summary (virtual time only,
+            // so the summary stream stays deterministic). `multi` only:
+            // the monolithic loop has no barrier to observe.
+            let election = if multi {
+                self.sched.queue.run_head().map(|(head, _)| {
+                    let slack = self.sched.queue.run_horizon().map(|(h, _)| h - head);
+                    (head, slack)
+                })
+            } else {
+                None
+            };
             if let Some(tb) = tb {
                 self.profs[shard].add(Phase::Barrier, tb);
             }
+            let events_before = self.events_processed;
             while let Some(entry) = self.sched.queue.pop_run() {
                 let now = entry.time;
                 debug_assert!(now >= self.last_time, "event order violated");
@@ -472,6 +484,19 @@ impl<'a> SimWorld<'a> {
                 let t2 = LoopProfiler::clock();
                 self.profs[self.cur_shard].add_between(Phase::Probe, t1, t2);
                 self.profs[self.cur_shard].add_between(Phase::Dispatch, t0, t2);
+            }
+            if let Some((start, slack)) = election {
+                let summary = crate::events::RunSummary {
+                    shard: shard as u16,
+                    n_shards: self.sched.queue.n_shards() as u16,
+                    start,
+                    slack_secs: slack,
+                    events: self.events_processed - events_before,
+                    stalled: self.sched.queue.shard_len(shard) > 0,
+                };
+                let ts = LoopProfiler::clock();
+                crate::events::emit_run(probes, &summary);
+                self.profs[shard].add(Phase::Barrier, ts);
             }
             self.sched.queue.end_run();
         }

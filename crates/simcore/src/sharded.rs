@@ -149,6 +149,28 @@ impl<T> ShardedQueue<T> {
         self.horizon = None;
     }
 
+    /// The `(time, seq)` key at the head of the active shard, or `None`
+    /// when no run is active or the shard has drained. Observational:
+    /// barrier instrumentation reads it to timestamp a run's election.
+    pub fn run_head(&self) -> Option<(SimTime, u64)> {
+        self.shards[self.active?].peek_key()
+    }
+
+    /// The current run's horizon key — the earliest work pending on any
+    /// *other* shard, as tightened by foreign pushes. `None` when no run
+    /// is active or the run is unbounded (no other shard has work).
+    pub fn run_horizon(&self) -> Option<(SimTime, u64)> {
+        self.active?;
+        self.horizon
+    }
+
+    /// Pending events on one shard. Observational: a run that ends with
+    /// its shard non-empty stalled at the barrier horizon rather than
+    /// draining.
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.shards[shard].len()
+    }
+
     /// Aggregated internal scan counters across all shard queues.
     pub fn counters(&self) -> crate::event::QueueCounters {
         let mut total = crate::event::QueueCounters::default();
@@ -278,6 +300,31 @@ mod tests {
         q.end_run();
         assert_eq!(q.begin_run(), Some(0));
         assert_eq!(q.pop_run().unwrap().payload, 5);
+    }
+
+    /// The observational accessors expose the elected head, the horizon,
+    /// and per-shard backlogs without perturbing the run protocol.
+    #[test]
+    fn run_accessors_are_observational() {
+        let mut q = ShardedQueue::new(2, 8);
+        assert_eq!(q.run_head(), None, "no run active yet");
+        assert_eq!(q.run_horizon(), None);
+        q.push(0, SimTime::from_secs(1.0), 1);
+        q.push(1, SimTime::from_secs(4.0), 4);
+        assert_eq!(q.begin_run(), Some(0));
+        assert_eq!(q.run_head(), Some((SimTime::from_secs(1.0), 0)));
+        assert_eq!(q.run_horizon(), Some((SimTime::from_secs(4.0), 1)));
+        assert_eq!(q.shard_len(0), 1);
+        assert_eq!(q.shard_len(1), 1);
+        // Foreign push tightens the reported horizon too.
+        q.push(1, SimTime::from_secs(2.0), 2);
+        assert_eq!(q.run_horizon(), Some((SimTime::from_secs(2.0), 2)));
+        q.pop_run().unwrap();
+        assert_eq!(q.run_head(), None, "active shard drained");
+        assert_eq!(q.shard_len(0), 0);
+        q.end_run();
+        assert_eq!(q.run_head(), None, "accessors reset after end_run");
+        assert_eq!(q.run_horizon(), None);
     }
 
     /// With one shard the barrier is vacuous: a single run drains the

@@ -50,6 +50,11 @@ pub struct ServerEngine {
     generation: u64,
     /// Sum of admitted view rates — the minimum-flow commitment.
     committed_mbps: f64,
+    /// Sum of currently allocated transmission rates, recomputed in
+    /// stream order after every mutation so it is bit-identical to a
+    /// fresh fold over [`ServerEngine::streams`]. Lets observers read
+    /// the aggregate in O(1) instead of re-summing per state view.
+    allocated_mbps: f64,
     /// Whether the server is up. Offline servers admit nothing and hold no
     /// streams; see [`ServerEngine::fail`].
     online: bool,
@@ -77,6 +82,7 @@ impl ServerEngine {
             measure_start: SimTime::ZERO,
             generation: 0,
             committed_mbps: 0.0,
+            allocated_mbps: 0.0,
             online: true,
             scratch: AllocScratch::default(),
             last_wake: None,
@@ -152,6 +158,19 @@ impl ServerEngine {
         self.committed_mbps
     }
 
+    /// Sum of the rates currently allocated to this server's streams —
+    /// identical to summing [`ServerEngine::streams`] in order, but O(1).
+    pub fn allocated_mbps(&self) -> f64 {
+        self.allocated_mbps
+    }
+
+    /// Recomputes the allocated-rate aggregate from scratch, in stream
+    /// order. Called after every mutation that can change the stream set
+    /// or a rate, so the cache never drifts from the direct sum.
+    fn refresh_allocated(&mut self) {
+        self.allocated_mbps = self.streams.iter().map(Stream::rate).sum();
+    }
+
     /// Test-only fault injection: silently perturbs one stream's allocated
     /// rate *without* reallocating or invalidating scheduled wakes —
     /// exactly the signature of an allocator bug. Returns `false` if the
@@ -163,6 +182,7 @@ impl ServerEngine {
             Some(s) => {
                 let rate = (s.rate() + delta_mbps).max(0.0);
                 s.set_rate(rate);
+                self.refresh_allocated();
                 true
             }
             None => false,
@@ -179,6 +199,7 @@ impl ServerEngine {
         self.online = false;
         self.committed_mbps = 0.0;
         self.last_wake = None;
+        self.allocated_mbps = 0.0;
         std::mem::take(&mut self.streams)
     }
 
@@ -260,6 +281,7 @@ impl ServerEngine {
         if self.streams.is_empty() {
             self.committed_mbps = 0.0; // absorb float drift at idle
         }
+        self.refresh_allocated();
         finished
     }
 
@@ -273,6 +295,7 @@ impl ServerEngine {
         if self.streams.is_empty() {
             self.committed_mbps = 0.0;
         }
+        self.refresh_allocated();
         Some(s)
     }
 
@@ -289,6 +312,7 @@ impl ServerEngine {
                 } else {
                     s.resume(now);
                 }
+                self.refresh_allocated();
                 true
             }
             None => false,
@@ -311,6 +335,7 @@ impl ServerEngine {
             &mut self.streams,
             &mut self.scratch,
         );
+        self.refresh_allocated();
         self.last_wake = self.next_event_after(now).map(|(t, _)| t);
         self.last_wake
     }

@@ -11,13 +11,17 @@
 //! All subcommands are deterministic given `--seed`.
 
 use semi_continuous_vod::analysis::erlang::{erlang_b, expected_utilization_vs_svbr};
+use semi_continuous_vod::analysis::slo::SloPolicy;
+use semi_continuous_vod::analysis::snapshot::LoopProfilesSnapshot;
+use semi_continuous_vod::analysis::timeseries::{diff, render_dashboard, TimeSeriesRecording};
 use semi_continuous_vod::analysis::{MetricsSnapshot, SpanSet};
 use semi_continuous_vod::core::config::SimConfig;
 use semi_continuous_vod::core::policies::Policy;
 use semi_continuous_vod::core::runner::{run_trials, utilization_summary, TrialPlan};
 use semi_continuous_vod::core::simulation::Simulation;
 use semi_continuous_vod::core::{
-    JsonlTraceProbe, MetricsRegistry, Probe, SpanProbe, TelemetryProbe,
+    JsonlTraceProbe, LoopProfile, MetricsRegistry, Probe, SpanProbe, TelemetryProbe,
+    TimeSeriesProbe,
 };
 use semi_continuous_vod::simcore::{Rng, SimTime, ZipfLike};
 use semi_continuous_vod::workload::{calibrated_rate, SystemSpec, Trace};
@@ -33,8 +37,16 @@ fn usage() -> ! {
          \x20          [--spans FILE]  (export request-lifecycle spans; single trial only)\n\
          \x20          [--profile]  (print the event loop's wall-clock phase profile,\n\
          \x20                        per shard when --shards > 1)\n\
+         \x20          [--timeseries FILE]  (export a windowed time-series recording,\n\
+         \x20                                merged across trials)\n\
+         \x20          [--window SECS]  (time-series window width, default 900)\n\
+         \x20          [--slo FILE]  (SLO rule policy JSON for the recording's alerts)\n\
          \x20 sctsim report FILE [--svg FILE]  (render a metrics snapshot as markdown + SVG)\n\
          \x20 sctsim spans FILE [--critical-path] [--perfetto OUT]  (analyse a span export)\n\
+         \x20 sctsim watch FILE [--once] [--interval-secs S]  (live terminal dashboard\n\
+         \x20                                                  over a recording file)\n\
+         \x20 sctsim diff A B [--tolerance T]  (align two recordings window-by-window\n\
+         \x20                                   and localize the first divergence)\n\
          \x20 sctsim scenario --system small|large|tiny|huge [--policy P..] [--theta T]\n\
          \x20 sctsim erlang --svbr K [--view-rate MBPS]\n\
          \x20 sctsim trace --system small|large|tiny|huge [--theta T] [--hours H] [--seed S]"
@@ -47,7 +59,7 @@ struct Args {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: [&str; 2] = ["profile", "critical-path"];
+const BOOL_FLAGS: [&str; 3] = ["profile", "critical-path", "once"];
 
 impl Args {
     fn parse(args: &[String]) -> Args {
@@ -167,6 +179,7 @@ fn cmd_run(args: &Args) {
     let trace_path = args.get("trace");
     let metrics_path = args.get("metrics");
     let spans_path = args.get("spans");
+    let timeseries_path = args.get("timeseries");
     let profile = args.has("profile");
     // A trace or span export narrates exactly one trial; silently
     // dropping the other trials would misrepresent what ran.
@@ -180,95 +193,179 @@ fn cmd_run(args: &Args) {
             exit(2)
         }
     }
-    let outcomes =
-        if trace_path.is_some() || metrics_path.is_some() || spans_path.is_some() || profile {
-            // Probes attached: run the plan's trials sequentially so each trial
-            // gets its own telemetry probe, then merge the registries (the
-            // merge is exact — see sct-core::metrics). Probes cannot perturb
-            // outcomes, so this matches `run_trials` on the same plan bit for
-            // bit.
-            let n = trials.max(1);
-            let plan = TrialPlan::new(n, seed);
-            let mut trace_probe = trace_path.map(|path| {
-                JsonlTraceProbe::create(path).unwrap_or_else(|e| {
-                    eprintln!("cannot create {path}: {e}");
-                    exit(1)
-                })
+    let window_secs = args.get_f64("window").unwrap_or(900.0);
+    if timeseries_path.is_some() && !(window_secs > 0.0 && window_secs.is_finite()) {
+        eprintln!("--window expects a positive number of seconds, got {window_secs}");
+        exit(2)
+    }
+    // `--window`/`--slo` only shape a time-series recording.
+    if timeseries_path.is_none() && (args.has("window") || args.has("slo")) {
+        eprintln!("--window and --slo require --timeseries");
+        exit(2)
+    }
+    let slo_policy = match args.get("slo") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                exit(1)
             });
-            let mut registry: Option<MetricsRegistry> = None;
-            let mut outs = Vec::with_capacity(n as usize);
-            for i in 0..n {
-                let mut cfg = config.clone();
-                cfg.seed = plan.seed(i);
-                let mut telemetry = metrics_path.map(|_| TelemetryProbe::new(&cfg));
-                let mut span_probe = spans_path.map(|_| SpanProbe::new());
-                let mut hub: Vec<&mut dyn Probe> = Vec::new();
-                if let Some(t) = telemetry.as_mut() {
-                    hub.push(t);
+            SloPolicy::from_json(&text).unwrap_or_else(|e| {
+                eprintln!("{path}: {e}");
+                exit(1)
+            })
+        }
+        None => SloPolicy::default_policy(),
+    };
+    let outcomes = if trace_path.is_some()
+        || metrics_path.is_some()
+        || spans_path.is_some()
+        || timeseries_path.is_some()
+        || profile
+    {
+        // Probes attached: run the plan's trials sequentially so each trial
+        // gets its own telemetry probe, then merge the registries (the
+        // merge is exact — see sct-core::metrics). Probes cannot perturb
+        // outcomes, so this matches `run_trials` on the same plan bit for
+        // bit.
+        let n = trials.max(1);
+        let plan = TrialPlan::new(n, seed);
+        let mut trace_probe = trace_path.map(|path| {
+            JsonlTraceProbe::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot create {path}: {e}");
+                exit(1)
+            })
+        });
+        let mut registry: Option<MetricsRegistry> = None;
+        let mut recording: Option<TimeSeriesRecording> = None;
+        // Per-trial loop profiles, kept so a `--metrics` snapshot can
+        // carry the merged wall-clock decomposition (and each shard's,
+        // when sharded).
+        let mut merged_profiles: Vec<LoopProfile> = Vec::new();
+        let mut shard_profiles: Vec<Vec<LoopProfile>> = Vec::new();
+        let mut outs = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let mut cfg = config.clone();
+            cfg.seed = plan.seed(i);
+            let mut telemetry = metrics_path.map(|_| TelemetryProbe::new(&cfg));
+            let mut span_probe = spans_path.map(|_| SpanProbe::new());
+            let mut ts_probe = timeseries_path
+                .map(|_| TimeSeriesProbe::with_policy(&cfg, window_secs, slo_policy.clone()));
+            let mut hub: Vec<&mut dyn Probe> = Vec::new();
+            if let Some(t) = telemetry.as_mut() {
+                hub.push(t);
+            }
+            if let Some(t) = trace_probe.as_mut() {
+                hub.push(t);
+            }
+            if let Some(s) = span_probe.as_mut() {
+                hub.push(s);
+            }
+            if let Some(t) = ts_probe.as_mut() {
+                hub.push(t);
+            }
+            let (outcome, loop_profile, per_shard) =
+                Simulation::run_profiled_sharded(&cfg, &mut hub);
+            merged_profiles.push(loop_profile);
+            if per_shard.len() > 1 {
+                if shard_profiles.is_empty() {
+                    shard_profiles = vec![Vec::with_capacity(n as usize); per_shard.len()];
                 }
-                if let Some(t) = trace_probe.as_mut() {
-                    hub.push(t);
+                for (s, p) in per_shard.iter().enumerate() {
+                    shard_profiles[s].push(*p);
                 }
-                if let Some(s) = span_probe.as_mut() {
-                    hub.push(s);
-                }
-                let (outcome, loop_profile, per_shard) =
-                    Simulation::run_profiled_sharded(&cfg, &mut hub);
-                if profile {
-                    eprint!("trial {i}: {}", loop_profile.to_text());
-                    // With a sharded loop the merged table above hides
-                    // imbalance; print each shard's own decomposition
-                    // (the barrier row is charged to the elected shard).
-                    if per_shard.len() > 1 {
-                        for (s, p) in per_shard.iter().enumerate() {
-                            eprint!("trial {i} shard {s}: {}", p.to_text());
-                        }
+            }
+            if profile {
+                eprint!("trial {i}: {}", loop_profile.to_text());
+                // With a sharded loop the merged table above hides
+                // imbalance; print each shard's own decomposition
+                // (the barrier row is charged to the elected shard).
+                if per_shard.len() > 1 {
+                    for (s, p) in per_shard.iter().enumerate() {
+                        eprint!("trial {i} shard {s}: {}", p.to_text());
                     }
                 }
-                outs.push(outcome);
-                if let Some(t) = telemetry {
-                    let trial_registry = t.finish();
-                    match registry.as_mut() {
-                        Some(r) => r.merge(trial_registry),
-                        None => registry = Some(trial_registry),
-                    }
+            }
+            outs.push(outcome);
+            if let Some(t) = telemetry {
+                let trial_registry = t.finish();
+                match registry.as_mut() {
+                    Some(r) => r.merge(trial_registry),
+                    None => registry = Some(trial_registry),
                 }
-                if let (Some(path), Some(probe)) = (spans_path, span_probe) {
-                    let set = probe.finish(cfg.duration.as_secs());
-                    std::fs::write(path, set.to_json() + "\n").unwrap_or_else(|e| {
-                        eprintln!("cannot write {path}: {e}");
+            }
+            if let Some(t) = ts_probe {
+                let mut rec = t.finish();
+                rec.set_trial(i);
+                match recording.as_mut() {
+                    Some(r) => r.merge(&rec).unwrap_or_else(|e| {
+                        eprintln!("cannot merge trial {i} recording: {e}");
                         exit(1)
-                    });
-                    eprintln!(
-                        "wrote {} spans / {} causal edges to {path}",
-                        set.spans.len(),
-                        set.edges.len()
-                    );
+                    }),
+                    None => recording = Some(rec),
                 }
             }
-            if let (Some(path), Some(probe)) = (trace_path, trace_probe) {
-                let lines = probe.finish().unwrap_or_else(|e| {
-                    eprintln!("cannot write {path}: {e}");
-                    exit(1)
-                });
-                eprintln!("traced {lines} events to {path}");
-            }
-            if let (Some(path), Some(registry)) = (metrics_path, registry) {
-                let snapshot = registry.snapshot();
-                std::fs::write(path, snapshot.to_json() + "\n").unwrap_or_else(|e| {
+            if let (Some(path), Some(probe)) = (spans_path, span_probe) {
+                let set = probe.finish(cfg.duration.as_secs());
+                std::fs::write(path, set.to_json() + "\n").unwrap_or_else(|e| {
                     eprintln!("cannot write {path}: {e}");
                     exit(1)
                 });
                 eprintln!(
-                    "wrote metrics snapshot ({} trial{}) to {path}",
-                    snapshot.trials,
-                    if snapshot.trials == 1 { "" } else { "s" }
+                    "wrote {} spans / {} causal edges to {path}",
+                    set.spans.len(),
+                    set.edges.len()
                 );
             }
-            outs
-        } else {
-            run_trials(&config, TrialPlan::new(trials.max(1), seed))
-        };
+        }
+        if let (Some(path), Some(probe)) = (trace_path, trace_probe) {
+            let lines = probe.finish().unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                exit(1)
+            });
+            eprintln!("traced {lines} events to {path}");
+        }
+        if let (Some(path), Some(registry)) = (metrics_path, registry) {
+            let mut snapshot = registry.snapshot();
+            // Carry the loop's own wall-clock decomposition alongside
+            // the simulated metrics: phase seconds sum across trials
+            // (and across shards within the merged row); wall time
+            // keeps `LoopProfile::merge`'s max-across-inputs meaning.
+            snapshot.profile = Some(LoopProfilesSnapshot {
+                merged: LoopProfile::merge(&merged_profiles).snapshot(),
+                per_shard: shard_profiles
+                    .iter()
+                    .map(|trials| LoopProfile::merge(trials).snapshot())
+                    .collect(),
+            });
+            std::fs::write(path, snapshot.to_json() + "\n").unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                exit(1)
+            });
+            eprintln!(
+                "wrote metrics snapshot ({} trial{}) to {path}",
+                snapshot.trials,
+                if snapshot.trials == 1 { "" } else { "s" }
+            );
+        }
+        if let (Some(path), Some(recording)) = (timeseries_path, recording) {
+            std::fs::write(path, recording.to_json() + "\n").unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                exit(1)
+            });
+            eprintln!(
+                "wrote time-series recording ({} windows x {}s, {} trial{}, {} alert{}) to {path}",
+                recording.windows.len(),
+                recording.window_secs,
+                recording.trials,
+                if recording.trials == 1 { "" } else { "s" },
+                recording.alerts.len(),
+                if recording.alerts.len() == 1 { "" } else { "s" },
+            );
+        }
+        outs
+    } else {
+        run_trials(&config, TrialPlan::new(trials.max(1), seed))
+    };
     let summary = utilization_summary(&outcomes);
     eprintln!(
         "system={} theta={} trials={} hours={:.1}",
@@ -355,6 +452,59 @@ fn cmd_spans(file: &str, args: &Args) {
     }
 }
 
+fn read_recording(file: &str) -> TimeSeriesRecording {
+    let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+        eprintln!("cannot read {file}: {e}");
+        exit(1)
+    });
+    TimeSeriesRecording::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("{file}: {e}");
+        exit(1)
+    })
+}
+
+fn cmd_watch(file: &str, args: &Args) {
+    let cols = 72;
+    if args.has("once") {
+        print!("{}", render_dashboard(&read_recording(file), cols));
+        return;
+    }
+    let interval = args.get_f64("interval-secs").unwrap_or(2.0);
+    if !(interval > 0.0 && interval.is_finite()) {
+        eprintln!("--interval-secs expects a positive number, got {interval}");
+        exit(2)
+    }
+    loop {
+        // Re-read every tick: a concurrent `sctsim run --timeseries`
+        // rewrites the file when it finishes, and partially-written JSON
+        // simply keeps the previous frame on screen.
+        let frame = match std::fs::read_to_string(file) {
+            Ok(text) => TimeSeriesRecording::from_json(&text).ok(),
+            Err(_) => None,
+        };
+        if let Some(rec) = frame {
+            // ANSI clear + home, then the dashboard.
+            print!("\x1b[2J\x1b[H{}", render_dashboard(&rec, cols));
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+    }
+}
+
+fn cmd_diff(file_a: &str, file_b: &str, args: &Args) {
+    let tol = args.get_f64("tolerance").unwrap_or(1e-9);
+    let a = read_recording(file_a);
+    let b = read_recording(file_b);
+    match diff(&a, &b, tol) {
+        Ok(report) => print!("{}", report.to_text()),
+        Err(e) => {
+            eprintln!("cannot diff {file_a} vs {file_b}: {e}");
+            exit(1)
+        }
+    }
+}
+
 fn cmd_scenario(args: &Args) {
     let config = build_config(args);
     println!(
@@ -413,6 +563,22 @@ fn main() {
             usage()
         };
         cmd_spans(file, &Args::parse(flags));
+        return;
+    }
+    if cmd == "watch" {
+        let Some((file, flags)) = rest.split_first() else {
+            eprintln!("watch needs a recording file");
+            usage()
+        };
+        cmd_watch(file, &Args::parse(flags));
+        return;
+    }
+    if cmd == "diff" {
+        if rest.len() < 2 {
+            eprintln!("diff needs two recording files");
+            usage()
+        }
+        cmd_diff(&rest[0], &rest[1], &Args::parse(&rest[2..]));
         return;
     }
     let args = Args::parse(rest);

@@ -52,11 +52,16 @@ pub mod prelude {
         WaitlistSpec,
     };
     pub use sct_analysis::report::Table;
+    pub use sct_analysis::slo::{SloAlert, SloEvaluator, SloPolicy, SloRule};
     pub use sct_analysis::snapshot::MetricsSnapshot;
+    pub use sct_analysis::timeseries::{
+        render_dashboard, RecordingDiff, TimeSeriesRecording, WindowRow,
+    };
     pub use sct_cluster::placement::PlacementStrategy;
     pub use sct_core::config::{FailureSpec, PauseSpec, SimConfig, SimConfigBuilder, StagingSpec};
     pub use sct_core::events::{
-        AdmitPath, CrossShardEdge, JsonlTraceProbe, MetricsProbe, Probe, SimEvent,
+        AdmitPath, CrossShardCounter, CrossShardEdge, JsonlTraceProbe, MetricsProbe, Probe,
+        RunSummary, SimEvent,
     };
     pub use sct_core::experiments;
     pub use sct_core::metrics::{
@@ -67,6 +72,7 @@ pub mod prelude {
     pub use sct_core::runner::{run_trials, TrialPlan};
     pub use sct_core::simulation::{SimOutcome, Simulation};
     pub use sct_core::spans::SpanProbe;
+    pub use sct_core::timeseries::TimeSeriesProbe;
     pub use sct_media::{Catalog, ClientProfile, Video, VideoId};
     pub use sct_simcore::{Rng, SimTime};
     pub use sct_transmission::SchedulerKind;

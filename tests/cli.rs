@@ -253,6 +253,230 @@ fn unwritable_spans_path_fails_with_a_diagnostic() {
 }
 
 #[test]
+fn metrics_snapshot_carries_the_loop_profile_and_report_renders_it() {
+    let dir = std::env::temp_dir().join("sctsim-test-profile");
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics_path = dir.join("m.json");
+    let run = sctsim(&[
+        "run",
+        "--system",
+        "tiny",
+        "--hours",
+        "1",
+        "--trials",
+        "2",
+        "--shards",
+        "2",
+        "--seed",
+        "5",
+        "--metrics",
+        metrics_path.to_str().unwrap(),
+    ]);
+    assert!(
+        run.status.success(),
+        "{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let text = std::fs::read_to_string(&metrics_path).unwrap();
+    let snapshot = sct_analysis::MetricsSnapshot::from_json(&text).expect("valid metrics snapshot");
+    let profile = snapshot.profile.as_ref().expect("profile attached");
+    assert_eq!(profile.per_shard.len(), 2, "one profile per shard");
+    assert!(profile.merged.events > 0);
+    assert!(profile.merged.phases.iter().any(|p| p.name == "barrier"));
+
+    let report = sctsim(&["report", metrics_path.to_str().unwrap()]);
+    assert!(
+        report.status.success(),
+        "{}",
+        String::from_utf8_lossy(&report.stderr)
+    );
+    let md = String::from_utf8(report.stdout).unwrap();
+    assert!(md.contains("## Loop profile"), "{md}");
+    assert!(md.contains("shard 1"), "{md}");
+    assert!(
+        md.contains("wall time is the max across"),
+        "missing merged-vs-per-shard note: {md}"
+    );
+}
+
+#[test]
+fn run_timeseries_exports_a_recording_without_perturbing_the_outcome() {
+    let dir = std::env::temp_dir().join("sctsim-test-ts");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ts_path = dir.join("recording.json");
+    let base = [
+        "run", "--system", "tiny", "--hours", "2", "--trials", "1", "--seed", "5",
+    ];
+    let plain = sctsim(&base);
+    let mut ts_args: Vec<&str> = base.to_vec();
+    ts_args.extend(["--timeseries", ts_path.to_str().unwrap(), "--window", "900"]);
+    let recorded = sctsim(&ts_args);
+    assert!(
+        plain.status.success() && recorded.status.success(),
+        "{}",
+        String::from_utf8_lossy(&recorded.stderr)
+    );
+    // The probe must be invisible: identical outcome JSON on stdout.
+    assert_eq!(plain.stdout, recorded.stdout);
+    let text = std::fs::read_to_string(&ts_path).unwrap();
+    let rec = sct_analysis::timeseries::TimeSeriesRecording::from_json(&text)
+        .expect("valid recording JSON");
+    // 2 h at 900 s windows → 8 windows on the fixed grid.
+    assert_eq!(rec.windows.len(), 8);
+    assert_eq!(rec.trials, 1);
+    let stderr = String::from_utf8(recorded.stderr).unwrap();
+    assert!(stderr.contains("wrote time-series recording"), "{stderr}");
+}
+
+#[test]
+fn timeseries_flag_merges_across_trials() {
+    let dir = std::env::temp_dir().join("sctsim-test-ts");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ts_path = dir.join("merged.json");
+    let out = sctsim(&[
+        "run",
+        "--system",
+        "tiny",
+        "--hours",
+        "1",
+        "--trials",
+        "2",
+        "--seed",
+        "5",
+        "--timeseries",
+        ts_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&ts_path).unwrap();
+    let rec = sct_analysis::timeseries::TimeSeriesRecording::from_json(&text)
+        .expect("valid recording JSON");
+    assert_eq!(rec.trials, 2, "recording must merge both trials");
+}
+
+#[test]
+fn unwritable_timeseries_path_fails_with_a_diagnostic() {
+    let out = sctsim(&[
+        "run",
+        "--system",
+        "tiny",
+        "--hours",
+        "0.2",
+        "--trials",
+        "1",
+        "--timeseries",
+        "/nonexistent/never/recording.json",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("recording.json"), "{err}");
+}
+
+#[test]
+fn window_flag_requires_timeseries() {
+    let out = sctsim(&[
+        "run", "--system", "tiny", "--hours", "0.2", "--window", "600",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--timeseries"), "{err}");
+}
+
+#[test]
+fn watch_once_renders_a_dashboard() {
+    let dir = std::env::temp_dir().join("sctsim-test-ts");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ts_path = dir.join("watch.json");
+    let run = sctsim(&[
+        "run",
+        "--system",
+        "tiny",
+        "--hours",
+        "2",
+        "--seed",
+        "5",
+        "--timeseries",
+        ts_path.to_str().unwrap(),
+    ]);
+    assert!(
+        run.status.success(),
+        "{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let out = sctsim(&["watch", ts_path.to_str().unwrap(), "--once"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("Time-series recording"), "{text}");
+    assert!(text.contains("utilization"), "{text}");
+}
+
+#[test]
+fn watch_rejects_a_missing_file() {
+    let out = sctsim(&["watch", "/nonexistent/never/rec.json", "--once"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("rec.json"), "{err}");
+}
+
+#[test]
+fn diff_subcommand_localizes_seed_divergence() {
+    let dir = std::env::temp_dir().join("sctsim-test-ts");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path_a = dir.join("seed5.json");
+    let path_b = dir.join("seed6.json");
+    for (seed, path) in [("5", &path_a), ("6", &path_b)] {
+        let run = sctsim(&[
+            "run",
+            "--system",
+            "tiny",
+            "--hours",
+            "2",
+            "--seed",
+            seed,
+            "--timeseries",
+            path.to_str().unwrap(),
+        ]);
+        assert!(
+            run.status.success(),
+            "{}",
+            String::from_utf8_lossy(&run.stderr)
+        );
+    }
+    let out = sctsim(&["diff", path_a.to_str().unwrap(), path_b.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("first divergence: window"), "{text}");
+
+    // Self-diff agrees, and still exits 0.
+    let same = sctsim(&["diff", path_a.to_str().unwrap(), path_a.to_str().unwrap()]);
+    assert!(same.status.success());
+    let text = String::from_utf8(same.stdout).unwrap();
+    assert!(text.contains("recordings agree"), "{text}");
+}
+
+#[test]
+fn diff_rejects_garbage_input() {
+    let dir = std::env::temp_dir().join("sctsim-test-ts");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("garbage-rec.json");
+    std::fs::write(&path, "{not a recording").unwrap();
+    let out = sctsim(&["diff", path.to_str().unwrap(), path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(!out.stderr.is_empty());
+}
+
+#[test]
 fn unwritable_metrics_path_fails_with_a_diagnostic() {
     let out = sctsim(&[
         "run",

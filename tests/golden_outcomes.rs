@@ -57,6 +57,75 @@ fn check_golden(name: &str, config: &SimConfig) {
         );
     }
 
+    // The flight recorder must be equally invisible, and its windows
+    // must reconcile with the other observability layers: the
+    // measured-seconds-weighted mean of per-window utilization is the
+    // epilogue's utilization (same piecewise-linear integrand, split at
+    // window boundaries), and window-summed admission/rejection counts
+    // equal the telemetry registry's counters exactly.
+    let mut ts_probe = TimeSeriesProbe::new(config, 600.0);
+    let with_ts = Simulation::run_with_probes(config, &mut [&mut ts_probe]);
+    assert_eq!(
+        with_ts, outcome,
+        "{name}: attaching TimeSeriesProbe perturbed the outcome"
+    );
+    let recording = ts_probe.finish();
+    let measured: f64 = recording.windows.iter().map(|w| w.measured_secs).sum();
+    assert!(measured > 0.0, "{name}: no measured window time");
+    let util = recording
+        .windows
+        .iter()
+        .map(|w| w.utilization * w.measured_secs)
+        .sum::<f64>()
+        / measured;
+    assert!(
+        (util - outcome.utilization).abs() < 1e-9,
+        "{name}: window-integrated utilization {util} vs epilogue {}",
+        outcome.utilization
+    );
+    for (i, &per_server) in outcome.per_server_utilization.iter().enumerate() {
+        let util_i = recording
+            .windows
+            .iter()
+            .map(|w| w.server_utilization[i] * w.measured_secs)
+            .sum::<f64>()
+            / measured;
+        assert!(
+            (util_i - per_server).abs() < 1e-9,
+            "{name}: server {i} window-integrated utilization {util_i} vs epilogue {per_server}"
+        );
+    }
+    let sum = |f: fn(&WindowRow) -> u64| recording.windows.iter().map(f).sum::<u64>();
+    assert_eq!(
+        sum(|w| w.arrivals),
+        registry.counter("admitted_direct")
+            + registry.counter("admitted_drm")
+            + registry.counter("admitted_chained")
+            + registry.counter("rejected"),
+        "{name}: arrivals must decompose into admission paths + rejections"
+    );
+    assert_eq!(
+        sum(|w| w.admitted),
+        registry.counter("admitted_direct"),
+        "{name}"
+    );
+    assert_eq!(
+        sum(|w| w.admitted_drm),
+        registry.counter("admitted_drm"),
+        "{name}"
+    );
+    assert_eq!(
+        sum(|w| w.admitted_chained),
+        registry.counter("admitted_chained"),
+        "{name}"
+    );
+    assert_eq!(sum(|w| w.rejected), registry.counter("rejected"), "{name}");
+    assert_eq!(
+        sum(|w| w.completions),
+        registry.counter("completions"),
+        "{name}"
+    );
+
     // The span probe must be equally invisible, while still folding the
     // stream into at least one lifecycle span on every golden config.
     let mut span_probe = SpanProbe::new();

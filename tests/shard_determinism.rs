@@ -117,6 +117,63 @@ fn shard_matrix_overshard_clamps() {
     assert_eq!(over, base, "oversharded outcome diverged");
 }
 
+/// The flight recorder splits its determinism promise in two. The
+/// `windows` and `alerts` sections are pure folds of the (shard-
+/// invariant) event stream and state views, so they must be
+/// bit-identical for any shard count. The `shards` section describes
+/// the loop's *execution shape* — run lengths, barrier-horizon slack,
+/// cross-shard edges — which legitimately varies with the shard count
+/// but must still be bit-identical across repeated runs at the same
+/// count (it is derived from virtual time only, never wall clock).
+#[test]
+fn timeseries_recording_is_deterministic_across_the_shard_matrix() {
+    let build = |shards: usize| {
+        SimConfig::builder(SystemSpec::small_paper())
+            .theta(0.0)
+            .migration(MigrationPolicy::single_hop())
+            .shards(shards)
+            .seed(1002)
+            .duration_hours(2.0)
+            .warmup_hours(0.5)
+            .build()
+    };
+    let record = |shards: usize| {
+        let cfg = build(shards);
+        let mut probe = TimeSeriesProbe::new(&cfg, 600.0);
+        Simulation::run_with_probes(&cfg, &mut [&mut probe]);
+        probe.finish()
+    };
+    let base = record(1);
+    assert!(!base.windows.is_empty());
+    for &shards in &SHARD_MATRIX {
+        let rec = record(shards);
+        assert_eq!(
+            rec.windows, base.windows,
+            "window series diverged at shards = {shards}"
+        );
+        assert_eq!(
+            rec.alerts, base.alerts,
+            "alert stream diverged at shards = {shards}"
+        );
+        // Repeatability: the whole recording — barrier-slack series
+        // included — is bit-identical run over run.
+        let again = record(shards);
+        assert_eq!(
+            again.to_json(),
+            rec.to_json(),
+            "recording not reproducible at shards = {shards}"
+        );
+        if shards > 1 {
+            assert_eq!(rec.shards.len(), shards, "missing per-shard series");
+            let bounded: u64 = rec.shards.iter().flat_map(|s| &s.bounded_runs).sum();
+            assert!(
+                bounded > 0,
+                "sharded run recorded no bounded barrier horizons"
+            );
+        }
+    }
+}
+
 /// The cross-shard channel is observational: trace probes see
 /// `CrossShard` records iff `shards > 1` and a relocation actually
 /// crosses a boundary, and those records never perturb the run.

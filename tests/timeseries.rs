@@ -1,0 +1,178 @@
+//! Flight-recorder integration: windowed recordings, SLO alerting, and
+//! run-to-run diffing against pinned fixed-seed expectations.
+//!
+//! The unit tests in `sct-core::timeseries` and
+//! `sct-analysis::{timeseries,slo}` cover the mechanics (window grid,
+//! counter reconciliation, rule state machines). These tests pin the
+//! end-to-end behaviour the tooling promises: a flash-crowd scenario
+//! fires the default burn-rate rule at a known window, and `diff`
+//! localizes where two seeds part ways.
+
+use semi_continuous_vod::analysis::timeseries::diff;
+use semi_continuous_vod::prelude::*;
+
+/// A flash-crowd configuration: strong diurnal modulation drives the
+/// arrival rate to double the calibrated mean at the peak, pushing the
+/// cluster into a sustained rejection burn.
+fn flash_crowd(seed: u64) -> SimConfig {
+    SimConfig::builder(SystemSpec::small_paper())
+        .diurnal(1.0, 6.0)
+        .duration_hours(6.0)
+        .warmup_hours(0.5)
+        .seed(seed)
+        .build()
+}
+
+fn record(cfg: &SimConfig, window_secs: f64) -> TimeSeriesRecording {
+    let mut probe = TimeSeriesProbe::new(cfg, window_secs);
+    Simulation::run_with_probes(cfg, &mut [&mut probe]);
+    probe.finish()
+}
+
+/// The default policy's multi-window burn-rate rule fires as the flash
+/// crowd saturates the cluster — at a pinned window for the pinned
+/// seed. A regression in window accounting, rule state, or alert
+/// emission moves (or silences) the alert.
+#[test]
+fn burn_rate_alert_fires_at_a_pinned_window_in_a_flash_crowd() {
+    let rec = record(&flash_crowd(42), 600.0);
+    assert_eq!(rec.windows.len(), 36);
+    let burn: Vec<_> = rec
+        .alerts
+        .iter()
+        .filter(|a| a.rule == "rejection_burn")
+        .collect();
+    assert!(
+        !burn.is_empty(),
+        "flash crowd produced no burn-rate alert; alerts: {:?}",
+        rec.alerts
+    );
+    assert_eq!(burn[0].window, 11, "burn-rate alert moved: {:?}", burn[0]);
+    assert_eq!(burn[0].metric, "rejection_ratio");
+    // The alert fires while the short-window mean is in violation.
+    assert!(burn[0].value > burn[0].threshold);
+}
+
+/// `diff` on two seeds of the same scenario reports the first window
+/// and metric where the recordings part ways — pinned for this pair.
+#[test]
+fn diff_localizes_the_first_divergent_window_between_two_seeds() {
+    let width = 900.0;
+    let a = record(&flash_crowd(42), width);
+    let b = record(&flash_crowd(43), width);
+    let report = diff(&a, &b, 1e-9).expect("same grid");
+    let first = report.first.as_ref().expect("seeds must diverge");
+    assert_eq!(first.window, 0, "first divergence moved: {first:?}");
+    assert_eq!(
+        first.metric, "arrivals",
+        "first divergence moved: {first:?}"
+    );
+    let text = report.to_text();
+    assert!(text.contains("first divergence: window 0"), "{text}");
+}
+
+/// `diff` of a recording against itself reports agreement.
+#[test]
+fn diff_of_identical_recordings_reports_agreement() {
+    let a = record(&flash_crowd(42), 900.0);
+    let report = diff(&a, &a, 1e-9).expect("same grid");
+    assert!(report.first.is_none());
+    assert!(report.to_text().contains("recordings agree"), "diff text");
+}
+
+/// Merging per-trial recordings (what `sctsim run --trials N
+/// --timeseries` does) sums counters, averages gauges trials-weighted,
+/// and concatenates alerts with their trial tags intact.
+#[test]
+fn recordings_merge_across_trials() {
+    let plan = TrialPlan::new(2, 42);
+    let mut merged: Option<TimeSeriesRecording> = None;
+    let mut singles = Vec::new();
+    for i in 0..2 {
+        let mut cfg = flash_crowd(0);
+        cfg.seed = plan.seed(i);
+        let mut rec = record(&cfg, 600.0);
+        rec.set_trial(i);
+        singles.push(rec.clone());
+        match merged.as_mut() {
+            Some(m) => m.merge(&rec).expect("same grid"),
+            None => merged = Some(rec),
+        }
+    }
+    let merged = merged.unwrap();
+    assert_eq!(merged.trials, 2);
+    assert_eq!(merged.windows.len(), singles[0].windows.len());
+    for (w, row) in merged.windows.iter().enumerate() {
+        assert_eq!(
+            row.arrivals,
+            singles[0].windows[w].arrivals + singles[1].windows[w].arrivals,
+            "window {w}: counters must sum across trials"
+        );
+        let mean = (singles[0].windows[w].utilization + singles[1].windows[w].utilization) / 2.0;
+        assert!(
+            (row.utilization - mean).abs() < 1e-12,
+            "window {w}: gauges must average across equal-weight trials"
+        );
+    }
+    assert_eq!(
+        merged.alerts.len(),
+        singles[0].alerts.len() + singles[1].alerts.len()
+    );
+    // Alerts keep their originating trial tag through the merge.
+    for trial in [0, 1] {
+        let from_trial = merged.alerts.iter().filter(|a| a.trial == trial).count();
+        assert_eq!(from_trial, singles[trial as usize].alerts.len());
+    }
+}
+
+/// The dashboard renders every headline series plus the alert tail for
+/// a real recording — the `watch` subcommand shows exactly this text.
+#[test]
+fn dashboard_renders_headlines_and_alerts() {
+    let rec = record(&flash_crowd(42), 600.0);
+    let text = render_dashboard(&rec, 72);
+    for needle in [
+        "Time-series recording: 36 windows x 600s",
+        "utilization",
+        "arrivals/s",
+        "rejection ratio",
+        "waitlist depth",
+        "alerts (",
+        "rejection_burn",
+    ] {
+        assert!(
+            text.contains(needle),
+            "dashboard missing {needle:?}:\n{text}"
+        );
+    }
+}
+
+/// A custom SLO policy round-trips through JSON and drives the probe:
+/// an absurdly low threshold fires immediately, proving `--slo FILE`
+/// swaps the rule set rather than decorating the default one.
+#[test]
+fn custom_slo_policy_replaces_the_default_rules() {
+    let policy_json = SloPolicy::default_policy().to_json();
+    let policy = SloPolicy::from_json(&policy_json).expect("round trip");
+    assert_eq!(policy, SloPolicy::default_policy());
+
+    let custom = SloPolicy {
+        rules: vec![SloRule::Threshold {
+            name: "any_arrivals".to_string(),
+            metric: "arrivals".to_string(),
+            op: semi_continuous_vod::analysis::slo::SloOp::Above,
+            threshold: 0.0,
+            for_windows: 1,
+        }],
+    };
+    let cfg = flash_crowd(42);
+    let mut probe = TimeSeriesProbe::with_policy(&cfg, 600.0, custom);
+    Simulation::run_with_probes(&cfg, &mut [&mut probe]);
+    let rec = probe.finish();
+    assert!(rec.alerts.iter().all(|a| a.rule == "any_arrivals"));
+    assert_eq!(
+        rec.alerts.first().map(|a| a.window),
+        Some(0),
+        "threshold over a live metric must fire in the first window"
+    );
+}
