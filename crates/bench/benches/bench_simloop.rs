@@ -39,6 +39,7 @@ struct GridRow {
 #[derive(Serialize)]
 struct HugeRow {
     shards: usize,
+    threads: usize,
     events: u64,
     wall_secs: f64,
     events_per_sec: f64,
@@ -84,6 +85,16 @@ struct Report {
     /// trials run seconds, not milliseconds, so its rows are single runs
     /// and the CI allowance (see the workflow) absorbs the extra jitter.
     huge_floor_events_per_sec: f64,
+    /// Parallel speedup of this run: the Huge `(shards = 4, threads = 4)`
+    /// row's events/s over the monolithic `(1, 1)` row's. The epoch
+    /// protocol must never make the sharded loop slower than the
+    /// single-queue loop, whatever the host's core count.
+    huge_parallel_speedup: f64,
+    /// Ratchet over `huge_parallel_speedup`, advanced like the
+    /// throughput floors: CI fails when a run's speedup drops below its
+    /// allowance of this value, so the parallel path cannot quietly
+    /// decay back toward single-queue throughput.
+    huge_speedup_floor: f64,
 }
 
 const SIM_HOURS: f64 = 2.0;
@@ -95,7 +106,11 @@ const SEED: u64 = 5;
 /// of wall time. Keep the simulated span short so the whole bench stays
 /// affordable.
 const HUGE_SIM_HOURS: f64 = 0.05;
-const HUGE_SHARDS: [usize; 2] = [1, 4];
+/// (shards, threads) cells for the Huge sweep: the monolithic baseline,
+/// the classic sharded loop, and the epoch path at rising thread counts.
+/// Determinism makes every row's event count identical, so the sweep
+/// doubles as an end-to-end invariance check at scale.
+const HUGE_COMBOS: [(usize, usize); 5] = [(1, 1), (4, 1), (4, 2), (4, 4), (4, 8)];
 const RESULT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_sim.json");
 
 /// Fraction of the measured minimum used when advancing the floor: a
@@ -128,13 +143,26 @@ fn prior_huge_floor() -> Option<f64> {
     Some(prior.huge_floor_events_per_sec)
 }
 
-fn huge_config(shards: usize) -> SimConfig {
+/// Same lookup for the speedup ratchet; reports written before the
+/// threaded sweep existed lack the field and bootstrap from this run.
+fn prior_speedup_floor() -> Option<f64> {
+    #[derive(Deserialize)]
+    struct Prior {
+        huge_speedup_floor: f64,
+    }
+    let text = std::fs::read_to_string(RESULT_PATH).ok()?;
+    let prior: Prior = serde_json::from_str(&text).ok()?;
+    Some(prior.huge_speedup_floor)
+}
+
+fn huge_config(shards: usize, threads: usize) -> SimConfig {
     SimConfig::builder(SystemSpec::huge())
         .theta(THETA)
         .duration_hours(HUGE_SIM_HOURS)
         .warmup_hours(0.0)
         .seed(SEED)
         .shards(shards)
+        .threads(threads)
         .build()
 }
 
@@ -205,24 +233,26 @@ fn bench_simloop(c: &mut Criterion) {
         }
     }
 
-    // The million-slot Huge scenario, monolithic and sharded. Each trial
-    // costs seconds, so one run per shard count; determinism makes the
-    // event count identical across rows.
+    // The million-slot Huge scenario: monolithic, classic sharded, and
+    // the epoch path at rising thread counts. Each trial costs seconds,
+    // so every cell takes the better of two runs — enough to shed the
+    // worst host-jitter outliers without doubling the bench again;
+    // determinism makes the event count identical across every row.
     let mut huge_rows = Vec::new();
-    for shards in HUGE_SHARDS {
-        let cfg = huge_config(shards);
-        let (_, profile) = Simulation::run_profiled(black_box(&cfg), &mut []);
+    for (shards, threads) in HUGE_COMBOS {
+        let cfg = huge_config(shards, threads);
+        let (wall_secs, events) = measure(&cfg, 2);
         println!(
-            "simloop: huge shards={shards} {:>8} events  {:.4} s  ({:.0} events/s)",
-            profile.events,
-            profile.wall_secs,
-            profile.events as f64 / profile.wall_secs
+            "simloop: huge shards={shards} threads={threads} {events:>8} events  \
+             {wall_secs:.4} s  ({:.0} events/s)",
+            events as f64 / wall_secs
         );
         huge_rows.push(HugeRow {
             shards,
-            events: profile.events,
-            wall_secs: profile.wall_secs,
-            events_per_sec: profile.events as f64 / profile.wall_secs,
+            threads,
+            events,
+            wall_secs,
+            events_per_sec: events as f64 / wall_secs,
         });
     }
 
@@ -281,6 +311,22 @@ fn bench_simloop(c: &mut Criterion) {
          {huge_floor_events_per_sec:.0} events/s"
     );
 
+    let huge_eps = |shards: usize, threads: usize| {
+        huge_rows
+            .iter()
+            .find(|row| (row.shards, row.threads) == (shards, threads))
+            .map(|row| row.events_per_sec)
+            .expect("huge combo measured")
+    };
+    let huge_parallel_speedup = huge_eps(4, 4) / huge_eps(1, 1);
+    let huge_speedup_floor = prior_speedup_floor()
+        .unwrap_or(0.0)
+        .max(RATCHET_FRACTION * huge_parallel_speedup);
+    println!(
+        "simloop: huge parallel speedup {huge_parallel_speedup:.2}x, ratchet \
+         {huge_speedup_floor:.2}x"
+    );
+
     let report = Report {
         scenario: ScenarioInfo {
             name: "small_paper",
@@ -310,6 +356,8 @@ fn bench_simloop(c: &mut Criterion) {
         },
         floor_events_per_sec,
         huge_floor_events_per_sec,
+        huge_parallel_speedup,
+        huge_speedup_floor,
     };
     std::fs::write(
         RESULT_PATH,

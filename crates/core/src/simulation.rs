@@ -40,10 +40,17 @@
 //! the admitting server, and controller-plane events (arrivals, samples,
 //! waitlist expiries, tertiary copy completions) on shard 0. Shards
 //! advance under the conservative barrier of
-//! [`sct_simcore::ShardedQueue`], multiplexed deterministically on one
-//! thread; because the merged pop order equals the single-queue order,
-//! outcomes are identical for every shard count (and `shards = 1` is the
-//! exact pre-sharding loop). The four causal-edge interactions that
+//! [`sct_simcore::ShardedQueue`]; because the merged pop order equals
+//! the single-queue order, outcomes are identical for every shard count
+//! (and `shards = 1` is the exact pre-sharding loop). With
+//! `SimConfig::threads > 1` on an eligible config (see
+//! [`SimConfig::parallel_eligible`]) the loop additionally runs
+//! *epochs*: every worker shard whose head lies below the plane's head
+//! is elected at once and its burst executes on a scoped worker thread
+//! against a private [`WorkerQueue`], with emissions buffered and
+//! replayed at the barrier in global order — bit-identical outcomes for
+//! every thread count (see `SimWorld::run_epoch` and
+//! `sct_simcore::parallel`). The four causal-edge interactions that
 //! *span* shards — DRM displacement, chain-2 inner hops, cluster-sourced
 //! replication copies, evacuation rescues — are surfaced on the explicit
 //! cross-shard channel as [`SimEvent::CrossShard`] records; probe output
@@ -59,7 +66,7 @@ use sct_admission::{
 };
 use sct_cluster::{ClusterSpec, ReplicaMap, ServerId, ShardMap};
 use sct_media::{Catalog, ClientProfile};
-use sct_simcore::{Exponential, Rng, ShardedQueue, SimTime, ZipfLike};
+use sct_simcore::{Exponential, Rng, ShardedQueue, SimTime, WorkerQueue, ZipfLike};
 use sct_transmission::{ServerEngine, Stream, StreamId};
 use sct_workload::{calibrated_rate, RequestGenerator};
 use serde::{Deserialize, Serialize};
@@ -294,6 +301,16 @@ struct SimWorld<'a> {
     profs: Vec<LoopProfiler>,
     /// The shard whose run is currently executing events.
     cur_shard: usize,
+    /// Reusable worker shells for the parallel epoch path, indexed by
+    /// shard (shard 0's shell is never loaded — it is the plane). Kept
+    /// across epochs so the steady state allocates nothing.
+    epoch_workers: Vec<WorkerQueue<Event, (u32, u32)>>,
+    /// Per-shard scratch buffers for the `SimEvent`s a burst emits;
+    /// burst logs reference `(lo, hi)` ranges into them and the barrier
+    /// replays the ranges in global order.
+    epoch_emissions: Vec<Vec<SimEvent>>,
+    /// Parallel epochs executed (tests assert the path engaged).
+    epochs_run: u64,
 }
 
 impl<'a> SimWorld<'a> {
@@ -417,6 +434,9 @@ impl<'a> SimWorld<'a> {
             sample_index: 0,
             profs: (0..n_shards).map(|_| LoopProfiler::new()).collect(),
             cur_shard: 0,
+            epoch_workers: (0..n_shards).map(|_| WorkerQueue::new()).collect(),
+            epoch_emissions: (0..n_shards).map(|_| Vec::new()).collect(),
+            epochs_run: 0,
         }
     }
 
@@ -429,15 +449,29 @@ impl<'a> SimWorld<'a> {
     /// processed.
     fn run_loop(&mut self, probes: &mut [&mut dyn Probe]) {
         let multi = self.sched.queue.n_shards() > 1;
+        // Parallel epochs engage only when the config's features keep
+        // worker shards self-contained (wake events only, no mid-burst
+        // global state) *and* no attached probe consumes state views —
+        // otherwise every run below falls through to the classic
+        // single-threaded protocol, which handles everything.
+        let par =
+            multi && self.config.parallel_eligible() && probes.iter().all(|p| !p.uses_state());
         loop {
+            // Drain every electable epoch before (and between) classic
+            // runs; the classic run that follows is then a plane run,
+            // since the epochs left no worker head below the plane's.
+            if par {
+                while self.run_epoch(probes) {}
+            }
             let tb = if multi {
                 Some(LoopProfiler::clock())
             } else {
                 None
             };
-            let Some(shard) = self.sched.queue.begin_run() else {
+            let Some(token) = self.sched.queue.begin_run() else {
                 break;
             };
+            let shard = token.shard();
             self.cur_shard = shard;
             // Election snapshot for the run summary (virtual time only,
             // so the summary stream stays deterministic). `multi` only:
@@ -454,7 +488,7 @@ impl<'a> SimWorld<'a> {
                 self.profs[shard].add(Phase::Barrier, tb);
             }
             let events_before = self.events_processed;
-            while let Some(entry) = self.sched.queue.pop_run() {
+            while let Some(entry) = self.sched.queue.pop_run(&token) {
                 let now = entry.time;
                 debug_assert!(now >= self.last_time, "event order violated");
                 self.last_time = now;
@@ -498,8 +532,159 @@ impl<'a> SimWorld<'a> {
                 crate::events::emit_run(probes, &summary);
                 self.profs[shard].add(Phase::Barrier, ts);
             }
-            self.sched.queue.end_run();
+            self.sched.queue.end_run(token);
         }
+    }
+
+    /// Attempts one parallel epoch: elects every worker shard whose head
+    /// lies below the plane's head, runs their bursts — inline, or
+    /// chunked over scoped worker threads when enough events are pending
+    /// to amortize the spawns — and merges the burst logs at the barrier
+    /// in global `(time, seq)` order, replaying each event's buffered
+    /// emissions at its merged turn. Returns `false` when no shard is
+    /// electable; the caller then falls back to a classic (plane) run.
+    ///
+    /// Eligibility (checked by the caller) guarantees worker shards hold
+    /// only `Wake` events, whose handling touches exactly one engine and
+    /// re-arms on its own shard — so a burst needs nothing beyond its
+    /// [`WorkerCtx`], and the merged outcome is bit-identical to the
+    /// sequential loop for any thread count (see
+    /// `sct_simcore::parallel` for the full argument).
+    fn run_epoch(&mut self, probes: &mut [&mut dyn Probe]) -> bool {
+        let tb = LoopProfiler::clock();
+        let Some(token) = self.sched.queue.begin_epoch(0) else {
+            return false;
+        };
+        let n = token.n_elected();
+        let n_shards = self.sched.queue.n_shards();
+        let pending: usize = (0..n)
+            .map(|i| self.sched.queue.shard_len(token.shard(i)))
+            .sum();
+
+        // Partition `engines` into one disjoint slice per elected shard
+        // (shard server ranges are contiguous and ascending, so a single
+        // left-to-right sweep splits them off), and arm each shard's
+        // reusable worker shell with its detached queue.
+        let mut ctxs: Vec<Option<WorkerCtx<'_>>> = (0..n).map(|_| None).collect();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_unstable_by_key(|&i| token.shard(i));
+        let mut rest: &mut [ServerEngine] = &mut self.engines;
+        let mut offset = 0usize;
+        for &i in &order {
+            let shard = token.shard(i);
+            let range = self.sched.map.servers_of(shard);
+            let tail = rest.split_at_mut(range.start - offset).1;
+            let (mine, tail) = tail.split_at_mut(range.end - range.start);
+            rest = tail;
+            offset = range.end;
+            let mut w = std::mem::take(&mut self.epoch_workers[shard]);
+            self.sched.queue.load_worker(&token, i, &mut w);
+            ctxs[i] = Some(WorkerCtx {
+                w,
+                engines: mine,
+                base: range.start,
+                emissions: std::mem::take(&mut self.epoch_emissions[shard]),
+                prof: LoopProfiler::new(),
+                end: self.sched.end,
+                check: self.config.check_invariants,
+            });
+        }
+        let mut ctxs: Vec<WorkerCtx<'_>> = ctxs.into_iter().map(Option::unwrap).collect();
+        self.profs[0].add(Phase::Barrier, tb);
+
+        // Burst phase. Small epochs run inline: spawning threads for a
+        // handful of events costs more than it saves, and thread count
+        // never affects the outcome — only which thread runs a burst.
+        let threads = self.config.threads.min(n);
+        if threads >= 2 && pending >= self.config.offload_min_events {
+            let chunk = n.div_ceil(threads);
+            std::thread::scope(|s| {
+                let mut chunks = ctxs.chunks_mut(chunk);
+                let first = chunks.next();
+                let handles: Vec<_> = chunks
+                    .map(|c| {
+                        s.spawn(move || {
+                            for ctx in c {
+                                worker_burst(ctx);
+                            }
+                        })
+                    })
+                    .collect();
+                if let Some(c) = first {
+                    for ctx in c {
+                        worker_burst(ctx);
+                    }
+                }
+                for h in handles {
+                    h.join().expect("worker burst panicked");
+                }
+            });
+        } else {
+            for ctx in &mut ctxs {
+                worker_burst(ctx);
+            }
+        }
+
+        // Barrier: fold the burst profilers into their shards' timers,
+        // then merge the logs in global order, replaying emissions.
+        let tm = LoopProfiler::clock();
+        let meta: Vec<(usize, (SimTime, u64))> =
+            (0..n).map(|i| (token.shard(i), token.head(i))).collect();
+        let horizon = token.horizon();
+        let mut shells: Vec<WorkerQueue<Event, (u32, u32)>> = Vec::with_capacity(n);
+        let mut emissions: Vec<Vec<SimEvent>> = Vec::with_capacity(n);
+        for ctx in ctxs {
+            self.profs[ctx.w.shard()].absorb(&ctx.prof);
+            shells.push(ctx.w);
+            emissions.push(ctx.emissions);
+        }
+        let mut idx_of = vec![usize::MAX; n_shards];
+        for (i, &(shard, _)) in meta.iter().enumerate() {
+            idx_of[shard] = i;
+        }
+        let mut last_time = self.last_time;
+        let mut n_events = 0u64;
+        {
+            let mut worker_refs: Vec<&mut WorkerQueue<Event, (u32, u32)>> =
+                shells.iter_mut().collect();
+            self.sched
+                .queue
+                .end_epoch(token, &mut worker_refs, |shard, time, &(lo, hi)| {
+                    debug_assert!(time >= last_time, "event order violated");
+                    last_time = time;
+                    n_events += 1;
+                    for ev in &emissions[idx_of[shard]][lo as usize..hi as usize] {
+                        crate::events::emit(probes, time, ev);
+                    }
+                });
+        }
+        self.last_time = last_time;
+        self.events_processed += n_events;
+        self.epochs_run += 1;
+        self.profs[0].add(Phase::Barrier, tm);
+
+        // One run summary per burst, in elected (head-key) order — the
+        // order the sequential protocol would first elect each shard.
+        for (i, &(shard, head)) in meta.iter().enumerate() {
+            let summary = crate::events::RunSummary {
+                shard: shard as u16,
+                n_shards: n_shards as u16,
+                start: head.0,
+                slack_secs: horizon.map(|h| h.0 - head.0),
+                events: shells[i].events(),
+                stalled: shells[i].stalled(),
+            };
+            let ts = LoopProfiler::clock();
+            crate::events::emit_run(probes, &summary);
+            self.profs[shard].add(Phase::Barrier, ts);
+        }
+        for (shell, mut emis) in shells.into_iter().zip(emissions) {
+            let shard = shell.shard();
+            emis.clear();
+            self.epoch_emissions[shard] = emis;
+            self.epoch_workers[shard] = shell;
+        }
+        true
     }
 
     /// Surfaces the cross-shard slice of `relocs` on the explicit
@@ -1129,6 +1314,81 @@ impl<'a> SimWorld<'a> {
     }
 }
 
+/// Everything one epoch burst may touch: the elected shard's private
+/// queue, its engines, and per-burst emission/profiler scratch. Owning
+/// the lot makes the struct `Send`, so a burst can run on any scoped
+/// worker thread — or inline — with identical results.
+struct WorkerCtx<'e> {
+    w: WorkerQueue<Event, (u32, u32)>,
+    /// The elected shard's engines (`servers_of(shard)` slice).
+    engines: &'e mut [ServerEngine],
+    /// Server id of `engines[0]` (the slice is contiguous).
+    base: usize,
+    /// Events emitted by this burst; log entries carry `(lo, hi)` ranges.
+    emissions: Vec<SimEvent>,
+    /// Fresh per-burst profiler, absorbed into the shard's at the barrier.
+    prof: LoopProfiler,
+    end: SimTime,
+    check: bool,
+}
+
+/// Runs one shard's epoch burst to exhaustion. The body mirrors the
+/// classic loop's wake path — staleness check, integrate, reap, re-arm
+/// — except that emissions are buffered for the barrier instead of
+/// reaching probes directly, and the re-armed wake goes to the private
+/// queue. Parallel eligibility guarantees the worker shard holds only
+/// wake events and that the wake path needs no waitlist, replication,
+/// or location-hint state.
+fn worker_burst(ctx: &mut WorkerCtx<'_>) {
+    while let Some((now, ev)) = ctx.w.pop() {
+        let Event::Wake { server, generation } = ev else {
+            unreachable!("non-wake event on a worker shard of an eligible config");
+        };
+        let e = &mut ctx.engines[server as usize - ctx.base];
+        if generation != e.generation() {
+            ctx.w.discard(); // superseded by a later reallocation
+            continue;
+        }
+        let t0 = LoopProfiler::clock();
+        e.advance_to(now);
+        ctx.prof.add(Phase::Alloc, t0);
+        let lo = ctx.emissions.len() as u32;
+        for done in e.reap_finished(now) {
+            debug_assert!(!done.is_copy(), "replica copy without replication");
+            ctx.emissions.push(SimEvent::Completed {
+                stream: done.id.0,
+                server,
+            });
+        }
+        let ta = LoopProfiler::clock();
+        if let Some(wake) = e.reschedule(now) {
+            if wake <= ctx.end {
+                let t1 = LoopProfiler::clock();
+                ctx.prof.add_between(Phase::Alloc, ta, t1);
+                ctx.w.push(
+                    wake,
+                    Event::Wake {
+                        server,
+                        generation: e.generation(),
+                    },
+                );
+                ctx.prof.add(Phase::Wake, t1);
+            } else {
+                ctx.prof.add(Phase::Alloc, ta);
+            }
+        } else {
+            ctx.prof.add(Phase::Alloc, ta);
+        }
+        if ctx.check {
+            e.check_invariants();
+        }
+        let hi = ctx.emissions.len() as u32;
+        let t2 = LoopProfiler::clock();
+        ctx.prof.add_between(Phase::Dispatch, t0, t2);
+        ctx.w.record((lo, hi));
+    }
+}
+
 /// Runs trials described by [`SimConfig`].
 pub struct Simulation;
 
@@ -1199,6 +1459,32 @@ mod tests {
             .seed(seed)
             .check_invariants(true)
             .build()
+    }
+
+    /// The epoch path must actually engage on an eligible sharded config
+    /// (`epochs_run` is internal, so this lives here rather than in the
+    /// integration suite) and produce the classic loop's exact outcome.
+    #[test]
+    fn parallel_epochs_engage_and_match_the_classic_loop() {
+        let reference = Simulation::run(&quick_config(42));
+        let par_cfg = SimConfig::builder(SystemSpec::tiny_test())
+            .duration_hours(3.0)
+            .warmup_hours(0.25)
+            .seed(42)
+            .check_invariants(true)
+            .shards(4)
+            .threads(2)
+            .offload_min_events(0)
+            .build();
+        assert!(par_cfg.parallel_eligible());
+        let mut world = SimWorld::new(&par_cfg);
+        let mut metrics = MetricsProbe::new(world.catalog.len(), par_cfg.track_per_video);
+        {
+            let mut hub: Vec<&mut dyn Probe> = vec![&mut metrics];
+            world.run_loop(&mut hub);
+        }
+        assert!(world.epochs_run > 0, "the parallel path never engaged");
+        assert_eq!(world.finish(metrics), reference);
     }
 
     #[test]

@@ -568,6 +568,10 @@ impl Probe for SpanProbe {
             SimEvent::CrossShard { .. } => {}
         }
     }
+
+    fn uses_state(&self) -> bool {
+        false
+    }
 }
 
 /// Runs one trial with a [`SpanProbe`] attached and returns the outcome

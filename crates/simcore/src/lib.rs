@@ -10,6 +10,10 @@
 //! * [`sharded`] — per-shard event queues ([`ShardedQueue`]) under a
 //!   conservative lower-bound-timestamp barrier, preserving the global
 //!   pop order for any shard count.
+//! * [`parallel`] — epochs: simultaneous barrier-to-barrier bursts for
+//!   every shard below a common horizon ([`WorkerQueue`]), merged back
+//!   in global key order so outcomes stay bit-identical for any shard
+//!   *and* thread count.
 //! * [`rng`] — a self-contained xoshiro256\*\* PRNG ([`Rng`]) seeded via
 //!   SplitMix64. We implement the generator ourselves (rather than pulling
 //!   in `rand`) so that experiment outputs are stable across platforms and
@@ -28,6 +32,7 @@
 
 pub mod dist;
 pub mod event;
+pub mod parallel;
 pub mod rng;
 pub mod sharded;
 pub mod stats;
@@ -35,7 +40,8 @@ pub mod time;
 
 pub use dist::{AliasTable, Exponential, UniformRange, ZipfLike};
 pub use event::{EventEntry, EventQueue, QueueCounters};
+pub use parallel::{EpochToken, WorkerQueue};
 pub use rng::Rng;
-pub use sharded::ShardedQueue;
+pub use sharded::{RunToken, ShardedQueue};
 pub use stats::{OnlineStats, Summary};
 pub use time::SimTime;

@@ -14,13 +14,20 @@
 //!
 //! 1. **Barrier** — [`ShardedQueue::begin_run`] picks the shard owning
 //!    the globally-earliest key and computes its *horizon*: the minimum
-//!    key pending on any *other* shard.
+//!    key pending on any *other* shard. The returned [`RunToken`] is the
+//!    typestate witness of the active run.
 //! 2. **Run** — [`ShardedQueue::pop_run`] drains the active shard while
 //!    its head key stays below the horizon. Every event the run pushes
 //!    onto a *foreign* shard (a cross-shard message) lowers the horizon,
 //!    so the run can never overtake causality it just created.
-//! 3. When the active shard's head reaches the horizon the run ends and
-//!    the next barrier re-elects.
+//! 3. When the active shard's head reaches the horizon the run ends
+//!    ([`ShardedQueue::end_run`] consumes the token) and the next
+//!    barrier re-elects.
+//!
+//! The [`crate::parallel`] module generalizes a run to an **epoch** that
+//! elects *every* shard below a common horizon at once and executes
+//! their bursts independently (optionally on worker threads), merging
+//! the results back in global key order at the barrier.
 //!
 //! Because the horizon comparison uses the full `(time, seq)` key —
 //! unique and totally ordered — the interleaving produced by any shard
@@ -35,19 +42,37 @@
 use crate::event::{EventEntry, EventQueue};
 use crate::time::SimTime;
 
+/// Proof that a run is active: returned by [`ShardedQueue::begin_run`],
+/// required by [`ShardedQueue::pop_run`], consumed by
+/// [`ShardedQueue::end_run`]. The begin/pop/end protocol is a typestate —
+/// popping outside a run is a compile error, not a runtime panic — and
+/// the token is deliberately neither `Clone` nor `Copy`, so exactly one
+/// run can hold it.
+#[derive(Debug)]
+pub struct RunToken {
+    shard: usize,
+}
+
+impl RunToken {
+    /// The shard this run drains.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+}
+
 /// A set of per-shard event queues sharing one sequence-number namespace
 /// and coordinated by a conservative barrier. See the module docs.
 #[derive(Clone, Debug)]
 pub struct ShardedQueue<T> {
-    shards: Vec<EventQueue<T>>,
-    next_seq: u64,
-    len: usize,
+    pub(crate) shards: Vec<EventQueue<T>>,
+    pub(crate) next_seq: u64,
+    pub(crate) len: usize,
     /// The shard a run is currently draining, if any.
-    active: Option<usize>,
+    pub(crate) active: Option<usize>,
     /// The run's incoming cross-shard horizon: the minimum `(time, seq)`
     /// key the *other* shards hold, tightened by every foreign push the
     /// run performs. `None` means unbounded (no other shard has work).
-    horizon: Option<(SimTime, u64)>,
+    pub(crate) horizon: Option<(SimTime, u64)>,
 }
 
 impl<T> ShardedQueue<T> {
@@ -101,8 +126,10 @@ impl<T> ShardedQueue<T> {
 
     /// Barrier: elects the shard owning the globally-minimal `(time,
     /// seq)` key, records the other shards' minimum as the run horizon,
-    /// and returns the elected shard. `None` when every shard is empty.
-    pub fn begin_run(&mut self) -> Option<usize> {
+    /// and returns the run's [`RunToken`]. `None` when every shard is
+    /// empty.
+    pub fn begin_run(&mut self) -> Option<RunToken> {
+        debug_assert!(self.active.is_none(), "begin_run while a run is active");
         let mut best: Option<(usize, (SimTime, u64))> = None;
         let mut second: Option<(SimTime, u64)> = None;
         for (i, q) in self.shards.iter().enumerate() {
@@ -123,28 +150,31 @@ impl<T> ShardedQueue<T> {
         let (shard, _) = best?;
         self.active = Some(shard);
         self.horizon = second;
-        Some(shard)
+        Some(RunToken { shard })
     }
 
     /// Pops the active shard's next event while it stays strictly below
     /// the run horizon. Returns `None` when the shard drains or its head
-    /// reaches the horizon — time for the next barrier.
-    pub fn pop_run(&mut self) -> Option<EventEntry<T>> {
-        let shard = self.active.expect("pop_run outside begin_run/end_run");
-        let key = self.shards[shard].peek_key()?;
+    /// reaches the horizon — time for the next barrier. The token
+    /// witnesses that a run is active, so there is no runtime state to
+    /// misuse.
+    pub fn pop_run(&mut self, token: &RunToken) -> Option<EventEntry<T>> {
+        debug_assert_eq!(self.active, Some(token.shard), "stale run token");
+        let key = self.shards[token.shard].peek_key()?;
         if let Some(h) = self.horizon {
             if key >= h {
                 return None;
             }
         }
-        let entry = self.shards[shard].pop();
+        let entry = self.shards[token.shard].pop();
         debug_assert!(entry.is_some());
         self.len -= 1;
         entry
     }
 
-    /// Ends the current run (idempotent).
-    pub fn end_run(&mut self) {
+    /// Ends the run, consuming its token.
+    pub fn end_run(&mut self, token: RunToken) {
+        debug_assert_eq!(self.active, Some(token.shard), "stale run token");
         self.active = None;
         self.horizon = None;
     }
@@ -197,12 +227,12 @@ mod tests {
         F: FnMut(&mut ShardedQueue<u64>, &EventEntry<u64>),
     {
         let mut order = Vec::new();
-        while let Some(_shard) = q.begin_run() {
-            while let Some(e) = q.pop_run() {
+        while let Some(token) = q.begin_run() {
+            while let Some(e) = q.pop_run(&token) {
                 order.push((e.time, e.seq, e.payload));
                 follow_up(&mut q, &e);
             }
-            q.end_run();
+            q.end_run(token);
         }
         order
     }
@@ -287,19 +317,22 @@ mod tests {
         let mut q = ShardedQueue::new(2, 8);
         q.push(0, SimTime::from_secs(1.0), 1);
         q.push(0, SimTime::from_secs(5.0), 5);
-        assert_eq!(q.begin_run(), Some(0));
-        let first = q.pop_run().unwrap();
+        let t = q.begin_run().unwrap();
+        assert_eq!(t.shard(), 0);
+        let first = q.pop_run(&t).unwrap();
         assert_eq!(first.payload, 1);
         // Handler effect: schedule work on shard 1 at t=3, before the
         // active shard's next event at t=5.
         q.push(1, SimTime::from_secs(3.0), 3);
-        assert!(q.pop_run().is_none(), "run must stop at the new horizon");
-        q.end_run();
-        assert_eq!(q.begin_run(), Some(1));
-        assert_eq!(q.pop_run().unwrap().payload, 3);
-        q.end_run();
-        assert_eq!(q.begin_run(), Some(0));
-        assert_eq!(q.pop_run().unwrap().payload, 5);
+        assert!(q.pop_run(&t).is_none(), "run must stop at the new horizon");
+        q.end_run(t);
+        let t = q.begin_run().unwrap();
+        assert_eq!(t.shard(), 1);
+        assert_eq!(q.pop_run(&t).unwrap().payload, 3);
+        q.end_run(t);
+        let t = q.begin_run().unwrap();
+        assert_eq!(t.shard(), 0);
+        assert_eq!(q.pop_run(&t).unwrap().payload, 5);
     }
 
     /// The observational accessors expose the elected head, the horizon,
@@ -311,7 +344,8 @@ mod tests {
         assert_eq!(q.run_horizon(), None);
         q.push(0, SimTime::from_secs(1.0), 1);
         q.push(1, SimTime::from_secs(4.0), 4);
-        assert_eq!(q.begin_run(), Some(0));
+        let t = q.begin_run().unwrap();
+        assert_eq!(t.shard(), 0);
         assert_eq!(q.run_head(), Some((SimTime::from_secs(1.0), 0)));
         assert_eq!(q.run_horizon(), Some((SimTime::from_secs(4.0), 1)));
         assert_eq!(q.shard_len(0), 1);
@@ -319,10 +353,10 @@ mod tests {
         // Foreign push tightens the reported horizon too.
         q.push(1, SimTime::from_secs(2.0), 2);
         assert_eq!(q.run_horizon(), Some((SimTime::from_secs(2.0), 2)));
-        q.pop_run().unwrap();
+        q.pop_run(&t).unwrap();
         assert_eq!(q.run_head(), None, "active shard drained");
         assert_eq!(q.shard_len(0), 0);
-        q.end_run();
+        q.end_run(t);
         assert_eq!(q.run_head(), None, "accessors reset after end_run");
         assert_eq!(q.run_horizon(), None);
     }
@@ -336,16 +370,17 @@ mod tests {
         for i in 0..50u64 {
             q.push(0, SimTime::from_secs((i % 10) as f64), i);
         }
-        assert_eq!(q.begin_run(), Some(0));
+        let t = q.begin_run().unwrap();
+        assert_eq!(t.shard(), 0);
         let mut n = 0;
-        while let Some(e) = q.pop_run() {
+        while let Some(e) = q.pop_run(&t) {
             n += 1;
             // Same-time pushes mid-run stay in the same run.
             if e.payload == 7 {
                 q.push(0, e.time, 1000);
             }
         }
-        q.end_run();
+        q.end_run(t);
         assert_eq!(n, 51);
         assert!(q.is_empty());
         assert!(q.begin_run().is_none());

@@ -32,6 +32,8 @@ fn usage() -> ! {
         "usage:\n  sctsim run [--config FILE | --system small|large|tiny|huge] [--policy P1..P8]\n\
          \x20          [--theta T] [--hours H] [--warmup H] [--trials N] [--seed S] [--out FILE]\n\
          \x20          [--shards N]  (partition the event loop; outcomes are shard-invariant)\n\
+         \x20          [--threads N]  (run shard bursts on N worker threads; outcomes are\n\
+         \x20                          thread-invariant — wall-clock only)\n\
          \x20          [--trace FILE]  (export a JSONL event trace; single trial only)\n\
          \x20          [--metrics FILE]  (export a telemetry snapshot, merged across trials)\n\
          \x20          [--spans FILE]  (export request-lifecycle spans; single trial only)\n\
@@ -138,10 +140,13 @@ fn build_config(args: &Args) -> SimConfig {
             eprintln!("cannot parse {path}: {e}");
             exit(1)
         });
-        // --shards composes with --config: sharding is a loop-execution
-        // knob, not part of the experiment a config file describes.
+        // --shards/--threads compose with --config: loop-execution
+        // knobs, not part of the experiment a config file describes.
         if let Some(s) = args.get_f64("shards") {
             config.shards = (s as usize).max(1);
+        }
+        if let Some(t) = args.get_f64("threads") {
+            config.threads = (t as usize).max(1);
         }
         return config;
     }
@@ -149,6 +154,9 @@ fn build_config(args: &Args) -> SimConfig {
     let mut b = SimConfig::builder(system);
     if let Some(s) = args.get_f64("shards") {
         b = b.shards((s as usize).max(1));
+    }
+    if let Some(t) = args.get_f64("threads") {
+        b = b.threads((t as usize).max(1));
     }
     if let Some(p) = args.get("policy") {
         b = b.policy(policy_by_name(p));

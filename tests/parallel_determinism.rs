@@ -1,0 +1,184 @@
+//! Shard × thread invariance matrix.
+//!
+//! PR "parallel shard execution" claim: dispatching epoch bursts on a
+//! worker-thread pool changes *nothing observable*. The epoch protocol
+//! (`sct_simcore::parallel`) elects every shard below the plane's head,
+//! runs their bursts concurrently against private queues, and merges
+//! the logs in global `(time, seq)` order — so the RNG draw sequence,
+//! the event stream, and every outcome float are bit-identical for any
+//! shard count *and* any thread count. This test runs the four golden
+//! scenarios (the same configs `golden_outcomes.rs` locks against
+//! pre-refactor fixtures) plus a flash-crowd scenario across
+//! `shards ∈ {1, 2, 4} × threads ∈ {1, 2, 8}`, asserting identical
+//! [`SimOutcome`]s and span sets against the single-threaded
+//! `shards = 1` baseline, and identical time-series `windows`/`alerts`
+//! sections for the recording probe.
+//!
+//! Two of the golden scenarios (interactivity/waitlist, failures) are
+//! *ineligible* for the parallel path and must silently fall back to
+//! the classic loop at every thread count; they are in the matrix
+//! precisely to pin that fallback. Combined with `golden_outcomes.rs`
+//! (which pins `shards = 1` to pre-refactor snapshots), this
+//! transitively pins every shard × thread combination to the
+//! pre-sharding loop.
+
+use sct_core::spans::capture;
+use semi_continuous_vod::prelude::*;
+
+const SHARDS: [usize; 3] = [1, 2, 4];
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Runs `build(shards, threads)` over the full matrix and asserts
+/// outcomes and span sets match the single-threaded `shards = 1`
+/// baseline bit-for-bit.
+fn assert_parallel_invariant(name: &str, build: impl Fn(usize, usize) -> SimConfig) {
+    let (base_outcome, base_spans) = capture(&build(1, 1));
+    assert!(
+        !base_spans.spans.is_empty(),
+        "{name}: scenario produced no spans — matrix would be vacuous"
+    );
+    for &shards in &SHARDS {
+        for &threads in &THREADS {
+            if (shards, threads) == (1, 1) {
+                continue;
+            }
+            let (outcome, spans) = capture(&build(shards, threads));
+            assert_eq!(
+                outcome, base_outcome,
+                "{name}: SimOutcome diverged at shards = {shards}, threads = {threads}"
+            );
+            assert_eq!(
+                spans, base_spans,
+                "{name}: span set diverged at shards = {shards}, threads = {threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_matrix_small_no_migration() {
+    assert_parallel_invariant("small_no_migration", |shards, threads| {
+        SimConfig::builder(SystemSpec::small_paper())
+            .duration_hours(3.0)
+            .warmup_hours(0.5)
+            .sample_interval_secs(900.0)
+            .track_per_video(true)
+            .shards(shards)
+            .threads(threads)
+            .offload_min_events(0)
+            .seed(1001)
+            .build()
+    });
+}
+
+#[test]
+fn parallel_matrix_small_migration_interactive() {
+    // Interactivity + waitlist make this config ineligible for epochs:
+    // every cell must take the classic fallback and still agree.
+    assert_parallel_invariant("small_migration_interactive", |shards, threads| {
+        SimConfig::builder(SystemSpec::small_paper())
+            .theta(0.0)
+            .migration(MigrationPolicy::single_hop())
+            .interactivity(0.3, 60.0, 600.0)
+            .waitlist(120.0, 50)
+            .shards(shards)
+            .threads(threads)
+            .seed(1002)
+            .duration_hours(3.0)
+            .warmup_hours(0.5)
+            .build()
+    });
+}
+
+#[test]
+fn parallel_matrix_large_no_migration_replication() {
+    // Dynamic replication is likewise ineligible: classic fallback.
+    assert_parallel_invariant("large_no_migration_replication", |shards, threads| {
+        SimConfig::builder(SystemSpec::large_paper())
+            .theta(-0.5)
+            .replication(ReplicationSpec::default_paper_scale())
+            .shards(shards)
+            .threads(threads)
+            .seed(1003)
+            .duration_hours(2.0)
+            .warmup_hours(0.5)
+            .build()
+    });
+}
+
+#[test]
+fn parallel_matrix_large_migration_failures() {
+    // Failures route ServerDown/Up onto worker shards: ineligible,
+    // classic fallback at every thread count.
+    assert_parallel_invariant("large_migration_failures", |shards, threads| {
+        SimConfig::builder(SystemSpec::large_paper())
+            .migration(MigrationPolicy::single_hop())
+            .failures(4.0, 0.5)
+            .shards(shards)
+            .threads(threads)
+            .seed(1004)
+            .duration_hours(2.0)
+            .warmup_hours(0.5)
+            .build()
+    });
+}
+
+/// Flash crowd: heavily skewed demand under a strong diurnal swing, so
+/// arrival bursts pile wakes onto the popular videos' holders — the
+/// scenario where epoch bursts have the most simultaneous work and a
+/// reordering bug would surface first. Eligible for the parallel path;
+/// `offload_min_events(0)` forces real thread dispatch for every epoch.
+fn flash_crowd(shards: usize, threads: usize) -> SimConfig {
+    SimConfig::builder(SystemSpec::small_paper())
+        .theta(-0.5)
+        .migration(MigrationPolicy::single_hop())
+        .diurnal(0.9, 2.0)
+        .sample_interval_secs(600.0)
+        .track_per_video(true)
+        .shards(shards)
+        .threads(threads)
+        .offload_min_events(0)
+        .seed(2024)
+        .duration_hours(3.0)
+        .warmup_hours(0.5)
+        .build()
+}
+
+#[test]
+fn parallel_matrix_flash_crowd() {
+    assert!(
+        flash_crowd(4, 8).parallel_eligible(),
+        "flash crowd must exercise the epoch path, not the fallback"
+    );
+    assert_parallel_invariant("flash_crowd", flash_crowd);
+}
+
+/// The flight recorder's outcome-bearing sections (`windows`, `alerts`)
+/// must be bit-identical across the whole shard × thread matrix. The
+/// recording probe consumes state views, which forces the sequential
+/// loop — the matrix pins exactly that: attaching it must not change
+/// what it records, whatever execution the config *asked* for.
+#[test]
+fn timeseries_recording_is_thread_invariant() {
+    let record = |shards: usize, threads: usize| {
+        let cfg = flash_crowd(shards, threads);
+        let mut probe = TimeSeriesProbe::new(&cfg, 600.0);
+        Simulation::run_with_probes(&cfg, &mut [&mut probe]);
+        probe.finish()
+    };
+    let base = record(1, 1);
+    assert!(!base.windows.is_empty());
+    for &shards in &SHARDS {
+        for &threads in &THREADS {
+            let rec = record(shards, threads);
+            assert_eq!(
+                rec.windows, base.windows,
+                "window series diverged at shards = {shards}, threads = {threads}"
+            );
+            assert_eq!(
+                rec.alerts, base.alerts,
+                "alert stream diverged at shards = {shards}, threads = {threads}"
+            );
+        }
+    }
+}
