@@ -18,6 +18,14 @@
 //!   (`sctsim run --spans`): the serialisable [`spans::SpanSet`] schema,
 //!   a Chrome-trace/Perfetto exporter, and a critical-path analyzer
 //!   decomposing completed-request latency into wait/serve/pause.
+//! * [`exec`] — the wall-clock execution-plane trace (`sctsim run
+//!   --exec-trace`): the serialisable [`exec::ExecTrace`] schema of
+//!   epoch/burst/run timings, a Perfetto exporter (one tid per worker
+//!   thread, barrier slices on the coordinator track), and the
+//!   Amdahl-style barrier-stall analyzer behind `sctsim exec`.
+//! * [`benchdiff`] — schema-free structured comparator for bench
+//!   result files (`sctsim bench-diff`), flattening numeric leaves,
+//!   classifying them by direction, and naming the worst-moved cell.
 //! * [`slo`] — the declarative online SLO rule engine (threshold,
 //!   rate-of-change, multi-window burn-rate) evaluated against windows as
 //!   they close, emitting timestamped alerts into the recording.
@@ -35,7 +43,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod benchdiff;
 pub mod erlang;
+pub mod exec;
 pub mod fairness;
 pub mod report;
 pub mod series;
@@ -46,7 +56,9 @@ pub mod svg;
 pub mod timeseries;
 pub mod trace;
 
+pub use benchdiff::{BenchDiff, CellDelta, Direction};
 pub use erlang::{erlang_b, expected_utilization_vs_svbr};
+pub use exec::{BurstRecord, EpochRecord, ExecReport, ExecTrace, RunRecord};
 pub use fairness::jain_index;
 pub use report::Table;
 pub use series::{Curve, Series};

@@ -431,4 +431,121 @@ mod tests {
         assert_eq!(back, policy);
         assert!(SloPolicy::from_json("{oops").is_err());
     }
+
+    /// Zero-denominator windows must not poison a burn rate:
+    /// `rejection_ratio` is defined as 0.0 when a window saw no
+    /// arrivals, so idle windows count as zero burn — and a later real
+    /// burn still fires with the idle windows diluting the long mean.
+    #[test]
+    fn burn_rate_survives_zero_denominator_windows() {
+        let policy = SloPolicy {
+            rules: vec![SloRule::BurnRate {
+                name: "reject_burn".into(),
+                metric: "rejection_ratio".into(),
+                objective: 0.1,
+                short_windows: 1,
+                long_windows: 3,
+                factor: 2.0,
+            }],
+        };
+        let mut ev = SloEvaluator::new(policy);
+        // Three arrival-free windows: ratio is 0.0 (not 0/0), so the
+        // full long window holds finite zeros and nothing fires.
+        for i in 0..3 {
+            assert!(
+                ev.on_window(&window(i, 0.0, 0, 0)).is_empty(),
+                "idle window {i}"
+            );
+        }
+        // A real burn after the idle stretch: short mean 1.0 > 0.2 and
+        // long mean (0 + 0 + 1)/3 ≈ 0.33 > 0.1 — fires exactly once,
+        // with a finite value.
+        let fired = ev.on_window(&window(3, 0.0, 4, 4));
+        assert_eq!(fired.len(), 1);
+        assert!(fired[0].value.is_finite());
+        assert!((fired[0].value - 1.0).abs() < 1e-12);
+    }
+
+    /// A zero-span window makes per-second rates 0/0 = NaN. NaN
+    /// comparisons are false, so the rule must treat the window as
+    /// non-violating (never fire, never panic) rather than propagate.
+    #[test]
+    fn burn_rate_treats_nan_rates_as_non_violating() {
+        let policy = SloPolicy {
+            rules: vec![SloRule::BurnRate {
+                name: "spike_burn".into(),
+                metric: "arrival_rate".into(),
+                objective: 0.001,
+                short_windows: 1,
+                long_windows: 2,
+                factor: 1.0,
+            }],
+        };
+        let mut ev = SloEvaluator::new(policy);
+        let zero_span = |index: u32| WindowRow::empty(index, index as f64 * 100.0, 0.0, 0.0, 2);
+        assert!(ev.on_window(&zero_span(0)).is_empty());
+        assert!(
+            ev.on_window(&zero_span(1)).is_empty(),
+            "NaN means must not satisfy the burn condition"
+        );
+    }
+
+    /// A recording's last window is usually truncated (the run ends mid
+    /// width). A threshold streak that completes exactly on that partial
+    /// window must still fire, and the alert must be stamped with the
+    /// window's *actual* end — start plus its real span, not the nominal
+    /// width.
+    #[test]
+    fn threshold_streak_straddles_the_final_partial_window() {
+        let policy = SloPolicy {
+            rules: vec![SloRule::Threshold {
+                name: "hot".into(),
+                metric: "utilization".into(),
+                op: SloOp::Above,
+                threshold: 0.9,
+                for_windows: 3,
+            }],
+        };
+        let mut ev = SloEvaluator::new(policy);
+        assert!(ev.on_window(&window(0, 0.95, 0, 0)).is_empty(), "streak 1");
+        assert!(ev.on_window(&window(1, 0.95, 0, 0)).is_empty(), "streak 2");
+        // The final window closes after 37.5 of its nominal 100 s.
+        let mut partial = WindowRow::empty(2, 200.0, 37.5, 37.5, 2);
+        partial.utilization = 0.95;
+        let fired = ev.on_window(&partial);
+        assert_eq!(fired.len(), 1, "streak completes on the partial window");
+        assert_eq!(fired[0].window, 2);
+        assert!(
+            (fired[0].time_secs - 237.5).abs() < 1e-12,
+            "alert must end at the truncated window's real end, got {}",
+            fired[0].time_secs
+        );
+    }
+
+    /// The default policy over an empty recording: no windows ever
+    /// close, so evaluation is a no-op — no alerts, no panics, and the
+    /// evaluator still carries the policy for the recording header.
+    #[test]
+    fn default_policy_over_an_empty_recording_is_a_no_op() {
+        let recording = crate::timeseries::TimeSeriesRecording {
+            version: 1,
+            trials: 1,
+            window_secs: 900.0,
+            warmup_secs: 0.0,
+            duration_secs: 0.0,
+            n_servers: 2,
+            windows: Vec::new(),
+            shards: Vec::new(),
+            alerts: Vec::new(),
+        };
+        assert!(recording.windows.is_empty());
+        let mut ev = SloEvaluator::new(SloPolicy::default_policy());
+        let alerts: Vec<SloAlert> = recording
+            .windows
+            .iter()
+            .flat_map(|w| ev.on_window(w))
+            .collect();
+        assert!(alerts.is_empty());
+        assert_eq!(ev.policy(), &SloPolicy::default_policy());
+    }
 }

@@ -1,0 +1,294 @@
+//! Wall-clock execution-plane recorder for the event loop.
+//!
+//! [`ExecRecorder`] instruments the epoch machinery itself — *how* the
+//! loop ran, not what it simulated: per-epoch election/merge/re-attach
+//! windows on the coordinator, one burst record per elected shard with
+//! its worker slot and wall window, the offload-vs-inline decision, and
+//! the classic runs of the plane/fallback path. Everything is measured
+//! with monotonic clocks (`Instant::now`) entirely outside
+//! virtual time; the recorder only *reads* loop state that already
+//! exists for the run summaries (`shard_len`, election heads, burst
+//! logs), so outcomes, spans, and time-series recordings are
+//! bit-identical with recording on — `tests/parallel_determinism.rs`
+//! enforces it across the golden scenarios and the shard × thread
+//! matrix.
+//!
+//! The cost model: the recorder adds work per *epoch* and per *run*
+//! (a handful of `Instant::now` reads and one `Vec` push), never per
+//! event, so the overhead on event-dense cells stays under the 2%
+//! budget `results/BENCH_sim.json` gates.
+//!
+//! [`ExecRecorder::finish`] converts the raw records into the
+//! [`sct_analysis::exec::ExecTrace`] wire form, embedding the trial's
+//! merged [`LoopProfile`] so `sctsim exec` can reconcile the recorder's
+//! barrier accounting against the loop's own `barrier` phase.
+
+use crate::config::SimConfig;
+use crate::profile::LoopProfile;
+use sct_analysis::exec::{BurstRecord, EpochRecord, ExecTrace, RunRecord};
+use std::time::Instant;
+
+/// Raw per-burst observation, before timestamp normalisation.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct BurstObs {
+    pub shard: u32,
+    pub worker: u32,
+    pub start: Instant,
+    pub end: Instant,
+    pub events: u64,
+    pub pending: u64,
+    pub foreign_pushes: u64,
+    pub slack_secs: Option<f64>,
+    pub stalled: bool,
+}
+
+/// Raw per-epoch observation. Bursts live in the recorder's single
+/// flat buffer (see [`ExecRecorder::push_epoch`]) so recording an
+/// epoch never allocates on its own — epochs on event-dense runs come
+/// tens of thousands per second, and a nested `Vec` per epoch was
+/// measurable against the overhead budget.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct EpochObs {
+    pub elect_start: Instant,
+    pub elect_end: Instant,
+    pub merge_start: Instant,
+    pub merge_end: Instant,
+    pub reattach_end: Instant,
+    pub pending: u64,
+    pub offloaded: bool,
+    pub threads_used: u32,
+}
+
+/// Raw classic-run observation.
+#[derive(Clone, Debug)]
+pub(crate) struct RunObs {
+    pub shard: u32,
+    pub elect_start: Instant,
+    pub elect_end: Instant,
+    pub end: Instant,
+    pub events: u64,
+    pub pending: u64,
+    pub slack_secs: Option<f64>,
+    pub stalled: bool,
+}
+
+/// Collects execution-plane observations for one trial. Attach with
+/// [`crate::simulation::Simulation::run_instrumented`], then call
+/// [`ExecRecorder::finish`] for the serialisable trace.
+#[derive(Debug)]
+pub struct ExecRecorder {
+    t0: Instant,
+    /// Epoch metadata plus the `(start, len)` window of its bursts in
+    /// the flat `bursts` buffer.
+    epochs: Vec<(EpochObs, u32, u32)>,
+    bursts: Vec<BurstObs>,
+    runs: Vec<RunObs>,
+}
+
+impl Default for ExecRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExecRecorder {
+    /// A recorder whose clock starts now.
+    pub fn new() -> Self {
+        ExecRecorder {
+            t0: Instant::now(),
+            epochs: Vec::new(),
+            bursts: Vec::new(),
+            runs: Vec::new(),
+        }
+    }
+
+    fn us(&self, t: Instant) -> f64 {
+        t.saturating_duration_since(self.t0).as_secs_f64() * 1e6
+    }
+
+    pub(crate) fn push_epoch(&mut self, e: EpochObs, bursts: &[BurstObs]) {
+        let start = self.bursts.len() as u32;
+        self.bursts.extend_from_slice(bursts);
+        self.epochs.push((e, start, bursts.len() as u32));
+    }
+
+    pub(crate) fn push_run(&mut self, r: RunObs) {
+        self.runs.push(r);
+    }
+
+    /// Summary counters for `--profile` output.
+    pub fn stats(&self) -> ExecStats {
+        ExecStats {
+            epochs_run: self.epochs.len() as u64,
+            bursts_offloaded: self
+                .epochs
+                .iter()
+                .filter(|(e, _, _)| e.offloaded)
+                .map(|&(_, _, len)| len as u64)
+                .sum(),
+            bursts_inline: self
+                .epochs
+                .iter()
+                .filter(|(e, _, _)| !e.offloaded)
+                .map(|&(_, _, len)| len as u64)
+                .sum(),
+            classic_runs: self.runs.len() as u64,
+        }
+    }
+
+    /// Converts the raw observations into the wire-form trace,
+    /// stamping the run's configuration and merged profile.
+    pub fn finish(self, config: &SimConfig, profile: &LoopProfile) -> ExecTrace {
+        let wall_secs = Instant::now()
+            .saturating_duration_since(self.t0)
+            .as_secs_f64();
+        let epochs = self
+            .epochs
+            .iter()
+            .map(|&(e, start, len)| EpochRecord {
+                elect_start_us: self.us(e.elect_start),
+                elect_end_us: self.us(e.elect_end),
+                merge_start_us: self.us(e.merge_start),
+                merge_end_us: self.us(e.merge_end),
+                reattach_end_us: self.us(e.reattach_end),
+                pending: e.pending,
+                offloaded: e.offloaded,
+                threads_used: e.threads_used,
+                bursts: self.bursts[start as usize..(start + len) as usize]
+                    .iter()
+                    .map(|b| BurstRecord {
+                        shard: b.shard,
+                        worker: b.worker,
+                        start_us: self.us(b.start),
+                        end_us: self.us(b.end),
+                        events: b.events,
+                        pending: b.pending,
+                        foreign_pushes: b.foreign_pushes,
+                        slack_secs: b.slack_secs,
+                        stalled: b.stalled,
+                    })
+                    .collect(),
+            })
+            .collect();
+        let runs = self
+            .runs
+            .iter()
+            .map(|r| RunRecord {
+                shard: r.shard,
+                elect_start_us: self.us(r.elect_start),
+                elect_end_us: self.us(r.elect_end),
+                end_us: self.us(r.end),
+                events: r.events,
+                pending: r.pending,
+                slack_secs: r.slack_secs,
+                stalled: r.stalled,
+            })
+            .collect();
+        ExecTrace {
+            version: 1,
+            shards: config.shards as u32,
+            threads: config.threads as u32,
+            offload_min_events: config.offload_min_events as u64,
+            wall_secs,
+            epochs,
+            runs,
+            profile: profile.snapshot(),
+        }
+    }
+}
+
+/// Execution-plane counters surfaced by `sctsim run --profile` when
+/// `--threads > 1`: did the parallel path actually engage, and how did
+/// the bursts dispatch?
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Parallel epochs executed (0 means the classic fallback ran).
+    pub epochs_run: u64,
+    /// Bursts dispatched to worker threads.
+    pub bursts_offloaded: u64,
+    /// Bursts that ran inline on the coordinator (pending events below
+    /// the offload threshold, or a single elected shard).
+    pub bursts_inline: u64,
+    /// Classic (plane/fallback) runs executed.
+    pub classic_runs: u64,
+}
+
+impl ExecStats {
+    /// One-line rendering for `--profile` output.
+    pub fn to_text(&self) -> String {
+        format!(
+            "execution plane: {} epochs ({} bursts offloaded, {} inline), {} classic runs",
+            self.epochs_run, self.bursts_offloaded, self.bursts_inline, self.classic_runs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    #[test]
+    fn recorder_finishes_into_a_wire_trace() {
+        let mut rec = ExecRecorder::new();
+        let t = Instant::now();
+        rec.push_run(RunObs {
+            shard: 3,
+            elect_start: t,
+            elect_end: t,
+            end: t,
+            events: 7,
+            pending: 9,
+            slack_secs: Some(1.25),
+            stalled: true,
+        });
+        rec.push_epoch(
+            EpochObs {
+                elect_start: t,
+                elect_end: t,
+                merge_start: t,
+                merge_end: t,
+                reattach_end: t,
+                pending: 12,
+                offloaded: true,
+                threads_used: 2,
+            },
+            &[BurstObs {
+                shard: 1,
+                worker: 1,
+                start: t,
+                end: t,
+                events: 12,
+                pending: 12,
+                foreign_pushes: 3,
+                slack_secs: None,
+                stalled: false,
+            }],
+        );
+        let stats = rec.stats();
+        assert_eq!(stats.epochs_run, 1);
+        assert_eq!(stats.bursts_offloaded, 1);
+        assert_eq!(stats.bursts_inline, 0);
+        assert_eq!(stats.classic_runs, 1);
+        assert!(stats.to_text().contains("1 epochs"));
+
+        let cfg = SimConfig::builder(sct_workload::SystemSpec::tiny_test())
+            .shards(4)
+            .threads(2)
+            .build();
+        let profile = LoopProfile::merge(&[]);
+        let trace = rec.finish(&cfg, &profile);
+        assert_eq!(trace.version, 1);
+        assert_eq!(trace.shards, 4);
+        assert_eq!(trace.threads, 2);
+        assert_eq!(trace.epochs.len(), 1);
+        assert_eq!(trace.runs.len(), 1);
+        assert_eq!(trace.runs[0].shard, 3);
+        assert_eq!(trace.runs[0].slack_secs, Some(1.25));
+        assert_eq!(trace.epochs[0].bursts[0].foreign_pushes, 3);
+        assert!(trace.wall_secs >= 0.0);
+        // Round-trip through the combined JSON export.
+        let back = ExecTrace::from_json(&trace.to_json()).unwrap();
+        assert_eq!(back, trace);
+    }
+}

@@ -59,6 +59,7 @@
 
 use crate::config::SimConfig;
 use crate::events::{AdmitPath, MetricsProbe, Probe, SimEvent};
+use crate::exec::{BurstObs, EpochObs, ExecRecorder, ExecStats, RunObs};
 use crate::profile::{LoopProfile, LoopProfiler, Phase};
 use sct_admission::{
     Admission, AdmissionStats, Controller, CopyLaunch, Relocation, ReplicationManager,
@@ -71,6 +72,7 @@ use sct_transmission::{ServerEngine, Stream, StreamId};
 use sct_workload::{calibrated_rate, RequestGenerator};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Event payloads for the global queue.
 #[derive(Clone, Copy, Debug)]
@@ -311,6 +313,25 @@ struct SimWorld<'a> {
     epoch_emissions: Vec<Vec<SimEvent>>,
     /// Parallel epochs executed (tests assert the path engaged).
     epochs_run: u64,
+    /// Bursts dispatched to worker threads vs run inline on the
+    /// coordinator, and classic (plane/fallback) runs — always counted
+    /// (integer adds), surfaced by `--profile` through [`ExecStats`].
+    bursts_offloaded: u64,
+    bursts_inline: u64,
+    classic_runs: u64,
+    /// Opt-in execution-plane recorder (see [`crate::exec`]). All reads
+    /// it triggers are wall-clock only and gated on `is_some()`, per
+    /// epoch/run — never per event — so the virtual-time outcome is
+    /// bit-identical with recording on.
+    exec: Option<&'a mut ExecRecorder>,
+    /// Recorder scratch, reused across epochs so a recorded epoch
+    /// allocates nothing in steady state: per-elected-shard pending
+    /// counts at election, per-burst (worker slot, wall window,
+    /// foreign-push count) read before `end_epoch` drains them, and the
+    /// assembled burst observations handed to the recorder.
+    exec_pending: Vec<u64>,
+    exec_burst_meta: Vec<(u32, (Instant, Instant), u64)>,
+    exec_bursts: Vec<BurstObs>,
 }
 
 impl<'a> SimWorld<'a> {
@@ -437,6 +458,23 @@ impl<'a> SimWorld<'a> {
             epoch_workers: (0..n_shards).map(|_| WorkerQueue::new()).collect(),
             epoch_emissions: (0..n_shards).map(|_| Vec::new()).collect(),
             epochs_run: 0,
+            bursts_offloaded: 0,
+            bursts_inline: 0,
+            classic_runs: 0,
+            exec: None,
+            exec_pending: Vec::new(),
+            exec_burst_meta: Vec::new(),
+            exec_bursts: Vec::new(),
+        }
+    }
+
+    /// Execution-plane counters for `--profile` output.
+    fn exec_stats(&self) -> ExecStats {
+        ExecStats {
+            epochs_run: self.epochs_run,
+            bursts_offloaded: self.bursts_offloaded,
+            bursts_inline: self.bursts_inline,
+            classic_runs: self.classic_runs,
         }
     }
 
@@ -463,6 +501,10 @@ impl<'a> SimWorld<'a> {
             if par {
                 while self.run_epoch(probes) {}
             }
+            // Recorder timestamps are kept apart from `tb`: the
+            // profiler's barrier charge stays gated on `multi`, so the
+            // monolithic profile is unchanged with recording on.
+            let t_elect = self.exec.as_ref().map(|_| LoopProfiler::clock());
             let tb = if multi {
                 Some(LoopProfiler::clock())
             } else {
@@ -473,6 +515,10 @@ impl<'a> SimWorld<'a> {
             };
             let shard = token.shard();
             self.cur_shard = shard;
+            let pending_at_elect = self
+                .exec
+                .as_ref()
+                .map(|_| self.sched.queue.shard_len(shard) as u64);
             // Election snapshot for the run summary (virtual time only,
             // so the summary stream stays deterministic). `multi` only:
             // the monolithic loop has no barrier to observe.
@@ -487,6 +533,7 @@ impl<'a> SimWorld<'a> {
             if let Some(tb) = tb {
                 self.profs[shard].add(Phase::Barrier, tb);
             }
+            let t_elect_end = self.exec.as_ref().map(|_| LoopProfiler::clock());
             let events_before = self.events_processed;
             while let Some(entry) = self.sched.queue.pop_run(&token) {
                 let now = entry.time;
@@ -532,6 +579,25 @@ impl<'a> SimWorld<'a> {
                 crate::events::emit_run(probes, &summary);
                 self.profs[shard].add(Phase::Barrier, ts);
             }
+            if self.exec.is_some() {
+                let end = LoopProfiler::clock();
+                let slack_secs = election.as_ref().and_then(|(_, slack)| *slack);
+                let stalled = self.sched.queue.shard_len(shard) > 0;
+                let events = self.events_processed - events_before;
+                if let Some(rec) = self.exec.as_mut() {
+                    rec.push_run(RunObs {
+                        shard: shard as u32,
+                        elect_start: t_elect.expect("recorder timestamps set together"),
+                        elect_end: t_elect_end.expect("recorder timestamps set together"),
+                        end,
+                        events,
+                        pending: pending_at_elect.expect("recorder timestamps set together"),
+                        slack_secs,
+                        stalled,
+                    });
+                }
+            }
+            self.classic_runs += 1;
             self.sched.queue.end_run(token);
         }
     }
@@ -560,6 +626,15 @@ impl<'a> SimWorld<'a> {
         let pending: usize = (0..n)
             .map(|i| self.sched.queue.shard_len(token.shard(i)))
             .sum();
+        // Per-elected-shard pending counts, recorder only (the queues
+        // detach into the worker shells below, so read them here).
+        if self.exec.is_some() {
+            self.exec_pending.clear();
+            for i in 0..n {
+                let len = self.sched.queue.shard_len(token.shard(i)) as u64;
+                self.exec_pending.push(len);
+            }
+        }
 
         // Partition `engines` into one disjoint slice per elected shard
         // (shard server ranges are contiguous and ascending, so a single
@@ -585,19 +660,26 @@ impl<'a> SimWorld<'a> {
                 base: range.start,
                 emissions: std::mem::take(&mut self.epoch_emissions[shard]),
                 prof: LoopProfiler::new(),
+                window: (tb, tb),
                 end: self.sched.end,
                 check: self.config.check_invariants,
             });
         }
         let mut ctxs: Vec<WorkerCtx<'_>> = ctxs.into_iter().map(Option::unwrap).collect();
         self.profs[0].add(Phase::Barrier, tb);
+        let t_elect_end = self.exec.as_ref().map(|_| LoopProfiler::clock());
 
         // Burst phase. Small epochs run inline: spawning threads for a
         // handful of events costs more than it saves, and thread count
         // never affects the outcome — only which thread runs a burst.
         let threads = self.config.threads.min(n);
-        if threads >= 2 && pending >= self.config.offload_min_events {
-            let chunk = n.div_ceil(threads);
+        let offloaded = threads >= 2 && pending >= self.config.offload_min_events;
+        let chunk = if offloaded {
+            n.div_ceil(threads)
+        } else {
+            n.max(1)
+        };
+        if offloaded {
             std::thread::scope(|s| {
                 let mut chunks = ctxs.chunks_mut(chunk);
                 let first = chunks.next();
@@ -625,6 +707,12 @@ impl<'a> SimWorld<'a> {
             }
         }
 
+        if offloaded {
+            self.bursts_offloaded += n as u64;
+        } else {
+            self.bursts_inline += n as u64;
+        }
+
         // Barrier: fold the burst profilers into their shards' timers,
         // then merge the logs in global order, replaying emissions.
         let tm = LoopProfiler::clock();
@@ -633,7 +721,16 @@ impl<'a> SimWorld<'a> {
         let horizon = token.horizon();
         let mut shells: Vec<WorkerQueue<Event, (u32, u32)>> = Vec::with_capacity(n);
         let mut emissions: Vec<Vec<SimEvent>> = Vec::with_capacity(n);
-        for ctx in ctxs {
+        // Per-burst recorder scratch: worker slot, wall window, and the
+        // foreign-push count — all of which are gone after `end_epoch`
+        // (the shells' foreign buffers drain at the merge).
+        self.exec_burst_meta.clear();
+        for (i, ctx) in ctxs.into_iter().enumerate() {
+            if self.exec.is_some() {
+                let worker = if offloaded { (i / chunk) as u32 } else { 0 };
+                self.exec_burst_meta
+                    .push((worker, ctx.window, ctx.w.foreign_pushes() as u64));
+            }
             self.profs[ctx.w.shard()].absorb(&ctx.prof);
             shells.push(ctx.w);
             emissions.push(ctx.emissions);
@@ -662,6 +759,7 @@ impl<'a> SimWorld<'a> {
         self.events_processed += n_events;
         self.epochs_run += 1;
         self.profs[0].add(Phase::Barrier, tm);
+        let t_merge_end = self.exec.as_ref().map(|_| LoopProfiler::clock());
 
         // One run summary per burst, in elected (head-key) order — the
         // order the sequential protocol would first elect each shard.
@@ -678,11 +776,45 @@ impl<'a> SimWorld<'a> {
             crate::events::emit_run(probes, &summary);
             self.profs[shard].add(Phase::Barrier, ts);
         }
+        // Burst stall flags are only valid now: `end_epoch` recomputes
+        // them when it folds unconsumed pushes back into the shards.
+        if self.exec.is_some() {
+            self.exec_bursts.clear();
+            for (i, &(shard, head)) in meta.iter().enumerate() {
+                let (worker, window, foreign) = self.exec_burst_meta[i];
+                self.exec_bursts.push(BurstObs {
+                    shard: shard as u32,
+                    worker,
+                    start: window.0,
+                    end: window.1,
+                    events: shells[i].events(),
+                    pending: self.exec_pending[i],
+                    foreign_pushes: foreign,
+                    slack_secs: horizon.map(|h| h.0 - head.0),
+                    stalled: shells[i].stalled(),
+                });
+            }
+        }
         for (shell, mut emis) in shells.into_iter().zip(emissions) {
             let shard = shell.shard();
             emis.clear();
             self.epoch_emissions[shard] = emis;
             self.epoch_workers[shard] = shell;
+        }
+        if let Some(rec) = self.exec.as_mut() {
+            rec.push_epoch(
+                EpochObs {
+                    elect_start: tb,
+                    elect_end: t_elect_end.expect("recorder timestamps set together"),
+                    merge_start: tm,
+                    merge_end: t_merge_end.expect("recorder timestamps set together"),
+                    reattach_end: LoopProfiler::clock(),
+                    pending: pending as u64,
+                    offloaded,
+                    threads_used: if offloaded { threads as u32 } else { 1 },
+                },
+                &self.exec_bursts,
+            );
         }
         true
     }
@@ -1328,6 +1460,10 @@ struct WorkerCtx<'e> {
     emissions: Vec<SimEvent>,
     /// Fresh per-burst profiler, absorbed into the shard's at the barrier.
     prof: LoopProfiler,
+    /// The burst's wall window, stamped by [`worker_burst`] on entry and
+    /// exit (two clock reads per burst — an execution-plane observation
+    /// that never feeds back into the run).
+    window: (Instant, Instant),
     end: SimTime,
     check: bool,
 }
@@ -1340,6 +1476,7 @@ struct WorkerCtx<'e> {
 /// wake events and that the wake path needs no waitlist, replication,
 /// or location-hint state.
 fn worker_burst(ctx: &mut WorkerCtx<'_>) {
+    let t_start = LoopProfiler::clock();
     while let Some((now, ev)) = ctx.w.pop() {
         let Event::Wake { server, generation } = ev else {
             unreachable!("non-wake event on a worker shard of an eligible config");
@@ -1387,6 +1524,7 @@ fn worker_burst(ctx: &mut WorkerCtx<'_>) {
         ctx.prof.add_between(Phase::Dispatch, t0, t2);
         ctx.w.record((lo, hi));
     }
+    ctx.window = (t_start, LoopProfiler::clock());
 }
 
 /// Runs trials described by [`SimConfig`].
@@ -1428,7 +1566,26 @@ impl Simulation {
         config: &SimConfig,
         extra: &mut [&mut dyn Probe],
     ) -> (SimOutcome, LoopProfile, Vec<LoopProfile>) {
+        let (outcome, profile, per_shard, _) = Self::run_instrumented(config, extra, None);
+        (outcome, profile, per_shard)
+    }
+
+    /// Like [`Simulation::run_profiled_sharded`], but optionally attaches
+    /// an execution-plane [`ExecRecorder`] (see [`crate::exec`]) and
+    /// always returns the loop's [`ExecStats`] counters. The recorder is
+    /// wall-clock-only and reads loop state that already exists for the
+    /// run summaries, so the outcome — and every probe's output — is
+    /// bit-identical with recording on (`tests/parallel_determinism.rs`
+    /// enforces this across the golden scenarios and the shard × thread
+    /// matrix). Callers turn the filled recorder into a wire trace with
+    /// [`ExecRecorder::finish`], passing the returned merged profile.
+    pub fn run_instrumented(
+        config: &SimConfig,
+        extra: &mut [&mut dyn Probe],
+        exec: Option<&mut ExecRecorder>,
+    ) -> (SimOutcome, LoopProfile, Vec<LoopProfile>, ExecStats) {
         let mut world = SimWorld::new(config);
+        world.exec = exec;
         let mut metrics = MetricsProbe::new(world.catalog.len(), config.track_per_video);
         {
             let mut hub: Vec<&mut dyn Probe> = Vec::with_capacity(1 + extra.len());
@@ -1440,7 +1597,8 @@ impl Simulation {
         }
         let per_shard: Vec<LoopProfile> = world.profs.iter().map(LoopProfiler::report).collect();
         let profile = LoopProfile::merge(&per_shard);
-        (world.finish(metrics), profile, per_shard)
+        let stats = world.exec_stats();
+        (world.finish(metrics), profile, per_shard, stats)
     }
 }
 
@@ -1485,6 +1643,59 @@ mod tests {
         }
         assert!(world.epochs_run > 0, "the parallel path never engaged");
         assert_eq!(world.finish(metrics), reference);
+    }
+
+    /// The execution-plane recorder must be invisible to the run (same
+    /// outcome with recording on) and its trace must reconcile with the
+    /// loop's own counters: every epoch in the trace is an `epochs_run`
+    /// tick, burst events plus classic-run events equal the events
+    /// processed, and the offload split matches the stats counters.
+    #[test]
+    fn exec_recorder_is_invisible_and_reconciles() {
+        let par_cfg = SimConfig::builder(SystemSpec::tiny_test())
+            .duration_hours(3.0)
+            .warmup_hours(0.25)
+            .seed(42)
+            .check_invariants(true)
+            .shards(4)
+            .threads(2)
+            .offload_min_events(0)
+            .build();
+        let (plain, _, _, plain_stats) = Simulation::run_instrumented(&par_cfg, &mut [], None);
+        let mut rec = ExecRecorder::new();
+        let (recorded, profile, _, stats) =
+            Simulation::run_instrumented(&par_cfg, &mut [], Some(&mut rec));
+        assert_eq!(recorded, plain, "recording perturbed the outcome");
+        assert_eq!(stats, plain_stats, "recording changed the loop's path");
+
+        let trace = rec.finish(&par_cfg, &profile);
+        assert_eq!(trace.epochs_run(), stats.epochs_run);
+        assert!(stats.epochs_run > 0, "the parallel path never engaged");
+        assert_eq!(trace.bursts_offloaded(), stats.bursts_offloaded);
+        assert_eq!(trace.bursts_inline(), stats.bursts_inline);
+        assert_eq!(trace.runs.len() as u64, stats.classic_runs);
+        assert_eq!(
+            trace.total_events(),
+            recorded.events_processed,
+            "trace events must reconcile with the loop"
+        );
+        // Phase windows are ordered and the analyzer produces a verdict.
+        for e in &trace.epochs {
+            assert!(e.elect_start_us <= e.elect_end_us);
+            assert!(e.elect_end_us <= e.merge_start_us);
+            assert!(e.merge_start_us <= e.merge_end_us);
+            assert!(e.merge_end_us <= e.reattach_end_us);
+            for b in &e.bursts {
+                assert!(b.start_us <= b.end_us);
+                assert!(b.start_us >= e.elect_start_us);
+            }
+        }
+        let report = trace.analyze();
+        assert!(!report.verdict.is_empty());
+        assert!(
+            report.profiler_barrier_secs > 0.0,
+            "merged barrier phase missing"
+        );
     }
 
     #[test]

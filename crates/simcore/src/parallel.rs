@@ -215,6 +215,14 @@ impl<T, E> WorkerQueue<T, E> {
         self.stalled
     }
 
+    /// Foreign pushes this burst buffered for other shards (delivered at
+    /// the barrier; the buffer drains in [`ShardedQueue::end_epoch`], so
+    /// read this between the burst and the merge). An execution-plane
+    /// observation point: the count never feeds back into the run.
+    pub fn foreign_pushes(&self) -> usize {
+        self.foreign.len()
+    }
+
     /// Pops the burst's next event — the earlier head of the real and
     /// local queues — while it stays below the epoch horizon. At equal
     /// times the real head wins: its sequence number predates the epoch,

@@ -29,6 +29,14 @@
 //! their bursts independently (optionally on worker threads), merging
 //! the results back in global key order at the barrier.
 //!
+//! **Observation points.** [`ShardedQueue::run_head`],
+//! [`ShardedQueue::run_horizon`], [`ShardedQueue::shard_len`], and
+//! [`ShardedQueue::len`] are O(1) reads with no effect on queue state;
+//! they exist so election snapshots (run summaries) and the wall-clock
+//! execution-plane recorder (`sct-core::exec`) can observe barriers
+//! without perturbing them. The same contract covers
+//! `WorkerQueue::{events, stalled, foreign_pushes}` on the epoch path.
+//!
 //! Because the horizon comparison uses the full `(time, seq)` key —
 //! unique and totally ordered — the interleaving produced by any shard
 //! count is *identical* to the single-queue pop order. Shard count

@@ -10,7 +10,9 @@
 //!
 //! All subcommands are deterministic given `--seed`.
 
+use semi_continuous_vod::analysis::benchdiff;
 use semi_continuous_vod::analysis::erlang::{erlang_b, expected_utilization_vs_svbr};
+use semi_continuous_vod::analysis::exec::ExecTrace;
 use semi_continuous_vod::analysis::slo::SloPolicy;
 use semi_continuous_vod::analysis::snapshot::LoopProfilesSnapshot;
 use semi_continuous_vod::analysis::timeseries::{diff, render_dashboard, TimeSeriesRecording};
@@ -20,7 +22,7 @@ use semi_continuous_vod::core::policies::Policy;
 use semi_continuous_vod::core::runner::{run_trials, utilization_summary, TrialPlan};
 use semi_continuous_vod::core::simulation::Simulation;
 use semi_continuous_vod::core::{
-    JsonlTraceProbe, LoopProfile, MetricsRegistry, Probe, SpanProbe, TelemetryProbe,
+    ExecRecorder, JsonlTraceProbe, LoopProfile, MetricsRegistry, Probe, SpanProbe, TelemetryProbe,
     TimeSeriesProbe,
 };
 use semi_continuous_vod::simcore::{Rng, SimTime, ZipfLike};
@@ -43,6 +45,12 @@ fn usage() -> ! {
          \x20                                merged across trials)\n\
          \x20          [--window SECS]  (time-series window width, default 900)\n\
          \x20          [--slo FILE]  (SLO rule policy JSON for the recording's alerts)\n\
+         \x20          [--exec-trace FILE]  (export a wall-clock execution-plane trace,\n\
+         \x20                                Perfetto-loadable; single trial only)\n\
+         \x20 sctsim exec FILE  (analyse an execution-plane trace: Amdahl decomposition,\n\
+         \x20                    imbalance, stall attribution, bottleneck verdict)\n\
+         \x20 sctsim bench-diff OLD NEW [--gate PCT]  (compare two bench result files and\n\
+         \x20                                          name the worst-moved cell)\n\
          \x20 sctsim report FILE [--svg FILE]  (render a metrics snapshot as markdown + SVG)\n\
          \x20 sctsim spans FILE [--critical-path] [--perfetto OUT]  (analyse a span export)\n\
          \x20 sctsim watch FILE [--once] [--interval-secs S]  (live terminal dashboard\n\
@@ -180,6 +188,37 @@ fn build_config(args: &Args) -> SimConfig {
     b.build()
 }
 
+/// Why `--threads > 1` fell back to the classic single-threaded
+/// protocol (mirrors `SimConfig::parallel_eligible` plus the run-time
+/// probe gate).
+fn classic_fallback_reason(cfg: &SimConfig, state_probe: bool) -> String {
+    let mut reasons = Vec::new();
+    if cfg.shards < 2 {
+        reasons.push("the loop has a single shard (use --shards)".to_string());
+    }
+    if cfg.failures.is_some() {
+        reasons.push("failures are configured".to_string());
+    }
+    if cfg.interactivity.is_some() {
+        reasons.push("interactivity is configured".to_string());
+    }
+    if cfg.waitlist.is_some() {
+        reasons.push("a waitlist is configured".to_string());
+    }
+    if cfg.replication.is_some() {
+        reasons.push("replication is configured".to_string());
+    }
+    if state_probe {
+        reasons.push("an attached probe consumes state views (--metrics/--timeseries)".to_string());
+    }
+    if reasons.is_empty() {
+        // Eligible but no epoch ever elected: every run was a plane run.
+        "no worker shard's head ever fell below the plane's".to_string()
+    } else {
+        reasons.join("; ")
+    }
+}
+
 fn cmd_run(args: &Args) {
     let config = build_config(args);
     let trials = args.get_f64("trials").unwrap_or(1.0) as u32;
@@ -188,6 +227,7 @@ fn cmd_run(args: &Args) {
     let metrics_path = args.get("metrics");
     let spans_path = args.get("spans");
     let timeseries_path = args.get("timeseries");
+    let exec_path = args.get("exec-trace");
     let profile = args.has("profile");
     // A trace or span export narrates exactly one trial; silently
     // dropping the other trials would misrepresent what ran.
@@ -198,6 +238,10 @@ fn cmd_run(args: &Args) {
         }
         if spans_path.is_some() {
             eprintln!("--spans exports a single trial; it conflicts with --trials {trials}");
+            exit(2)
+        }
+        if exec_path.is_some() {
+            eprintln!("--exec-trace exports a single trial; it conflicts with --trials {trials}");
             exit(2)
         }
     }
@@ -228,6 +272,7 @@ fn cmd_run(args: &Args) {
         || metrics_path.is_some()
         || spans_path.is_some()
         || timeseries_path.is_some()
+        || exec_path.is_some()
         || profile
     {
         // Probes attached: run the plan's trials sequentially so each trial
@@ -271,8 +316,10 @@ fn cmd_run(args: &Args) {
             if let Some(t) = ts_probe.as_mut() {
                 hub.push(t);
             }
-            let (outcome, loop_profile, per_shard) =
-                Simulation::run_profiled_sharded(&cfg, &mut hub);
+            let state_probe_attached = hub.iter().any(|p| p.uses_state());
+            let mut exec_rec = exec_path.map(|_| ExecRecorder::new());
+            let (outcome, loop_profile, per_shard, exec_stats) =
+                Simulation::run_instrumented(&cfg, &mut hub, exec_rec.as_mut());
             merged_profiles.push(loop_profile);
             if per_shard.len() > 1 {
                 if shard_profiles.is_empty() {
@@ -290,6 +337,18 @@ fn cmd_run(args: &Args) {
                 if per_shard.len() > 1 {
                     for (s, p) in per_shard.iter().enumerate() {
                         eprint!("trial {i} shard {s}: {}", p.to_text());
+                    }
+                }
+                // With worker threads requested, say what the execution
+                // plane actually did — the classic fallback is silent
+                // otherwise.
+                if cfg.threads > 1 {
+                    eprintln!("trial {i}: {}", exec_stats.to_text());
+                    if exec_stats.epochs_run == 0 {
+                        eprintln!(
+                            "trial {i}: parallel epochs never engaged — {}",
+                            classic_fallback_reason(&cfg, state_probe_attached)
+                        );
                     }
                 }
             }
@@ -322,6 +381,19 @@ fn cmd_run(args: &Args) {
                     "wrote {} spans / {} causal edges to {path}",
                     set.spans.len(),
                     set.edges.len()
+                );
+            }
+            if let (Some(path), Some(rec)) = (exec_path, exec_rec) {
+                let trace = rec.finish(&cfg, &loop_profile);
+                std::fs::write(path, trace.to_json()).unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    exit(1)
+                });
+                eprintln!(
+                    "wrote execution-plane trace ({} epochs, {} classic runs) to {path} \
+                     (open in ui.perfetto.dev, or run `sctsim exec {path}`)",
+                    trace.epochs_run(),
+                    trace.runs.len()
                 );
             }
         }
@@ -484,11 +556,22 @@ fn cmd_watch(file: &str, args: &Args) {
     }
     loop {
         // Re-read every tick: a concurrent `sctsim run --timeseries`
-        // rewrites the file when it finishes, and partially-written JSON
-        // simply keeps the previous frame on screen.
+        // rewrites the file when it finishes. A missing file or
+        // partially-written JSON keeps the previous frame on screen and
+        // notes the retry — never a hard exit, since the writer may be
+        // mid-flush.
         let frame = match std::fs::read_to_string(file) {
-            Ok(text) => TimeSeriesRecording::from_json(&text).ok(),
-            Err(_) => None,
+            Ok(text) => match TimeSeriesRecording::from_json(&text) {
+                Ok(rec) => Some(rec),
+                Err(e) => {
+                    eprintln!("watch: {file} unreadable mid-write ({e}); retrying in {interval}s");
+                    None
+                }
+            },
+            Err(e) => {
+                eprintln!("watch: cannot read {file} ({e}); retrying in {interval}s");
+                None
+            }
         };
         if let Some(rec) = frame {
             // ANSI clear + home, then the dashboard.
@@ -497,6 +580,49 @@ fn cmd_watch(file: &str, args: &Args) {
             let _ = std::io::stdout().flush();
         }
         std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+    }
+}
+
+fn cmd_exec(file: &str) {
+    let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+        eprintln!("cannot read {file}: {e}");
+        exit(1)
+    });
+    let trace = ExecTrace::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("{file}: {e}");
+        exit(1)
+    });
+    print!("{}", trace.analyze().to_text());
+}
+
+fn cmd_bench_diff(file_old: &str, file_new: &str, args: &Args) {
+    let read = |file: &str| {
+        std::fs::read_to_string(file).unwrap_or_else(|e| {
+            eprintln!("cannot read {file}: {e}");
+            exit(1)
+        })
+    };
+    let report = benchdiff::diff(&read(file_old), &read(file_new)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1)
+    });
+    print!("{}", report.to_text());
+    if let Some(pct) = args.get_f64("gate") {
+        if !(pct >= 0.0 && pct.is_finite()) {
+            eprintln!("--gate expects a non-negative percentage, got {pct}");
+            exit(2)
+        }
+        let violations = report.gate(pct);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!(
+                    "gate: {} regressed {:.2}% (> {pct}%): {:.4} -> {:.4}",
+                    v.path, v.regression_pct, v.old, v.new
+                );
+            }
+            exit(1)
+        }
+        eprintln!("gate: no cell regressed more than {pct}%");
     }
 }
 
@@ -587,6 +713,22 @@ fn main() {
             usage()
         }
         cmd_diff(&rest[0], &rest[1], &Args::parse(&rest[2..]));
+        return;
+    }
+    if cmd == "exec" {
+        let Some((file, _flags)) = rest.split_first() else {
+            eprintln!("exec needs an execution-plane trace file");
+            usage()
+        };
+        cmd_exec(file);
+        return;
+    }
+    if cmd == "bench-diff" {
+        if rest.len() < 2 {
+            eprintln!("bench-diff needs two bench result files");
+            usage()
+        }
+        cmd_bench_diff(&rest[0], &rest[1], &Args::parse(&rest[2..]));
         return;
     }
     let args = Args::parse(rest);

@@ -493,3 +493,272 @@ fn unwritable_metrics_path_fails_with_a_diagnostic() {
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("metrics.json"), "{err}");
 }
+
+#[test]
+fn run_exec_trace_exports_without_perturbing_the_outcome_and_exec_analyzes_it() {
+    let dir = std::env::temp_dir().join("sctsim-test-exec");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("exec.json");
+    let base = [
+        "run",
+        "--system",
+        "tiny",
+        "--hours",
+        "1",
+        "--trials",
+        "1",
+        "--seed",
+        "5",
+        "--shards",
+        "2",
+        "--threads",
+        "2",
+    ];
+    let plain = sctsim(&base);
+    let mut traced_args: Vec<&str> = base.to_vec();
+    traced_args.extend(["--exec-trace", trace_path.to_str().unwrap()]);
+    let traced = sctsim(&traced_args);
+    assert!(
+        plain.status.success() && traced.status.success(),
+        "{}",
+        String::from_utf8_lossy(&traced.stderr)
+    );
+    // The recorder must be invisible: identical outcome JSON on stdout.
+    assert_eq!(plain.stdout, traced.stdout);
+    let stderr = String::from_utf8(traced.stderr).unwrap();
+    assert!(stderr.contains("wrote execution-plane trace"), "{stderr}");
+
+    // The exported document is both a Perfetto trace and analyzer input.
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(text.contains("\"traceEvents\""), "not a trace: {text}");
+    let trace = sct_analysis::exec::ExecTrace::from_json(&text).expect("valid exec trace");
+    assert_eq!(trace.shards, 2);
+
+    let out = sctsim(&["exec", trace_path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = String::from_utf8(out.stdout).unwrap();
+    assert!(report.contains("# Execution-plane analysis"), "{report}");
+    assert!(report.contains("Amdahl decomposition"), "{report}");
+    assert!(report.contains("bottleneck: "), "{report}");
+}
+
+#[test]
+fn exec_trace_flag_conflicts_with_multiple_trials() {
+    let out = sctsim(&[
+        "run",
+        "--system",
+        "tiny",
+        "--hours",
+        "1",
+        "--trials",
+        "2",
+        "--exec-trace",
+        "/tmp/x.json",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("--exec-trace") && err.contains("--trials 2"),
+        "{err}"
+    );
+}
+
+#[test]
+fn exec_subcommand_rejects_a_missing_file() {
+    let out = sctsim(&["exec", "/nonexistent/never/exec.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("exec.json"), "{err}");
+}
+
+#[test]
+fn profile_reports_execution_plane_counters_and_fallback_reason() {
+    // Eligible parallel run: the profile must say how bursts dispatched.
+    let engaged = sctsim(&[
+        "run",
+        "--system",
+        "tiny",
+        "--hours",
+        "1",
+        "--seed",
+        "5",
+        "--shards",
+        "2",
+        "--threads",
+        "2",
+        "--profile",
+    ]);
+    assert!(
+        engaged.status.success(),
+        "{}",
+        String::from_utf8_lossy(&engaged.stderr)
+    );
+    let err = String::from_utf8(engaged.stderr).unwrap();
+    assert!(err.contains("execution plane:"), "{err}");
+    assert!(err.contains("epochs ("), "{err}");
+
+    // --threads > 1 with a single shard: the parallel path can never
+    // engage, and the profile must say why.
+    let fallback = sctsim(&[
+        "run",
+        "--system",
+        "tiny",
+        "--hours",
+        "1",
+        "--seed",
+        "5",
+        "--threads",
+        "2",
+        "--profile",
+    ]);
+    assert!(fallback.status.success());
+    let err = String::from_utf8(fallback.stderr).unwrap();
+    assert!(err.contains("parallel epochs never engaged"), "{err}");
+    assert!(err.contains("--shards"), "{err}");
+}
+
+#[test]
+fn bench_diff_reports_the_worst_cell_and_gates_regressions() {
+    let dir = std::env::temp_dir().join("sctsim-test-benchdiff");
+    std::fs::create_dir_all(&dir).unwrap();
+    let old_path = dir.join("old.json");
+    let new_path = dir.join("new.json");
+    std::fs::write(
+        &old_path,
+        r#"{"grid": {"events_per_sec": 100.0}, "huge": {"events_per_sec": 200.0}}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        &new_path,
+        r#"{"grid": {"events_per_sec": 50.0}, "huge": {"events_per_sec": 210.0}}"#,
+    )
+    .unwrap();
+
+    // Without a gate: report only, exit 0.
+    let out = sctsim(&[
+        "bench-diff",
+        old_path.to_str().unwrap(),
+        new_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("worst-moved cell"), "{text}");
+    assert!(text.contains("grid"), "{text}");
+
+    // A 50% regression trips a 25% gate.
+    let gated = sctsim(&[
+        "bench-diff",
+        old_path.to_str().unwrap(),
+        new_path.to_str().unwrap(),
+        "--gate",
+        "25",
+    ]);
+    assert_eq!(gated.status.code(), Some(1));
+    let err = String::from_utf8(gated.stderr).unwrap();
+    assert!(err.contains("regressed"), "{err}");
+
+    // A self-diff passes any gate.
+    let clean = sctsim(&[
+        "bench-diff",
+        old_path.to_str().unwrap(),
+        old_path.to_str().unwrap(),
+        "--gate",
+        "25",
+    ]);
+    assert!(
+        clean.status.success(),
+        "{}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+    let err = String::from_utf8(clean.stderr).unwrap();
+    assert!(err.contains("no cell regressed"), "{err}");
+}
+
+#[test]
+fn bench_diff_rejects_garbage_input() {
+    let dir = std::env::temp_dir().join("sctsim-test-benchdiff");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("garbage.json");
+    std::fs::write(&path, "{not json").unwrap();
+    let out = sctsim(&["bench-diff", path.to_str().unwrap(), path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(!out.stderr.is_empty());
+}
+
+#[test]
+fn watch_tolerates_a_mid_write_recording_and_recovers() {
+    use std::io::Read;
+
+    let dir = std::env::temp_dir().join("sctsim-test-watch-midwrite");
+    std::fs::create_dir_all(&dir).unwrap();
+    let rec_path = dir.join("rec.json");
+    // Start with a truncated document, as if a writer were mid-flush.
+    std::fs::write(&rec_path, "{\"version\": 1, \"trials\":").unwrap();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sctsim"))
+        .args([
+            "watch",
+            rec_path.to_str().unwrap(),
+            "--interval-secs",
+            "0.2",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("watch spawns");
+
+    // Let it chew on the partial file for a couple of ticks...
+    std::thread::sleep(std::time::Duration::from_millis(600));
+    assert!(
+        child.try_wait().expect("try_wait").is_none(),
+        "watch must keep retrying on a partial file, not exit"
+    );
+
+    // ...then complete the write and give it time to recover.
+    let run = sctsim(&[
+        "run",
+        "--system",
+        "tiny",
+        "--hours",
+        "2",
+        "--seed",
+        "5",
+        "--timeseries",
+        rec_path.to_str().unwrap(),
+    ]);
+    assert!(run.status.success());
+    std::thread::sleep(std::time::Duration::from_millis(600));
+
+    child.kill().expect("kill watch");
+    child.wait().expect("reap watch");
+    let mut stderr = String::new();
+    child
+        .stderr
+        .take()
+        .unwrap()
+        .read_to_string(&mut stderr)
+        .ok();
+    let mut stdout = String::new();
+    child
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_string(&mut stdout)
+        .ok();
+    assert!(
+        stderr.contains("unreadable mid-write"),
+        "expected a retry note on stderr: {stderr}"
+    );
+    assert!(
+        stdout.contains("Time-series recording"),
+        "watch never rendered the completed recording: {stdout}"
+    );
+}

@@ -23,14 +23,48 @@
 //! pre-sharding loop.
 
 use sct_core::spans::capture;
+use sct_core::{ExecRecorder, SpanProbe};
 use semi_continuous_vod::prelude::*;
 
 const SHARDS: [usize; 3] = [1, 2, 4];
 const THREADS: [usize; 3] = [1, 2, 8];
 
+/// Like [`capture`], but with the execution-plane recorder attached,
+/// returning the recorder's trace alongside the outcome and span set.
+/// The recorder is wall-clock-only, so the outcome and spans must match
+/// a recorder-off run bit for bit — the matrix below compares every
+/// recorder-on cell against a recorder-off baseline, which pins both
+/// shard/thread invariance *and* recorder invisibility in one pass.
+fn capture_with_exec(
+    config: &SimConfig,
+) -> (
+    SimOutcome,
+    sct_analysis::SpanSet,
+    sct_analysis::exec::ExecTrace,
+) {
+    let mut probe = SpanProbe::new();
+    let mut rec = ExecRecorder::new();
+    let (outcome, profile, _, stats) =
+        Simulation::run_instrumented(config, &mut [&mut probe], Some(&mut rec));
+    let trace = rec.finish(config, &profile);
+    // The trace must reconcile with the loop's own accounting on every
+    // cell: one record per epoch, every event attributed exactly once.
+    assert_eq!(trace.epochs_run(), stats.epochs_run);
+    assert_eq!(trace.runs.len() as u64, stats.classic_runs);
+    assert_eq!(
+        trace.total_events(),
+        outcome.events_processed,
+        "exec trace lost or double-counted events"
+    );
+    (outcome, probe.finish(config.duration.as_secs()), trace)
+}
+
 /// Runs `build(shards, threads)` over the full matrix and asserts
 /// outcomes and span sets match the single-threaded `shards = 1`
-/// baseline bit-for-bit.
+/// baseline bit-for-bit. The baseline runs recorder-off; every other
+/// cell runs with the execution-plane recorder attached, so a single
+/// pass pins shard invariance, thread invariance, and recorder
+/// invisibility against each other.
 fn assert_parallel_invariant(name: &str, build: impl Fn(usize, usize) -> SimConfig) {
     let (base_outcome, base_spans) = capture(&build(1, 1));
     assert!(
@@ -42,7 +76,7 @@ fn assert_parallel_invariant(name: &str, build: impl Fn(usize, usize) -> SimConf
             if (shards, threads) == (1, 1) {
                 continue;
             }
-            let (outcome, spans) = capture(&build(shards, threads));
+            let (outcome, spans, _trace) = capture_with_exec(&build(shards, threads));
             assert_eq!(
                 outcome, base_outcome,
                 "{name}: SimOutcome diverged at shards = {shards}, threads = {threads}"
@@ -53,6 +87,17 @@ fn assert_parallel_invariant(name: &str, build: impl Fn(usize, usize) -> SimConf
             );
         }
     }
+    // And the recorder-off cell at the far corner agrees too, closing
+    // the recorder-on/off loop at a parallel cell (not just at (1,1)).
+    let (off_outcome, off_spans) = capture(&build(4, 8));
+    assert_eq!(
+        off_outcome, base_outcome,
+        "{name}: recorder-off (4,8) diverged"
+    );
+    assert_eq!(
+        off_spans, base_spans,
+        "{name}: recorder-off (4,8) spans diverged"
+    );
 }
 
 #[test]
@@ -157,20 +202,28 @@ fn parallel_matrix_flash_crowd() {
 /// must be bit-identical across the whole shard × thread matrix. The
 /// recording probe consumes state views, which forces the sequential
 /// loop — the matrix pins exactly that: attaching it must not change
-/// what it records, whatever execution the config *asked* for.
+/// what it records, whatever execution the config *asked* for. The
+/// baseline runs without the execution-plane recorder; every other cell
+/// runs with it attached, so the recording is also pinned
+/// exec-recorder-invariant.
 #[test]
 fn timeseries_recording_is_thread_invariant() {
-    let record = |shards: usize, threads: usize| {
+    let record = |shards: usize, threads: usize, exec: bool| {
         let cfg = flash_crowd(shards, threads);
         let mut probe = TimeSeriesProbe::new(&cfg, 600.0);
-        Simulation::run_with_probes(&cfg, &mut [&mut probe]);
+        if exec {
+            let mut rec = ExecRecorder::new();
+            Simulation::run_instrumented(&cfg, &mut [&mut probe], Some(&mut rec));
+        } else {
+            Simulation::run_with_probes(&cfg, &mut [&mut probe]);
+        }
         probe.finish()
     };
-    let base = record(1, 1);
+    let base = record(1, 1, false);
     assert!(!base.windows.is_empty());
     for &shards in &SHARDS {
         for &threads in &THREADS {
-            let rec = record(shards, threads);
+            let rec = record(shards, threads, true);
             assert_eq!(
                 rec.windows, base.windows,
                 "window series diverged at shards = {shards}, threads = {threads}"
@@ -181,4 +234,42 @@ fn timeseries_recording_is_thread_invariant() {
             );
         }
     }
+}
+
+/// The exec trace of an eligible parallel run must attribute real work
+/// to the epoch path, export a combined Perfetto/analyzer document that
+/// round-trips, and yield an analyzer verdict whose barrier accounting
+/// reconciles with the merged `LoopProfiler` barrier phase.
+#[test]
+fn exec_trace_round_trips_and_reconciles_with_the_profiler() {
+    let cfg = flash_crowd(4, 2);
+    let (_, _, trace) = capture_with_exec(&cfg);
+    assert!(trace.epochs_run() > 0, "eligible config never ran an epoch");
+    assert!(
+        trace.bursts_offloaded() > 0,
+        "offload_min_events(0) never offloaded"
+    );
+
+    let text = trace.to_json();
+    let back = sct_analysis::exec::ExecTrace::from_json(&text).unwrap();
+    assert_eq!(back, trace, "combined JSON export did not round-trip");
+
+    let report = trace.analyze();
+    assert!(!report.verdict.is_empty());
+    assert!(report.serialization_fraction > 0.0 && report.serialization_fraction <= 1.0);
+    assert!(report.imbalance_ratio >= 1.0);
+    assert!(
+        report.profiler_barrier_secs > 0.0,
+        "merged barrier phase missing"
+    );
+    // The recorder's barrier windows bracket the same coordinator work
+    // the LoopProfiler charges to its barrier phase; clock-read overhead
+    // sits between the two reads, so recorder >= profiler, within 3x.
+    assert!(
+        report.exec_barrier_secs >= report.profiler_barrier_secs * 0.5
+            && report.exec_barrier_secs <= report.profiler_barrier_secs * 3.0,
+        "barrier accounting out of family: exec {} s vs profiler {} s",
+        report.exec_barrier_secs,
+        report.profiler_barrier_secs
+    );
 }
